@@ -1,0 +1,161 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (printed as report sections), then times the computational
+   kernels behind each experiment with Bechamel. *)
+
+open Bechamel
+open Toolkit
+open Testgen
+
+let section id body =
+  Printf.printf "==============================================================\n";
+  Printf.printf "%s\n" id;
+  Printf.printf "==============================================================\n";
+  print_string body;
+  print_newline ()
+
+let progress ~done_ ~total ~fault_id =
+  Printf.eprintf "  generation [%2d/%2d] %s\n%!" done_ total fault_id
+
+(* ------------------------------------------------------------------ *)
+(* Reproduction reports                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_reports ctx =
+  (* the paper's tables and figures *)
+  section "FIG1" (Experiments.Runs.fig1 ());
+  section "TAB1" (Experiments.Runs.tab1 ());
+  section "FIG234" (Experiments.Runs.fig234 ctx);
+  section "FIG5" (Experiments.Runs.fig5 ctx);
+  section "FIG6" (Experiments.Runs.fig6 ctx);
+  section "FIG7" (Experiments.Runs.fig7 ());
+  let run = Experiments.Runs.engine_run ~progress ctx in
+  section "TAB2" (Experiments.Runs.tab2 ctx run);
+  section "FIG8" (Experiments.Runs.fig8 ctx run);
+  section "TAB3" (Experiments.Runs.tab3 ctx run);
+  let compaction = Experiments.Runs.compact_run ~delta:0.1 ctx run in
+  section "TAB4" (Experiments.Runs.render_tab4 ~delta:0.1 compaction);
+  section "XBASE" (Experiments.Runs.xbase ctx run);
+  (* extensions beyond the paper *)
+  prerr_endline "running extension experiments...";
+  section "XAC" (Experiments.Extensions.xac_report ());
+  section "XIFA" (Experiments.Extensions.xifa_report ctx run compaction);
+  section "XEQ" (Experiments.Extensions.xeq_report ctx run);
+  section "XQ" (Experiments.Extensions.xq_report ctx compaction);
+  section "XIMD" (Experiments.Extensions.ximd_report ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks: the kernel behind each experiment                   *)
+(* ------------------------------------------------------------------ *)
+
+let make_tests ctx =
+  let nl = Macros.Macro.nominal_netlist ctx.Experiments.Setup.macro in
+  let sys = Circuit.Mna.build nl in
+  let op = Circuit.Dc.operating_point sys ~time:`Dc in
+  let ev1 = Experiments.Setup.evaluator ctx 1 in
+  let ev3 = Experiments.Setup.evaluator ctx 3 in
+  let ev4 = Experiments.Setup.evaluator ctx 4 in
+  let bridge = Faults.Fault.bridge "n1" "vout" ~resistance:10e3 in
+  let seeds c = Test_config.param_values_of_seed (Evaluator.config c) in
+  let assemble () =
+    Circuit.Mna.assemble sys ~x:op ~time:`Dc ~gmin:1e-12 ()
+  in
+  let a0, z0 = assemble () in
+  let rng = Numerics.Rng.create 17L in
+  let cluster_items =
+    List.init 45 (fun i ->
+        {
+          Cluster.item_id = Printf.sprintf "f%d" i;
+          location =
+            [|
+              Numerics.Rng.uniform rng ~lo:(-50e-6) ~hi:50e-6;
+              Numerics.Rng.uniform rng ~lo:5e-6 ~hi:50e-6;
+            |];
+        })
+  in
+  let cluster_params =
+    (Evaluator.config (Experiments.Setup.evaluator ctx 2)).Test_config.params
+  in
+  [
+    (* substrate kernels *)
+    Test.make ~name:"substrate:lu-factor-solve(26x26)"
+      (Staged.stage (fun () -> Numerics.Mat.solve a0 z0));
+    Test.make ~name:"substrate:mna-assemble"
+      (Staged.stage (fun () -> assemble ()));
+    Test.make ~name:"substrate:dc-operating-point"
+      (Staged.stage (fun () -> Circuit.Dc.operating_point sys ~time:`Dc));
+    (* TAB1/FIG1: configuration bookkeeping *)
+    Test.make ~name:"tab1:describe-configurations"
+      (Staged.stage (fun () ->
+           List.map Test_config.describe Experiments.Iv_configs.all));
+    (* FIG2-4: one THD evaluation = one tps-graph pixel *)
+    Test.make ~name:"fig234:thd-evaluation"
+      (Staged.stage (fun () ->
+           Evaluator.sensitivity ev3 bridge (seeds ev3)));
+    (* FIG5: box interpolation *)
+    Test.make ~name:"fig5:box-interpolation"
+      (Staged.stage (fun () -> Evaluator.box ev1 (seeds ev1)));
+    (* FIG6/TAB2: the impact-convergence kernel: one dc-config sensitivity *)
+    Test.make ~name:"tab2:dc-sensitivity-evaluation"
+      (Staged.stage (fun () ->
+           Evaluator.sensitivity ev1 bridge (seeds ev1)));
+    (* TAB3/FIG8: step-response metric evaluation *)
+    Test.make ~name:"tab3:step-response-evaluation"
+      (Staged.stage (fun () ->
+           Evaluator.sensitivity ev4 bridge (seeds ev4)));
+    (* TAB4: clustering of the optimized tests *)
+    Test.make ~name:"tab4:cluster-45-tests"
+      (Staged.stage (fun () ->
+           Cluster.group ~params:cluster_params cluster_items));
+    (* XBASE: seed-test detection check *)
+    Test.make ~name:"xbase:seed-detection-check"
+      (Staged.stage (fun () ->
+           Sensitivity.detects (Evaluator.sensitivity ev1 bridge (seeds ev1))));
+  ]
+
+let run_benchmarks ctx =
+  let tests = make_tests ctx in
+  let grouped = Test.make_grouped ~name:"atpg" ~fmt:"%s/%s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.8) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Printf.printf "==============================================================\n";
+  Printf.printf "BECHAMEL microbenchmarks (monotonic clock, ns/run)\n";
+  Printf.printf "==============================================================\n";
+  let clock = Hashtbl.find merged (Measure.label Instance.monotonic_clock) in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> e
+        | Some [] | None -> nan
+      in
+      rows := (name, estimate) :: !rows)
+    clock;
+  List.iter
+    (fun (name, ns) ->
+      if ns < 1e3 then Printf.printf "  %-42s %10.1f ns\n" name ns
+      else if ns < 1e6 then Printf.printf "  %-42s %10.2f us\n" name (ns /. 1e3)
+      else Printf.printf "  %-42s %10.2f ms\n" name (ns /. 1e6))
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows)
+
+let () =
+  let fast = Array.exists (String.equal "--fast") Sys.argv in
+  let reports_only = Array.exists (String.equal "--reports-only") Sys.argv in
+  let bench_only = Array.exists (String.equal "--bench-only") Sys.argv in
+  let profile =
+    if fast then Execute.fast_profile else Execute.default_profile
+  in
+  prerr_endline "calibrating tolerance boxes...";
+  let ctx = Experiments.Setup.iv ~profile () in
+  if not bench_only then run_reports ctx;
+  if not reports_only then run_benchmarks ctx

@@ -1,0 +1,575 @@
+(* Command-line front end for the analog ATPG reproduction. *)
+
+open Cmdliner
+open Testgen
+
+let macro_of_name = function
+  | "iv" -> Ok Macros.Iv_converter.macro
+  | "ota" -> Ok Macros.Ota.macro
+  | "sk" -> Ok Macros.Sallen_key.macro
+  | other -> Error (Printf.sprintf "unknown macro %S (try iv, ota or sk)" other)
+
+let macro_arg =
+  let doc = "Target macro: $(b,iv) (the paper's IV-converter), $(b,ota) or $(b,sk)." in
+  Arg.(value & opt string "iv" & info [ "macro" ] ~docv:"NAME" ~doc)
+
+let fast_arg =
+  let doc = "Use the fast execution profile (coarser THD windows)." in
+  Arg.(value & flag & info [ "fast" ] ~doc)
+
+let take_arg =
+  let doc = "Only process the first $(docv) dictionary faults." in
+  Arg.(value & opt (some int) None & info [ "take" ] ~docv:"N" ~doc)
+
+let profile_of fast =
+  if fast then Execute.fast_profile else Execute.default_profile
+
+let with_macro name f =
+  match macro_of_name name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok macro -> f macro
+
+let fault_of_dictionary macro fid =
+  let dict = Macros.Macro.dictionary macro in
+  match Faults.Dictionary.find dict fid with
+  | Some entry -> Ok entry
+  | None ->
+      Error
+        (Printf.sprintf "unknown fault %S; use `atpg faults` to list ids" fid)
+
+(* -- netlist ----------------------------------------------------------- *)
+
+let netlist_cmd =
+  let run macro_name fault_id impact =
+    with_macro macro_name (fun macro ->
+        let nl = Macros.Macro.nominal_netlist macro in
+        match fault_id with
+        | None ->
+            print_string (Circuit.Netlist.to_spice nl);
+            0
+        | Some fid -> begin
+            match fault_of_dictionary macro fid with
+            | Error e ->
+                prerr_endline e;
+                1
+            | Ok entry ->
+                let fault =
+                  match impact with
+                  | None -> entry.Faults.Dictionary.fault
+                  | Some r ->
+                      Faults.Fault.with_impact entry.Faults.Dictionary.fault r
+                in
+                print_string
+                  (Circuit.Netlist.to_spice (Faults.Inject.apply nl fault));
+                0
+          end)
+  in
+  let fault_arg =
+    let doc = "Inject the fault with this id before printing." in
+    Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"ID" ~doc)
+  in
+  let impact_arg =
+    let doc = "Override the fault's model resistance (ohms)." in
+    Arg.(value & opt (some float) None & info [ "impact" ] ~docv:"OHMS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "netlist" ~doc:"Print the macro netlist (optionally faulty).")
+    Term.(const run $ macro_arg $ fault_arg $ impact_arg)
+
+(* -- op ---------------------------------------------------------------- *)
+
+let op_cmd =
+  let run macro_name =
+    with_macro macro_name (fun macro ->
+        let nl = Macros.Macro.nominal_netlist macro in
+        let sys = Circuit.Mna.build nl in
+        let report = Circuit.Dc.solve sys ~time:`Dc in
+        let x = report.Circuit.Dc.solution in
+        Printf.printf
+          "operating point of %s (newton: %d iterations, %d gmin steps)\n\n"
+          macro.Macros.Macro.macro_name report.Circuit.Dc.newton_iterations
+          report.Circuit.Dc.gmin_steps;
+        List.iter
+          (fun n ->
+            Printf.printf "  V(%-8s) = %9.5f V\n" n (Circuit.Mna.voltage sys x n))
+          (Circuit.Netlist.nodes nl);
+        print_newline ();
+        List.iter
+          (fun (name, op) ->
+            Printf.printf "  %-6s ids = %10.3e A  (%s)\n" name
+              op.Circuit.Mos_model.ids
+              (match op.Circuit.Mos_model.region with
+              | `Cutoff -> "cutoff"
+              | `Triode -> "triode"
+              | `Saturation -> "saturation"))
+          (Circuit.Mna.mosfet_operating_points sys ~x);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "op" ~doc:"Solve and print the macro's DC operating point.")
+    Term.(const run $ macro_arg)
+
+(* -- faults ------------------------------------------------------------ *)
+
+let faults_cmd =
+  let run macro_name =
+    with_macro macro_name (fun macro ->
+        let dict = Macros.Macro.dictionary macro in
+        Format.printf "%a@." Faults.Dictionary.pp_summary dict;
+        List.iter
+          (fun e ->
+            Printf.printf "  %-24s %s\n" e.Faults.Dictionary.fault_id
+              (Faults.Fault.describe e.Faults.Dictionary.fault))
+          (Faults.Dictionary.entries dict);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "faults" ~doc:"List the macro's exhaustive fault dictionary.")
+    Term.(const run $ macro_arg)
+
+(* -- simulate ----------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run file observe =
+    match Circuit.Spice_parser.parse_file file with
+    | Error e ->
+        Printf.eprintf "%s:%d: %s\n" file e.Circuit.Spice_parser.line
+          e.Circuit.Spice_parser.message;
+        1
+    | Ok nl -> begin
+        match Circuit.Mna.build nl with
+        | exception Invalid_argument msg ->
+            Printf.eprintf "%s: %s\n" file msg;
+            1
+        | sys -> begin
+            match Circuit.Dc.solve sys ~time:`Dc with
+            | exception Circuit.Dc.No_convergence msg ->
+                Printf.eprintf "%s\n" msg;
+                1
+            | report ->
+                let x = report.Circuit.Dc.solution in
+                Printf.printf "%s: DC operating point (%d newton iterations)\n"
+                  (Circuit.Netlist.title nl)
+                  report.Circuit.Dc.newton_iterations;
+                let nodes =
+                  match observe with
+                  | [] -> Circuit.Netlist.nodes nl
+                  | ns -> ns
+                in
+                List.iter
+                  (fun n ->
+                    match Circuit.Mna.voltage sys x n with
+                    | v -> Printf.printf "  V(%-8s) = %9.5f V\n" n v
+                    | exception Not_found ->
+                        Printf.printf "  V(%-8s) = <unknown node>\n" n)
+                  nodes;
+                0
+          end
+      end
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"DECK" ~doc:"SPICE-style netlist file.")
+  in
+  let observe_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "observe" ] ~docv:"NODE" ~doc:"Only print these nodes.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Parse a SPICE-style deck and print its DC operating point.")
+    Term.(const run $ file_arg $ observe_arg)
+
+(* -- sweep -------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let run macro_name lo hi points =
+    with_macro macro_name (fun macro ->
+        let nl = Macros.Macro.nominal_netlist macro in
+        let source = macro.Macros.Macro.stimulus_source in
+        let observe = macro.Macros.Macro.observe_node in
+        let sweep_values = Circuit.Sweep.linspace ~lo ~hi ~points in
+        match
+          Circuit.Sweep.dc_transfer nl ~source ~sweep_values
+            ~observe:[ observe ]
+        with
+        | exception Circuit.Dc.No_convergence msg ->
+            prerr_endline msg;
+            1
+        | result ->
+            let values = Circuit.Sweep.trace result observe in
+            Printf.printf "DC transfer of %s: %s swept %s -> V(%s)\n\n"
+              macro.Macros.Macro.macro_name source
+              (Printf.sprintf "[%s, %s]" (Circuit.Units.format_eng lo)
+                 (Circuit.Units.format_eng hi))
+              observe;
+            print_string
+              (Report.Heatmap.render_1d
+                 ~x_axis:(source, sweep_values)
+                 ~values ~height:14);
+            let mid = (lo +. hi) /. 2. in
+            Printf.printf "slope at %s: %.4g\n" (Circuit.Units.format_eng mid)
+              (Circuit.Sweep.slope_at result ~node:observe ~at:mid);
+            0)
+  in
+  let lo_arg =
+    Arg.(
+      value & opt float (-50e-6)
+      & info [ "from" ] ~docv:"VAL" ~doc:"Sweep start value.")
+  in
+  let hi_arg =
+    Arg.(
+      value & opt float 50e-6
+      & info [ "to" ] ~docv:"VAL" ~doc:"Sweep end value.")
+  in
+  let points_arg =
+    Arg.(
+      value & opt int 41 & info [ "points" ] ~docv:"N" ~doc:"Grid points.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"DC-sweep the macro's stimulus and plot the transfer curve.")
+    Term.(const run $ macro_arg $ lo_arg $ hi_arg $ points_arg)
+
+(* -- noise -------------------------------------------------------------- *)
+
+let noise_cmd =
+  let run macro_name lo hi points =
+    with_macro macro_name (fun macro ->
+        let nl = Macros.Macro.nominal_netlist macro in
+        let sys = Circuit.Mna.build nl in
+        let op = Circuit.Dc.operating_point sys ~time:`Dc in
+        let freqs = Circuit.Ac.log_space ~lo ~hi ~points in
+        let points_list =
+          Circuit.Noise.output_noise sys ~op
+            ~observe:macro.Macros.Macro.observe_node ~freqs
+        in
+        Printf.printf "output noise of %s at V(%s), %s .. %s\n\n"
+          macro.Macros.Macro.macro_name macro.Macros.Macro.observe_node
+          (Circuit.Units.format_eng ~unit_symbol:"Hz" lo)
+          (Circuit.Units.format_eng ~unit_symbol:"Hz" hi);
+        List.iter
+          (fun p ->
+            let top =
+              match p.Circuit.Noise.contributions with
+              | c :: _ ->
+                  Printf.sprintf "  (dominant: %s, %.0f%%)"
+                    c.Circuit.Noise.noise_source
+                    (100. *. c.Circuit.Noise.psd
+                    /. Float.max 1e-300 p.Circuit.Noise.total_psd)
+              | [] -> ""
+            in
+            Printf.printf "  %10sHz  %.3e V^2/Hz  (%.2f nV/rtHz)%s\n"
+              (Circuit.Units.format_eng p.Circuit.Noise.noise_freq_hz)
+              p.Circuit.Noise.total_psd
+              (1e9 *. sqrt p.Circuit.Noise.total_psd)
+              top)
+          points_list;
+        Printf.printf "\nintegrated over the band: %.3f uV rms\n"
+          (1e6 *. Circuit.Noise.integrated_rms points_list);
+        0)
+  in
+  let lo_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "from" ] ~docv:"HZ" ~doc:"Band start frequency.")
+  in
+  let hi_arg =
+    Arg.(
+      value & opt float 100e6
+      & info [ "to" ] ~docv:"HZ" ~doc:"Band end frequency.")
+  in
+  let points_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "points" ] ~docv:"N" ~doc:"Log-spaced grid points.")
+  in
+  Cmd.v
+    (Cmd.info "noise"
+       ~doc:"Output-referred noise analysis of the macro (adjoint method).")
+    Term.(const run $ macro_arg $ lo_arg $ hi_arg $ points_arg)
+
+(* -- context-backed commands ------------------------------------------ *)
+
+let iv_context ~fast =
+  prerr_endline "calibrating tolerance boxes...";
+  Experiments.Setup.iv ~profile:(profile_of fast) ()
+
+let progress ~done_ ~total ~fault_id =
+  Printf.eprintf "  [%2d/%2d] %s\n%!" done_ total fault_id
+
+let tps_cmd =
+  let run fast fault_id config_id impact grid =
+    let ctx = iv_context ~fast in
+    match
+      Faults.Dictionary.find ctx.Experiments.Setup.dictionary fault_id
+    with
+    | None ->
+        Printf.eprintf "unknown fault %S\n" fault_id;
+        1
+    | Some entry ->
+        let fault =
+          match impact with
+          | None -> entry.Faults.Dictionary.fault
+          | Some r -> Faults.Fault.with_impact entry.Faults.Dictionary.fault r
+        in
+        let ev = Experiments.Setup.evaluator ctx config_id in
+        let g = Tps.sweep ev fault ~grid () in
+        let arg, s = Tps.argmin g in
+        (match g.Tps.axes with
+        | [ (xn, xs); (yn, ys) ] ->
+            print_string
+              (Report.Heatmap.render ~x_axis:(xn, xs) ~y_axis:(yn, ys)
+                 ~values:(fun xi yi ->
+                   g.Tps.values.((xi * Array.length ys) + yi))
+                 ())
+        | [ (xn, xs) ] ->
+            print_string
+              (Report.Heatmap.render_1d ~x_axis:(xn, xs) ~values:g.Tps.values
+                 ~height:14)
+        | _ -> ());
+        Printf.printf "argmin: [%s]  S = %.4g  detected fraction %.2f\n"
+          (String.concat "; "
+             (Array.to_list (Array.map Circuit.Units.format_eng arg)))
+          s (Tps.detection_fraction g);
+        0
+  in
+  let fault_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"ID" ~doc:"Fault to sweep.")
+  in
+  let config_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "config" ] ~docv:"N" ~doc:"Test configuration id (1..5).")
+  in
+  let impact_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "impact" ] ~docv:"OHMS" ~doc:"Override the model resistance.")
+  in
+  let grid_arg =
+    Arg.(value & opt int 9 & info [ "grid" ] ~docv:"N" ~doc:"Grid per axis.")
+  in
+  Cmd.v
+    (Cmd.info "tps"
+       ~doc:"Render a test-parameter sensitivity graph (paper Figs. 2-4).")
+    Term.(const run $ fast_arg $ fault_arg $ config_arg $ impact_arg $ grid_arg)
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"FILE"
+        ~doc:"Save the generation results as a session file.")
+
+let load_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load" ] ~docv:"FILE"
+        ~doc:"Load generation results from a session file instead of \
+              regenerating.")
+
+let save_session path results =
+  match Session.save ~path results with
+  | Ok () ->
+      Printf.eprintf "session saved to %s\n" path;
+      0
+  | Error m ->
+      Printf.eprintf "cannot save session: %s\n" m;
+      1
+
+let run_or_load ctx ~load ~take =
+  match load with
+  | Some path -> begin
+      match Session.load ~path with
+      | Error m ->
+          Printf.eprintf "cannot load session: %s\n" m;
+          None
+      | Ok results ->
+          Some
+            {
+              Engine.results;
+              evaluators = ctx.Experiments.Setup.evaluators;
+              wall_seconds = 0.;
+              total_fault_simulations = 0;
+            }
+    end
+  | None ->
+      let ctx =
+        match take with
+        | Some n -> Experiments.Setup.reduced ctx ~n_faults:n
+        | None -> ctx
+      in
+      Some (Experiments.Runs.engine_run ~progress ctx)
+
+let generate_cmd =
+  let run fast fault_id take save =
+    let ctx = iv_context ~fast in
+    match fault_id with
+    | Some fid ->
+        print_string (Experiments.Runs.fig6 ~fault_id:fid ctx);
+        0
+    | None -> begin
+        match run_or_load ctx ~load:None ~take with
+        | None -> 1
+        | Some run_result ->
+            print_string (Experiments.Runs.tab2 ctx run_result);
+            (match save with
+            | Some path -> save_session path run_result.Engine.results
+            | None -> 0)
+      end
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"ID"
+          ~doc:"Generate (with full trace) for a single fault.")
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Run fault-specific test generation (paper sec. 3).")
+    Term.(const run $ fast_arg $ fault_arg $ take_arg $ save_arg)
+
+let compact_cmd =
+  let run fast take delta load save =
+    let ctx = iv_context ~fast in
+    match run_or_load ctx ~load ~take with
+    | None -> 1
+    | Some run_result ->
+        print_string (Experiments.Runs.tab2 ctx run_result);
+        print_newline ();
+        print_string (Experiments.Runs.tab4 ~delta ctx run_result);
+        (match save with
+        | Some path -> save_session path run_result.Engine.results
+        | None -> 0)
+  in
+  let delta_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "delta" ] ~docv:"D"
+          ~doc:"Acceptable sensitivity loss for collapsing (sec. 4.1).")
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Generate (or --load) and collapse the compact test set \
+             (paper sec. 4).")
+    Term.(const run $ fast_arg $ take_arg $ delta_arg $ load_arg $ save_arg)
+
+let baseline_cmd =
+  let run fast take =
+    let ctx = iv_context ~fast in
+    let ctx =
+      match take with
+      | Some n -> Experiments.Setup.reduced ctx ~n_faults:n
+      | None -> ctx
+    in
+    let run_result = Experiments.Runs.engine_run ~progress ctx in
+    print_string (Experiments.Runs.xbase ctx run_result);
+    0
+  in
+  Cmd.v
+    (Cmd.info "baseline"
+       ~doc:"Compare optimized generation against fixed-seed selection.")
+    Term.(const run $ fast_arg $ take_arg)
+
+let experiment_cmd =
+  let run fast which =
+    let ctx = iv_context ~fast in
+    let static_reports =
+      [
+        ("fig1", fun () -> Experiments.Runs.fig1 ());
+        ("tab1", fun () -> Experiments.Runs.tab1 ());
+        ("fig234", fun () -> Experiments.Runs.fig234 ctx);
+        ("fig5", fun () -> Experiments.Runs.fig5 ctx);
+        ("fig6", fun () -> Experiments.Runs.fig6 ctx);
+        ("fig7", fun () -> Experiments.Runs.fig7 ());
+      ]
+    in
+    match which with
+    | "all" ->
+        List.iter
+          (fun (_, report) ->
+            print_string report;
+            print_newline ())
+          (Experiments.Runs.all_reports ~progress ctx);
+        0
+    | id -> begin
+        match List.assoc_opt id static_reports with
+        | Some f ->
+            print_string (f ());
+            0
+        | None ->
+            if id = "xac" then begin
+              print_string (Experiments.Extensions.xac_report ());
+              0
+            end
+            else if
+              List.mem id [ "tab2"; "fig8"; "tab3"; "tab4"; "xbase"; "xifa"; "xeq" ]
+            then begin
+              let run_result = Experiments.Runs.engine_run ~progress ctx in
+              let report =
+                match id with
+                | "tab2" -> Experiments.Runs.tab2 ctx run_result
+                | "fig8" -> Experiments.Runs.fig8 ctx run_result
+                | "tab3" -> Experiments.Runs.tab3 ctx run_result
+                | "tab4" -> Experiments.Runs.tab4 ctx run_result
+                | "xifa" ->
+                    Experiments.Extensions.xifa_report ctx run_result
+                      (Experiments.Runs.compact_run ctx run_result)
+                | "xeq" -> Experiments.Extensions.xeq_report ctx run_result
+                | _ -> Experiments.Runs.xbase ctx run_result
+              in
+              print_string report;
+              0
+            end
+            else begin
+              Printf.eprintf
+                "unknown experiment %S (fig1 tab1 fig234 fig5 fig6 fig7 tab2 \
+                 fig8 tab3 tab4 xbase xac xifa xeq all)\n"
+                id;
+              1
+            end
+      end
+  in
+  let which_arg =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"ID" ~doc:"Experiment id or $(b,all).")
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Reproduce a specific paper table/figure (or all of them).")
+    Term.(const run $ fast_arg $ which_arg)
+
+let main_cmd =
+  let doc =
+    "structural test generation for analog macros (Kaal & Kerkhoff, 1997)"
+  in
+  Cmd.group
+    (Cmd.info "atpg" ~version:"1.0.0" ~doc)
+    [
+      netlist_cmd;
+      op_cmd;
+      simulate_cmd;
+      sweep_cmd;
+      noise_cmd;
+      faults_cmd;
+      tps_cmd;
+      generate_cmd;
+      compact_cmd;
+      baseline_cmd;
+      experiment_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

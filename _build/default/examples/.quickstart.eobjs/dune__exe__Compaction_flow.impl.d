@@ -1,0 +1,1 @@
+examples/compaction_flow.ml: Array Circuit Compactor Coverage Engine Experiments Faults Format Generate List Macros Printf String Testgen

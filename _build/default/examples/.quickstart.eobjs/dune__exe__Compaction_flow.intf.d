@@ -1,0 +1,1 @@
+examples/compaction_flow.mli:

@@ -1,0 +1,1 @@
+examples/custom_macro.ml: Array Circuit Experiments Faults Format Generate List Macros Printf String Test_config Test_param Testgen

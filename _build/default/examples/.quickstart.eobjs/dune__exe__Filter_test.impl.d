@@ -1,0 +1,1 @@
+examples/filter_test.ml: Array Circuit Experiments Faults Format Generate List Macros Printf Report String Test_config Test_param Testgen Tps

@@ -1,0 +1,1 @@
+examples/filter_test.mli:

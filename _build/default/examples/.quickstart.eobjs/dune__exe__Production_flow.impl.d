@@ -1,0 +1,1 @@
+examples/production_flow.ml: Compactor Coverage Engine Experiments Faults Filename List Macros Numerics Printf Quality Schedule Session Sys Testgen

@@ -1,0 +1,1 @@
+examples/production_flow.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Circuit Evaluator Execute Experiments Faults List Macros Printf Sensitivity Test_config Testgen Tolerance

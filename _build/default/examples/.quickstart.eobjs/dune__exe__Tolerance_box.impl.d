@@ -1,0 +1,1 @@
+examples/tolerance_box.ml: Array Execute Experiments Faults Float List Macros Numerics Printf Sensitivity Test_config Testgen Tolerance

@@ -1,0 +1,1 @@
+examples/tolerance_box.mli:

@@ -1,0 +1,1 @@
+examples/tps_explorer.ml: Array Circuit Experiments Faults List Printf Report Sys Testgen Tps

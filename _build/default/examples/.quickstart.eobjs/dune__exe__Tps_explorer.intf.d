@@ -1,0 +1,1 @@
+examples/tps_explorer.mli:

@@ -1,0 +1,71 @@
+(* End-to-end generation + compaction on a reduced dictionary: the whole
+   paper pipeline in miniature, fast enough to watch.
+
+   Run with:  dune exec examples/compaction_flow.exe *)
+
+open Testgen
+
+let () =
+  prerr_endline "calibrating tolerance boxes...";
+  (* DC configurations only: every step is a pair of operating points, so
+     the full flow finishes in seconds. *)
+  let ctx =
+    Experiments.Setup.create
+      ~macro:Macros.Iv_converter.macro
+      ~configs:[ Experiments.Iv_configs.config1; Experiments.Iv_configs.config2 ]
+      ()
+  in
+  let dictionary =
+    Faults.Dictionary.filter ctx.Experiments.Setup.dictionary (fun e ->
+        List.mem e.Faults.Dictionary.fault_id
+          [
+            "bridge:n1-vout"; "bridge:iin-n1"; "bridge:iin-vout";
+            "bridge:ntail-vout"; "bridge:nmir-vout"; "bridge:nbias-ntail";
+            "pinhole:m1"; "pinhole:m2"; "pinhole:m6"; "pinhole:m8";
+          ])
+  in
+  Format.printf "dictionary: %a@." Faults.Dictionary.pp_summary dictionary;
+
+  (* step 1+2: fault-specific generation with impact convergence *)
+  let run =
+    Engine.run
+      ~progress:(fun ~done_ ~total ~fault_id ->
+        Printf.printf "  [%2d/%2d] %s\n%!" done_ total fault_id)
+      ~evaluators:ctx.Experiments.Setup.evaluators dictionary
+  in
+  print_newline ();
+  List.iter
+    (fun r ->
+      match r.Generate.outcome with
+      | Generate.Unique { config_id; params; critical_impact; _ } ->
+          Printf.printf "  %-20s -> tc%d [%s]  detects down to %s\n"
+            r.Generate.fault_id config_id
+            (String.concat "; "
+               (Array.to_list (Array.map Circuit.Units.format_eng params)))
+            (Circuit.Units.format_eng ~unit_symbol:"Ohm" critical_impact)
+      | Generate.Undetectable { most_sensitive_config; _ } ->
+          Printf.printf "  %-20s -> undetectable (best: tc%d)\n"
+            r.Generate.fault_id most_sensitive_config)
+    run.Engine.results;
+
+  (* step 3: collapse the per-fault tests onto a compact set *)
+  let result =
+    Compactor.compact ~delta:0.1 ~evaluators:ctx.Experiments.Setup.evaluators
+      dictionary run
+  in
+  Printf.printf "\ncompacted %d fault-specific tests onto %d tests (%.1fx):\n"
+    result.Compactor.original_test_count
+    (List.length result.Compactor.compact_tests)
+    (Compactor.compaction_ratio result);
+  List.iter
+    (fun ct ->
+      Printf.printf "  %-8s tc%d [%s] <- {%s}\n" ct.Compactor.ct_label
+        ct.Compactor.ct_config_id
+        (String.concat "; "
+           (Array.to_list (Array.map Circuit.Units.format_eng ct.Compactor.ct_params)))
+        (String.concat ", " ct.Compactor.ct_fault_ids))
+    result.Compactor.compact_tests;
+  Printf.printf "\nfinal coverage at dictionary impacts: %d/%d (%.1f%%)\n"
+    result.Compactor.coverage.Coverage.covered
+    result.Compactor.coverage.Coverage.total
+    (Coverage.percent result.Compactor.coverage)

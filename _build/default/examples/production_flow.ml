@@ -1,0 +1,101 @@
+(* The production workflow end-to-end: generate once, persist the session,
+   then (as a separate consumer would) reload it, compact, schedule the
+   tests by likelihood-per-cost, and estimate shipped quality.
+
+   Run with:  dune exec examples/production_flow.exe *)
+
+open Testgen
+
+let () =
+  prerr_endline "calibrating tolerance boxes...";
+  let ctx =
+    Experiments.Setup.create
+      ~macro:Macros.Iv_converter.macro
+      ~configs:[ Experiments.Iv_configs.config1; Experiments.Iv_configs.config2 ]
+      ()
+  in
+  let dictionary =
+    Faults.Dictionary.filter ctx.Experiments.Setup.dictionary (fun e ->
+        List.mem e.Faults.Dictionary.fault_id
+          [
+            "bridge:n1-vout"; "bridge:iin-n1"; "bridge:iin-vout";
+            "bridge:nmir-vout"; "pinhole:m1"; "pinhole:m2"; "pinhole:m6";
+          ])
+  in
+
+  (* 1. generate and persist *)
+  let run =
+    Engine.run ~evaluators:ctx.Experiments.Setup.evaluators dictionary
+  in
+  let path = Filename.temp_file "atpg" ".session" in
+  (match Session.save ~path run.Engine.results with
+  | Ok () -> Printf.printf "session saved to %s\n" path
+  | Error m -> failwith m);
+
+  (* 2. a later consumer reloads it -- no regeneration *)
+  let results =
+    match Session.load ~path with Ok r -> r | Error m -> failwith m
+  in
+  Printf.printf "session reloaded: %d results\n\n" (List.length results);
+  let run =
+    {
+      Engine.results;
+      evaluators = ctx.Experiments.Setup.evaluators;
+      wall_seconds = 0.;
+      total_fault_simulations = 0;
+    }
+  in
+
+  (* 3. compact *)
+  let compaction =
+    Compactor.compact ~delta:0.1 ~evaluators:ctx.Experiments.Setup.evaluators
+      dictionary run
+  in
+  Printf.printf "compacted %d tests onto %d\n"
+    compaction.Compactor.original_test_count
+    (List.length compaction.Compactor.compact_tests);
+
+  (* 4. weight faults by structural likelihood and order the tests *)
+  let nl = Macros.Macro.nominal_netlist ctx.Experiments.Setup.macro in
+  let weighted = Faults.Ifa.weigh nl dictionary in
+  let weights =
+    List.map
+      (fun w -> (w.Faults.Ifa.entry.Faults.Dictionary.fault_id, w.Faults.Ifa.weight))
+      weighted
+  in
+  let detections =
+    List.map
+      (fun (d : Coverage.detection) ->
+        (d.Coverage.det_fault_id, d.Coverage.detected_by))
+      compaction.Compactor.coverage.Coverage.detections
+  in
+  let schedule =
+    Schedule.order ~cost_model:Schedule.default_cost_model
+      ~configs:ctx.Experiments.Setup.configs ~weights ~detections
+      compaction.Compactor.coverage.Coverage.tests
+  in
+  Printf.printf "\nproduction order (best likelihood-per-cost first):\n";
+  List.iteri
+    (fun i (t : Coverage.test) ->
+      Printf.printf "  %d. %s (%.2f%% cumulative weighted coverage)\n" (i + 1)
+        t.Coverage.test_label
+        (List.nth schedule.Schedule.cumulative_coverage i))
+    schedule.Schedule.order;
+  Printf.printf "expected tester time to first fail: %.2f ms\n"
+    (1e3 *. schedule.Schedule.expected_detection_cost);
+
+  (* 5. estimate shipped quality *)
+  let rng = Numerics.Rng.create 99L in
+  let fault_free =
+    List.map
+      (Experiments.Setup.target_of_macro ctx.Experiments.Setup.macro)
+      (Macros.Process.monte_carlo rng ~n:40)
+  in
+  let quality =
+    Quality.estimate ~evaluators:ctx.Experiments.Setup.evaluators
+      ~tests:compaction.Compactor.coverage.Coverage.tests ~fault_free
+      ~dictionary ~weights ()
+  in
+  print_newline ();
+  print_string (Quality.report quality);
+  Sys.remove path

@@ -1,0 +1,1 @@
+lib/circuit/ac.ml: Array Cmat Complex Device Float Hashtbl List Mna Mos_model Netlist Numerics Option

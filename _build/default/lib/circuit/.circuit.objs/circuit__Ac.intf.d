@@ -1,0 +1,1 @@
+lib/circuit/ac.mli: Complex Mna Numerics

@@ -1,0 +1,1 @@
+lib/circuit/dc.ml: Array Float List Mat Mna Netlist Numerics Printf Vec

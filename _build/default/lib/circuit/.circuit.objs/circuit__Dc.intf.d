@@ -1,0 +1,1 @@
+lib/circuit/dc.mli: Hashtbl Mna Numerics

@@ -1,0 +1,1 @@
+lib/circuit/device.ml: Format List Mos_model Printf String Units Waveform

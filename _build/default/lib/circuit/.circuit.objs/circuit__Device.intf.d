@@ -1,0 +1,1 @@
+lib/circuit/device.mli: Mos_model Waveform

@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Array Device Hashtbl List Mat Mos_model Netlist Numerics Vec Waveform

@@ -1,0 +1,1 @@
+lib/circuit/mna.mli: Hashtbl Mos_model Netlist Numerics

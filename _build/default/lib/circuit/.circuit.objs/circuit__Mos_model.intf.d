@@ -1,0 +1,1 @@
+lib/circuit/mos_model.mli:

@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Buffer Device Hashtbl List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/circuit/noise.ml: Ac Array Cmat Complex Device Float List Mna Mos_model Netlist Numerics Option

@@ -1,0 +1,1 @@
+lib/circuit/noise.mli: Mna Numerics

@@ -1,0 +1,1 @@
+lib/circuit/spice_parser.ml: Buffer Char Device Hashtbl List Mos_model Netlist Printf String Units Waveform

@@ -1,0 +1,1 @@
+lib/circuit/sweep.ml: Array Dc Device Float List Mna Netlist Printf Waveform

@@ -1,0 +1,1 @@
+lib/circuit/sweep.mli: Dc Netlist

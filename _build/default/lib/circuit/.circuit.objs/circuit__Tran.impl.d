@@ -1,0 +1,1 @@
+lib/circuit/tran.ml: Array Dc Device Float Hashtbl Int List Mna Netlist Option String

@@ -1,0 +1,1 @@
+lib/circuit/tran.mli: Dc Mna

@@ -1,0 +1,1 @@
+lib/circuit/units.ml: Float Option Printf String

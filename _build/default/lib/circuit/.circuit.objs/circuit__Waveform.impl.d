@@ -1,0 +1,1 @@
+lib/circuit/waveform.ml: Float Format List Units

@@ -1,0 +1,1 @@
+lib/circuit/waveform.mli: Format

@@ -1,0 +1,132 @@
+open Numerics
+
+type point = { freq_hz : float; value : Complex.t }
+
+let gain_db h = 20. *. (log10 (Float.max 1e-300 (Complex.norm h)))
+
+let phase_deg h = Complex.arg h *. 180. /. Float.pi
+
+let log_space ~lo ~hi ~points =
+  if lo <= 0. || hi <= lo then invalid_arg "Ac.log_space: need 0 < lo < hi";
+  if points < 2 then invalid_arg "Ac.log_space: points < 2";
+  let llo = log10 lo and lhi = log10 hi in
+  Array.init points (fun i ->
+      let f = float_of_int i /. float_of_int (points - 1) in
+      10. ** (llo +. (f *. (lhi -. llo))))
+
+let re x = { Complex.re = x; im = 0. }
+
+(* branch-current indexes mirror Mna's assignment *)
+let branch_table sys =
+  let tbl = Hashtbl.create 8 in
+  let next = ref (Mna.n_nodes sys) in
+  List.iter
+    (fun d ->
+      if Device.has_branch_current d then begin
+        Hashtbl.replace tbl (Device.name d) !next;
+        incr next
+      end)
+    (Netlist.devices (Mna.netlist sys));
+  tbl
+
+let node_idx sys n =
+  if Device.is_ground n then -1 else Option.get (Mna.node_index sys n)
+
+(* the small-signal system matrix at one frequency, sources nulled *)
+let assemble ?(gmin = 1e-12) sys ~op ~freq_hz ~branch_tbl =
+  let w = 2. *. Float.pi *. freq_hz in
+  let size = Mna.size sys in
+  let a = Cmat.create size size in
+  for i = 0 to Mna.n_nodes sys - 1 do
+    Cmat.add_to a i i (re gmin)
+  done;
+  let mos_params = Mna.mosfet_operating_points sys ~x:op in
+  let idx = node_idx sys in
+  let stamp i j v = if i >= 0 && j >= 0 then Cmat.add_to a i j v in
+  let stamp_adm i j y =
+    stamp i i y;
+    stamp j j y;
+    stamp i j (Complex.neg y);
+    stamp j i (Complex.neg y)
+  in
+  List.iter
+    (fun d ->
+      match d with
+      | Device.Resistor { a = na; b = nb; ohms; _ } ->
+          stamp_adm (idx na) (idx nb) (re (1. /. ohms))
+      | Device.Capacitor { a = na; b = nb; farads; _ } ->
+          stamp_adm (idx na) (idx nb) { Complex.re = 0.; im = w *. farads }
+      | Device.Inductor { name; a = na; b = nb; henries } ->
+          let i = idx na and j = idx nb in
+          let br = Hashtbl.find branch_tbl name in
+          stamp i br Complex.one;
+          stamp j br (Complex.neg Complex.one);
+          stamp br i Complex.one;
+          stamp br j (Complex.neg Complex.one);
+          Cmat.add_to a br br
+            (Complex.neg { Complex.re = 0.; im = w *. henries })
+      | Device.Vsource { name; plus; minus; _ } ->
+          let i = idx plus and j = idx minus in
+          let br = Hashtbl.find branch_tbl name in
+          stamp i br Complex.one;
+          stamp j br (Complex.neg Complex.one);
+          stamp br i Complex.one;
+          stamp br j (Complex.neg Complex.one)
+      | Device.Isource _ -> ()
+      | Device.Vcvs { name; plus; minus; ctrl_plus; ctrl_minus; gain } ->
+          let i = idx plus and j = idx minus in
+          let cp = idx ctrl_plus and cn = idx ctrl_minus in
+          let br = Hashtbl.find branch_tbl name in
+          stamp i br Complex.one;
+          stamp j br (Complex.neg Complex.one);
+          stamp br i Complex.one;
+          stamp br j (Complex.neg Complex.one);
+          stamp br cp (re (-.gain));
+          stamp br cn (re gain)
+      | Device.Vccs { plus; minus; ctrl_plus; ctrl_minus; gm; _ } ->
+          let i = idx plus and j = idx minus in
+          let cp = idx ctrl_plus and cn = idx ctrl_minus in
+          stamp i cp (re gm);
+          stamp i cn (re (-.gm));
+          stamp j cp (re (-.gm));
+          stamp j cn (re gm)
+      | Device.Mosfet { name; drain; gate; source = src; _ } ->
+          let mos = List.assoc name mos_params in
+          let di = idx drain and gi = idx gate and si = idx src in
+          stamp di gi (re mos.Mos_model.d_gate);
+          stamp di di (re mos.Mos_model.d_drain);
+          stamp di si (re mos.Mos_model.d_source);
+          stamp si gi (re (-.mos.Mos_model.d_gate));
+          stamp si di (re (-.mos.Mos_model.d_drain));
+          stamp si si (re (-.mos.Mos_model.d_source)))
+    (Netlist.devices (Mna.netlist sys));
+  a
+
+let system_matrix ?gmin sys ~op ~freq_hz =
+  assemble ?gmin sys ~op ~freq_hz ~branch_tbl:(branch_table sys)
+
+let sweep ?(gmin = 1e-12) sys ~op ~source ~freqs ~observe =
+  let nl = Mna.netlist sys in
+  if not (Netlist.mem nl source) then raise Not_found;
+  let obs_index = Mna.node_index sys observe in
+  let branch_tbl = branch_table sys in
+  let solve_at freq =
+    let a = assemble ~gmin sys ~op ~freq_hz:freq ~branch_tbl in
+    let z = Array.make (Mna.size sys) Complex.zero in
+    (match Netlist.find nl source with
+    | Some (Device.Vsource { name; _ }) ->
+        let br = Hashtbl.find branch_tbl name in
+        z.(br) <- Complex.one
+    | Some (Device.Isource { from_node; to_node; _ }) ->
+        let inject n v =
+          let i = node_idx sys n in
+          if i >= 0 then z.(i) <- Complex.add z.(i) v
+        in
+        inject from_node (re (-1.));
+        inject to_node Complex.one
+    | Some _ | None -> raise Not_found);
+    let x = Cmat.solve a z in
+    match obs_index with None -> Complex.zero | Some i -> x.(i)
+  in
+  Array.to_list freqs
+  |> List.map (fun f -> { freq_hz = f; value = solve_at f })

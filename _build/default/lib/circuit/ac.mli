@@ -1,0 +1,41 @@
+(** Small-signal AC analysis.
+
+    Linearizes every MOSFET at a previously computed DC operating point,
+    replaces capacitors by [jwC] admittances and inductors by [jwL]
+    branch impedances, applies a unit AC excitation to one chosen
+    independent source (all other independent sources are nulled:
+    voltage sources become shorts, current sources opens), and solves the
+    complex MNA system per frequency. *)
+
+type point = {
+  freq_hz : float;
+  value : Complex.t;  (** observed node phasor for a unit excitation *)
+}
+
+val gain_db : Complex.t -> float
+(** [20 log10 |h|]. *)
+
+val phase_deg : Complex.t -> float
+
+val system_matrix :
+  ?gmin:float -> Mna.t -> op:Numerics.Vec.t -> freq_hz:float ->
+  Numerics.Cmat.t
+(** The small-signal complex MNA matrix at one frequency with every
+    independent source nulled — the left-hand side shared by {!sweep}
+    and the adjoint noise analysis ({!Noise}). *)
+
+val sweep :
+  ?gmin:float ->
+  Mna.t ->
+  op:Numerics.Vec.t ->
+  source:string ->
+  freqs:float array ->
+  observe:string ->
+  point list
+(** Transfer from the named V or I source to the observed node voltage.
+    @raise Not_found if [source] names no independent source or [observe]
+    is not a node of the circuit. *)
+
+val log_space : lo:float -> hi:float -> points:int -> float array
+(** Logarithmically spaced frequency grid, inclusive of both endpoints.
+    @raise Invalid_argument unless [0 < lo < hi] and [points >= 2]. *)

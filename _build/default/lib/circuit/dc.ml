@@ -1,0 +1,136 @@
+open Numerics
+
+exception No_convergence of string
+
+type options = {
+  abstol : float;
+  reltol : float;
+  max_newton : int;
+  gmin : float;
+  vlimit : float;
+}
+
+let default_options =
+  { abstol = 1e-9; reltol = 1e-6; max_newton = 150; gmin = 1e-12; vlimit = 0.6 }
+
+type report = {
+  solution : Vec.t;
+  newton_iterations : int;
+  gmin_steps : int;
+  source_steps : int;
+}
+
+(* One Newton attempt at fixed gmin and source scale.  Returns the
+   solution and iteration count, or None on failure. *)
+let newton ~options ~companions ~source_scale ~gmin sys ~time ~start =
+  let n_nodes = Mna.n_nodes sys in
+  let x = ref (Vec.copy start) in
+  let converged = ref false in
+  let iters = ref 0 in
+  (try
+     while (not !converged) && !iters < options.max_newton do
+       incr iters;
+       let a, z =
+         Mna.assemble sys ~x:!x ~time ?companions ~source_scale ~gmin ()
+       in
+       let x_new = Mat.solve a z in
+       (* damping: bound the node-voltage update *)
+       let dv_max = ref 0. in
+       for i = 0 to n_nodes - 1 do
+         dv_max := Float.max !dv_max (Float.abs (x_new.(i) -. !x.(i)))
+       done;
+       let alpha =
+         if !dv_max > options.vlimit then options.vlimit /. !dv_max else 1.
+       in
+       let x_next =
+         Vec.init (Vec.dim x_new) (fun i ->
+             !x.(i) +. (alpha *. (x_new.(i) -. !x.(i))))
+       in
+       if alpha = 1. then begin
+         (* convergence is judged on node voltages of a full step *)
+         let ok = ref true in
+         for i = 0 to n_nodes - 1 do
+           let dx = Float.abs (x_next.(i) -. !x.(i)) in
+           if dx > options.abstol +. (options.reltol *. Float.abs x_next.(i))
+           then ok := false
+         done;
+         converged := !ok
+       end;
+       x := x_next
+     done
+   with Mat.Singular _ -> converged := false);
+  if !converged then Some (!x, !iters) else None
+
+let solve ?(options = default_options) ?guess ?companions ?(source_scale = 1.)
+    sys ~time =
+  let start =
+    match guess with
+    | Some g ->
+        if Vec.dim g <> Mna.size sys then
+          invalid_arg "Dc.solve: guess has wrong dimension";
+        g
+    | None -> Vec.create (Mna.size sys) 0.
+  in
+  let attempt ~gmin ~scale ~start =
+    newton ~options ~companions ~source_scale:(scale *. source_scale) ~gmin sys
+      ~time ~start
+  in
+  match attempt ~gmin:options.gmin ~scale:1. ~start with
+  | Some (x, it) ->
+      { solution = x; newton_iterations = it; gmin_steps = 0; source_steps = 0 }
+  | None -> begin
+      (* gmin stepping: relax then tighten *)
+      let gmins = [ 1e-2; 1e-3; 1e-4; 1e-5; 1e-6; 1e-8; 1e-10; options.gmin ] in
+      let rec gmin_walk x_opt steps = function
+        | [] -> (x_opt, steps)
+        | g :: rest -> begin
+            let start =
+              match x_opt with Some (x, _) -> x | None -> start
+            in
+            match attempt ~gmin:g ~scale:1. ~start with
+            | Some (x, it) -> gmin_walk (Some (x, it)) (steps + 1) rest
+            | None -> (None, steps)  (* chain broken: give up on this path *)
+          end
+      in
+      match gmin_walk None 0 gmins with
+      | Some (x, it), steps ->
+          {
+            solution = x;
+            newton_iterations = it;
+            gmin_steps = steps;
+            source_steps = 0;
+          }
+      | None, _ -> begin
+          (* source stepping at final gmin *)
+          let scales = [ 0.; 0.1; 0.2; 0.35; 0.5; 0.65; 0.8; 0.9; 1. ] in
+          let rec src_walk x_opt steps = function
+            | [] -> (x_opt, steps)
+            | s :: rest -> begin
+                let start =
+                  match x_opt with Some (x, _) -> x | None -> start
+                in
+                match attempt ~gmin:options.gmin ~scale:s ~start with
+                | Some (x, it) -> src_walk (Some (x, it)) (steps + 1) rest
+                | None -> (None, steps)
+              end
+          in
+          match src_walk None 0 scales with
+          | Some (x, it), steps ->
+              {
+                solution = x;
+                newton_iterations = it;
+                gmin_steps = List.length gmins;
+                source_steps = steps;
+              }
+          | None, _ ->
+              raise
+                (No_convergence
+                   (Printf.sprintf
+                      "DC analysis of %S failed (newton, gmin stepping and \
+                       source stepping all diverged)"
+                      (Netlist.title (Mna.netlist sys))))
+        end
+    end
+
+let operating_point ?options ?guess sys ~time =
+  (solve ?options ?guess sys ~time).solution

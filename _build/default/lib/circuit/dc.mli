@@ -1,0 +1,45 @@
+(** DC operating-point computation.
+
+    Damped Newton–Raphson on the MNA system, with gmin stepping and
+    source stepping as homotopy fallbacks — the standard SPICE recipe,
+    which is robust enough to absorb the worst fault-injected circuits
+    (e.g. a low-ohmic bridge across the supply). *)
+
+exception No_convergence of string
+
+type options = {
+  abstol : float;  (** absolute node-voltage tolerance (V), default 1e-9 *)
+  reltol : float;  (** relative tolerance, default 1e-6 *)
+  max_newton : int;  (** iterations per Newton attempt, default 150 *)
+  gmin : float;  (** final diagonal conductance, default 1e-12 *)
+  vlimit : float;  (** max node-voltage update per damped step, default 0.6 V *)
+}
+
+val default_options : options
+
+type report = {
+  solution : Numerics.Vec.t;
+  newton_iterations : int;  (** iterations of the successful attempt *)
+  gmin_steps : int;  (** gmin-stepping stages used (0 = direct success) *)
+  source_steps : int;  (** source-stepping stages used *)
+}
+
+val solve :
+  ?options:options ->
+  ?guess:Numerics.Vec.t ->
+  ?companions:(string, Mna.companion) Hashtbl.t ->
+  ?source_scale:float ->
+  Mna.t ->
+  time:Mna.source_time ->
+  report
+(** Compute the operating point with sources evaluated at [time].
+    [companions] and [source_scale] are threaded through to
+    {!Mna.assemble} so the transient integrator can reuse this solver for
+    its per-step nonlinear systems.
+    @raise No_convergence when Newton, gmin stepping and source stepping
+    all fail. *)
+
+val operating_point :
+  ?options:options -> ?guess:Numerics.Vec.t -> Mna.t ->
+  time:Mna.source_time -> Numerics.Vec.t
+(** Convenience wrapper returning only the solution vector. *)

@@ -1,0 +1,192 @@
+open Numerics
+
+type t = {
+  netlist : Netlist.t;
+  node_tbl : (string, int) Hashtbl.t;  (* non-ground nodes -> 0..n-1 *)
+  branch_tbl : (string, int) Hashtbl.t;  (* device name -> absolute index *)
+  n_nodes : int;
+  size : int;
+  device_array : Device.t array;
+}
+
+let build nl =
+  (match Netlist.connectivity_check nl with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Mna.build: " ^ e));
+  let node_tbl = Hashtbl.create 32 in
+  List.iteri (fun i n -> Hashtbl.replace node_tbl n i) (Netlist.nodes nl);
+  let n_nodes = Hashtbl.length node_tbl in
+  let branch_tbl = Hashtbl.create 8 in
+  let next = ref n_nodes in
+  List.iter
+    (fun d ->
+      if Device.has_branch_current d then begin
+        Hashtbl.replace branch_tbl (Device.name d) !next;
+        incr next
+      end)
+    (Netlist.devices nl);
+  {
+    netlist = nl;
+    node_tbl;
+    branch_tbl;
+    n_nodes;
+    size = !next;
+    device_array = Array.of_list (Netlist.devices nl);
+  }
+
+let netlist t = t.netlist
+let n_nodes t = t.n_nodes
+let size t = t.size
+
+let node_index t n =
+  if Device.is_ground n then None
+  else
+    match Hashtbl.find_opt t.node_tbl n with
+    | Some i -> Some i
+    | None -> raise Not_found
+
+let voltage t x n =
+  match node_index t n with None -> 0. | Some i -> x.(i)
+
+let branch_current t x name =
+  match Hashtbl.find_opt t.branch_tbl name with
+  | Some i -> x.(i)
+  | None -> raise Not_found
+
+type companion =
+  | Cap_companion of { geq : float; ieq : float }
+  | Ind_companion of { req : float; veq : float }
+
+type source_time = [ `Dc | `Time of float ]
+
+let wave_value time w =
+  match time with
+  | `Dc -> Waveform.dc_value w
+  | `Time t -> Waveform.value w t
+
+(* index helpers: -1 encodes ground *)
+let idx t n =
+  if Device.is_ground n then -1
+  else
+    match Hashtbl.find_opt t.node_tbl n with
+    | Some i -> i
+    | None -> raise Not_found
+
+let stamp a i j v = if i >= 0 && j >= 0 then Mat.add_to a i j v
+let inject z i v = if i >= 0 then z.(i) <- z.(i) +. v
+
+let stamp_conductance a i j g =
+  stamp a i i g;
+  stamp a j j g;
+  stamp a i j (-.g);
+  stamp a j i (-.g)
+
+let volt x i = if i < 0 then 0. else x.(i)
+
+let assemble t ~x ~time ?companions ?(source_scale = 1.) ~gmin () =
+  if Vec.dim x <> t.size then invalid_arg "Mna.assemble: bad iterate size";
+  let a = Mat.create t.size t.size in
+  let z = Vec.create t.size 0. in
+  for i = 0 to t.n_nodes - 1 do
+    Mat.add_to a i i gmin
+  done;
+  let companion_of name =
+    match companions with
+    | None -> None
+    | Some tbl -> Hashtbl.find_opt tbl name
+  in
+  Array.iter
+    (fun d ->
+      match d with
+      | Device.Resistor { a = na; b = nb; ohms; _ } ->
+          stamp_conductance a (idx t na) (idx t nb) (1. /. ohms)
+      | Device.Capacitor { name; a = na; b = nb; _ } -> begin
+          match companion_of name with
+          | Some (Cap_companion { geq; ieq }) ->
+              let i = idx t na and j = idx t nb in
+              stamp_conductance a i j geq;
+              inject z i ieq;
+              inject z j (-.ieq)
+          | Some (Ind_companion _) ->
+              invalid_arg "Mna.assemble: inductor companion on a capacitor"
+          | None -> ()  (* open in DC *)
+        end
+      | Device.Inductor { name; a = na; b = nb; _ } -> begin
+          let i = idx t na and j = idx t nb in
+          let br = Hashtbl.find t.branch_tbl name in
+          (* branch current contribution to KCL *)
+          stamp a i br 1.;
+          stamp a j br (-1.);
+          (* branch equation: va - vb - req*i = veq (req = 0 in DC) *)
+          stamp a br i 1.;
+          stamp a br j (-1.);
+          match companion_of name with
+          | Some (Ind_companion { req; veq }) ->
+              Mat.add_to a br br (-.req);
+              z.(br) <- z.(br) +. veq
+          | Some (Cap_companion _) ->
+              invalid_arg "Mna.assemble: capacitor companion on an inductor"
+          | None -> ()
+        end
+      | Device.Vsource { name; plus; minus; wave } ->
+          let i = idx t plus and j = idx t minus in
+          let br = Hashtbl.find t.branch_tbl name in
+          stamp a i br 1.;
+          stamp a j br (-1.);
+          stamp a br i 1.;
+          stamp a br j (-1.);
+          z.(br) <- z.(br) +. (source_scale *. wave_value time wave)
+      | Device.Isource { from_node; to_node; wave; _ } ->
+          let i = idx t from_node and j = idx t to_node in
+          let value = source_scale *. wave_value time wave in
+          inject z i (-.value);
+          inject z j value
+      | Device.Vcvs { name; plus; minus; ctrl_plus; ctrl_minus; gain } ->
+          let i = idx t plus and j = idx t minus in
+          let cp = idx t ctrl_plus and cn = idx t ctrl_minus in
+          let br = Hashtbl.find t.branch_tbl name in
+          stamp a i br 1.;
+          stamp a j br (-1.);
+          stamp a br i 1.;
+          stamp a br j (-1.);
+          stamp a br cp (-.gain);
+          stamp a br cn gain
+      | Device.Vccs { plus; minus; ctrl_plus; ctrl_minus; gm; _ } ->
+          let i = idx t plus and j = idx t minus in
+          let cp = idx t ctrl_plus and cn = idx t ctrl_minus in
+          stamp a i cp gm;
+          stamp a i cn (-.gm);
+          stamp a j cp (-.gm);
+          stamp a j cn gm
+      | Device.Mosfet { drain; gate; source; model; w; l; _ } ->
+          let di = idx t drain and gi = idx t gate and si = idx t source in
+          let vd = volt x di and vg = volt x gi and vs = volt x si in
+          let op = Mos_model.eval model ~w ~l ~vg ~vd ~vs in
+          (* Newton companion: ids ~ i0 + dG*vg + dD*vd + dS*vs *)
+          let i0 =
+            op.ids -. (op.d_gate *. vg) -. (op.d_drain *. vd)
+            -. (op.d_source *. vs)
+          in
+          stamp a di gi op.d_gate;
+          stamp a di di op.d_drain;
+          stamp a di si op.d_source;
+          stamp a si gi (-.op.d_gate);
+          stamp a si di (-.op.d_drain);
+          stamp a si si (-.op.d_source);
+          inject z di (-.i0);
+          inject z si i0)
+    t.device_array;
+  (a, z)
+
+let mosfet_operating_points t ~x =
+  Array.to_list t.device_array
+  |> List.filter_map (fun d ->
+         match d with
+         | Device.Mosfet { name; drain; gate; source; model; w; l } ->
+             let vd = volt x (idx t drain)
+             and vg = volt x (idx t gate)
+             and vs = volt x (idx t source) in
+             Some (name, Mos_model.eval model ~w ~l ~vg ~vd ~vs)
+         | Device.Resistor _ | Device.Capacitor _ | Device.Inductor _
+         | Device.Vsource _ | Device.Isource _ | Device.Vcvs _
+         | Device.Vccs _ -> None)

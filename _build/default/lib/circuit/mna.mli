@@ -1,0 +1,61 @@
+(** Modified nodal analysis: unknown ordering and system assembly.
+
+    The unknown vector [x] is the non-ground node voltages followed by one
+    branch current per voltage source, VCVS and inductor.  {!assemble}
+    produces the linearized system [A x = z] at a given iterate — for
+    linear elements this is the exact system; for MOSFETs it is the
+    Newton companion linearization, so a fixed point of
+    [x = solve (assemble x)] is an exact operating point. *)
+
+type t
+
+val build : Netlist.t -> t
+(** Index the netlist.  @raise Invalid_argument if the netlist fails
+    {!Netlist.connectivity_check}. *)
+
+val netlist : t -> Netlist.t
+val n_nodes : t -> int
+val size : t -> int
+(** Total unknown count (nodes + branches). *)
+
+val node_index : t -> string -> int option
+(** [None] for ground.  @raise Not_found for an unknown node name. *)
+
+val voltage : t -> Numerics.Vec.t -> string -> float
+(** Voltage of a node in a solution vector; [0.] for ground.
+    @raise Not_found for an unknown node name. *)
+
+val branch_current : t -> Numerics.Vec.t -> string -> float
+(** Branch current of a voltage source / VCVS / inductor by device name.
+    @raise Not_found if the device has no branch unknown. *)
+
+type companion =
+  | Cap_companion of { geq : float; ieq : float }
+      (** capacitor replaced by [geq] in parallel with a current source:
+          device current (a to b) equals [geq*(va - vb) - ieq] *)
+  | Ind_companion of { req : float; veq : float }
+      (** inductor branch equation becomes [va - vb - req*i = veq] *)
+
+type source_time = [ `Dc | `Time of float ]
+(** [`Dc] evaluates waveforms with {!Waveform.dc_value}; [`Time t] with
+    {!Waveform.value}. *)
+
+val assemble :
+  t ->
+  x:Numerics.Vec.t ->
+  time:source_time ->
+  ?companions:(string, companion) Hashtbl.t ->
+  ?source_scale:float ->
+  gmin:float ->
+  unit ->
+  Numerics.Mat.t * Numerics.Vec.t
+(** Build the linearized MNA system at iterate [x].  [gmin] is added from
+    every node to ground.  [source_scale] (default 1) multiplies all
+    independent source values — the knob used by source stepping.
+    Without [companions], capacitors are open and inductors are shorts
+    (DC treatment). *)
+
+val mosfet_operating_points :
+  t -> x:Numerics.Vec.t -> (string * Mos_model.operating_point) list
+(** Per-MOSFET bias details at a solution — used by AC analysis and by
+    diagnostics. *)

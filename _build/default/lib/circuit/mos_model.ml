@@ -1,0 +1,92 @@
+type polarity = Nmos | Pmos
+
+type t = {
+  model_name : string;
+  polarity : polarity;
+  vt0 : float;
+  kp : float;
+  lambda : float;
+}
+
+let nmos_default =
+  { model_name = "nmos1"; polarity = Nmos; vt0 = 0.7; kp = 120e-6; lambda = 0.05 }
+
+let pmos_default =
+  { model_name = "pmos1"; polarity = Pmos; vt0 = -0.8; kp = 40e-6; lambda = 0.08 }
+
+let with_variation m ~dvt0 ~dkp ~dlambda =
+  {
+    m with
+    vt0 = m.vt0 *. (1. +. dvt0);
+    kp = m.kp *. (1. +. dkp);
+    lambda = m.lambda *. (1. +. dlambda);
+  }
+
+type operating_point = {
+  ids : float;
+  d_gate : float;
+  d_drain : float;
+  d_source : float;
+  region : [ `Cutoff | `Triode | `Saturation ];
+}
+
+(* NMOS square law in the normal frame: vds >= 0.
+   Returns (id, d id/d vgs, d id/d vds, region). *)
+let nmos_normal ~beta ~vt ~lambda ~vgs ~vds =
+  let vgst = vgs -. vt in
+  if vgst <= 0. then (0., 0., 0., `Cutoff)
+  else begin
+    let clm = 1. +. (lambda *. vds) in
+    if vds < vgst then begin
+      (* triode *)
+      let core = (vgst *. vds) -. (0.5 *. vds *. vds) in
+      let id = beta *. core *. clm in
+      let gm = beta *. vds *. clm in
+      let gds = beta *. (((vgst -. vds) *. clm) +. (core *. lambda)) in
+      (id, gm, gds, `Triode)
+    end
+    else begin
+      let core = 0.5 *. vgst *. vgst in
+      let id = beta *. core *. clm in
+      let gm = beta *. vgst *. clm in
+      let gds = beta *. core *. lambda in
+      (id, gm, gds, `Saturation)
+    end
+  end
+
+(* NMOS channel current from pin D to pin S at absolute voltages,
+   handling drain/source inversion.  Returns current and its partials
+   with respect to (vg, vd, vs). *)
+let nmos_channel ~beta ~vt ~lambda ~vg ~vd ~vs =
+  if vd >= vs then begin
+    let id, gm, gds, region =
+      nmos_normal ~beta ~vt ~lambda ~vgs:(vg -. vs) ~vds:(vd -. vs)
+    in
+    (id, gm, gds, -.gm -. gds, region)
+  end
+  else begin
+    (* inverted: physical source is the D pin *)
+    let id, gm, gds, region =
+      nmos_normal ~beta ~vt ~lambda ~vgs:(vg -. vd) ~vds:(vs -. vd)
+    in
+    (* current from pin D to pin S is -id; partials by the chain rule *)
+    (-.id, -.gm, gm +. gds, -.gds, region)
+  end
+
+let eval m ~w ~l ~vg ~vd ~vs =
+  if w <= 0. || l <= 0. then invalid_arg "Mos_model.eval: w, l must be > 0";
+  let beta = m.kp *. w /. l in
+  match m.polarity with
+  | Nmos ->
+      let ids, d_gate, d_drain, d_source, region =
+        nmos_channel ~beta ~vt:m.vt0 ~lambda:m.lambda ~vg ~vd ~vs
+      in
+      { ids; d_gate; d_drain; d_source; region }
+  | Pmos ->
+      (* mirror: I_p(vg, vd, vs) = -I_n(-vg, -vd, -vs) with vt_n = -vt0.
+         The partials keep their sign through the double negation. *)
+      let ids_n, dg, dd, ds, region =
+        nmos_channel ~beta ~vt:(-.m.vt0) ~lambda:m.lambda ~vg:(-.vg)
+          ~vd:(-.vd) ~vs:(-.vs)
+      in
+      { ids = -.ids_n; d_gate = dg; d_drain = dd; d_source = ds; region }

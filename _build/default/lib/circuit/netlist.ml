@@ -1,0 +1,102 @@
+module Smap = Map.Make (String)
+
+type t = {
+  title : string;
+  devices : Device.t list;  (* reversed insertion order *)
+  by_name : Device.t Smap.t;
+}
+
+let empty ~title = { title; devices = []; by_name = Smap.empty }
+
+let title t = t.title
+
+let add t d =
+  let n = Device.name d in
+  if Smap.mem n t.by_name then
+    invalid_arg (Printf.sprintf "Netlist.add: duplicate device %S" n);
+  (match Device.validate d with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Netlist.add: " ^ e));
+  { t with devices = d :: t.devices; by_name = Smap.add n d t.by_name }
+
+let add_all t ds = List.fold_left add t ds
+
+let devices t = List.rev t.devices
+
+let device_count t = List.length t.devices
+
+let find t n = Smap.find_opt n t.by_name
+
+let mem t n = Smap.mem n t.by_name
+
+let remove t n =
+  if not (Smap.mem n t.by_name) then raise Not_found;
+  {
+    t with
+    devices = List.filter (fun d -> not (String.equal (Device.name d) n)) t.devices;
+    by_name = Smap.remove n t.by_name;
+  }
+
+let replace t n ds = add_all (remove t n) ds
+
+let nodes t =
+  List.concat_map Device.nodes (devices t)
+  |> List.filter (fun n -> not (Device.is_ground n))
+  |> List.sort_uniq String.compare
+
+let all_nodes t =
+  let has_ground =
+    List.exists
+      (fun d -> List.exists Device.is_ground (Device.nodes d))
+      t.devices
+  in
+  if has_ground then "0" :: nodes t else nodes t
+
+let fresh_name used ~prefix =
+  let rec go i =
+    let candidate = Printf.sprintf "%s%d" prefix i in
+    if used candidate then go (i + 1) else candidate
+  in
+  go 1
+
+let fresh_node t ~prefix =
+  let node_set = all_nodes t in
+  fresh_name (fun c -> List.exists (String.equal c) node_set) ~prefix
+
+let fresh_device_name t ~prefix = fresh_name (fun c -> mem t c) ~prefix
+
+let to_spice t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b ("* " ^ t.title ^ "\n");
+  List.iter
+    (fun d ->
+      Buffer.add_string b (Device.to_spice d);
+      Buffer.add_char b '\n')
+    (devices t);
+  Buffer.add_string b ".end\n";
+  Buffer.contents b
+
+let connectivity_check t =
+  let tally = Hashtbl.create 16 in
+  let ground_seen = ref false in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun n ->
+          if Device.is_ground n then ground_seen := true
+          else
+            Hashtbl.replace tally n
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tally n)))
+        (Device.nodes d))
+    t.devices;
+  if not !ground_seen then Error "netlist has no ground reference"
+  else
+    Hashtbl.fold
+      (fun n count acc ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+            if count < 2 then
+              Error (Printf.sprintf "node %S is connected to only one device" n)
+            else acc)
+      tally (Ok ())

@@ -1,0 +1,56 @@
+(** Immutable netlists.
+
+    A netlist is an ordered collection of uniquely named devices.  Fault
+    injection works by *transforming* netlists (adding a bridge resistor,
+    splitting a MOSFET for the pinhole model), so all operations are
+    persistent and return new netlists. *)
+
+type t
+
+val empty : title:string -> t
+
+val title : t -> string
+
+val add : t -> Device.t -> t
+(** @raise Invalid_argument on a duplicate device name or invalid device. *)
+
+val add_all : t -> Device.t list -> t
+
+val devices : t -> Device.t list
+(** In insertion order. *)
+
+val device_count : t -> int
+
+val find : t -> string -> Device.t option
+(** Look up a device by name. *)
+
+val mem : t -> string -> bool
+
+val remove : t -> string -> t
+(** @raise Not_found if no device has that name. *)
+
+val replace : t -> string -> Device.t list -> t
+(** [replace nl name devs] removes [name] and appends [devs] — the
+    primitive used by the pinhole transistor split.
+    @raise Not_found if [name] is absent.
+    @raise Invalid_argument if a replacement name collides. *)
+
+val nodes : t -> string list
+(** All non-ground node names, sorted. *)
+
+val all_nodes : t -> string list
+(** Ground (canonicalized to ["0"]) first if present, then {!nodes}. *)
+
+val fresh_node : t -> prefix:string -> string
+(** A node name not yet used in the netlist. *)
+
+val fresh_device_name : t -> prefix:string -> string
+(** A device name not yet used in the netlist. *)
+
+val to_spice : t -> string
+(** Multi-line SPICE-style deck (title, devices, [.end]). *)
+
+val connectivity_check : t -> (unit, string) result
+(** Every non-ground node must connect at least two device terminals and
+    the netlist must reference ground somewhere; returns a diagnostic
+    message otherwise. *)

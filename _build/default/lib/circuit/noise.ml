@@ -1,0 +1,81 @@
+open Numerics
+
+let boltzmann = 1.380649e-23
+
+type contribution = { noise_source : string; psd : float }
+
+type point = {
+  noise_freq_hz : float;
+  total_psd : float;
+  contributions : contribution list;
+}
+
+let output_noise ?(gmin = 1e-12) ?(temperature = 300.) sys ~op ~observe
+    ~freqs =
+  let obs =
+    match Mna.node_index sys observe with
+    | Some i -> i
+    | None -> raise Not_found  (* ground: zero noise by definition *)
+  in
+  let nl = Mna.netlist sys in
+  let mos_params = Mna.mosfet_operating_points sys ~x:op in
+  let four_kt = 4. *. boltzmann *. temperature in
+  (* per-device current-noise PSD and injection nodes *)
+  let sources =
+    List.filter_map
+      (fun d ->
+        match d with
+        | Device.Resistor { name; a; b; ohms } ->
+            Some (name, a, b, four_kt /. ohms)
+        | Device.Mosfet { name; drain; source; _ } ->
+            let p = List.assoc name mos_params in
+            let gm = Float.abs p.Mos_model.d_gate in
+            if gm <= 0. then None
+            else Some (name, drain, source, four_kt *. (2. /. 3.) *. gm)
+        | Device.Capacitor _ | Device.Inductor _ | Device.Vsource _
+        | Device.Isource _ | Device.Vcvs _ | Device.Vccs _ -> None)
+      (Netlist.devices nl)
+  in
+  let node_idx n =
+    if Device.is_ground n then -1 else Option.get (Mna.node_index sys n)
+  in
+  let at_freq freq =
+    let a = Ac.system_matrix ~gmin sys ~op ~freq_hz:freq in
+    let at = Cmat.transpose a in
+    let e = Array.make (Mna.size sys) Complex.zero in
+    e.(obs) <- Complex.one;
+    let y = Cmat.solve at e in
+    let transfer n =
+      let i = node_idx n in
+      if i < 0 then Complex.zero else y.(i)
+    in
+    let contributions =
+      List.map
+        (fun (name, na, nb, s_current) ->
+          let z = Complex.sub (transfer na) (transfer nb) in
+          (* Complex.norm2 is |z|^2 *)
+          { noise_source = name; psd = Complex.norm2 z *. s_current })
+        sources
+      |> List.stable_sort (fun x y -> Float.compare y.psd x.psd)
+    in
+    {
+      noise_freq_hz = freq;
+      total_psd = List.fold_left (fun acc c -> acc +. c.psd) 0. contributions;
+      contributions;
+    }
+  in
+  Array.to_list freqs |> List.map at_freq
+
+let integrated_rms points =
+  match points with
+  | [] | [ _ ] -> invalid_arg "Noise.integrated_rms: need >= 2 points"
+  | first :: _ ->
+      let rec trapz acc prev = function
+        | [] -> acc
+        | p :: rest ->
+            let df = p.noise_freq_hz -. prev.noise_freq_hz in
+            if df < 0. then
+              invalid_arg "Noise.integrated_rms: unsorted frequencies";
+            trapz (acc +. (0.5 *. (p.total_psd +. prev.total_psd) *. df)) p rest
+      in
+      sqrt (trapz 0. first (List.tl points))

@@ -1,0 +1,45 @@
+(** Small-signal noise analysis.
+
+    Output-referred noise power spectral density by the adjoint method:
+    one transposed-system solve per frequency gives the transfer
+    impedance from {e every} internal noise current source to the
+    observed node at once.  Modelled sources:
+
+    - resistor thermal noise, [4 k T / R] (current PSD across the
+      resistor);
+    - MOSFET channel thermal noise, [4 k T (2/3) gm] between drain and
+      source (long-channel gamma).
+
+    Capacitors, inductors and ideal sources are noiseless. *)
+
+val boltzmann : float
+
+type contribution = {
+  noise_source : string;  (** device name *)
+  psd : float;  (** its share of the output PSD, V^2/Hz *)
+}
+
+type point = {
+  noise_freq_hz : float;
+  total_psd : float;  (** output noise PSD, V^2/Hz *)
+  contributions : contribution list;  (** sorted, largest first *)
+}
+
+val output_noise :
+  ?gmin:float ->
+  ?temperature:float ->
+  Mna.t ->
+  op:Numerics.Vec.t ->
+  observe:string ->
+  freqs:float array ->
+  point list
+(** Output noise at the observed node over the frequency grid
+    ([temperature] defaults to 300 K).
+    @raise Not_found if the node is unknown (or is ground, where the
+    noise is zero by definition — also rejected). *)
+
+val integrated_rms : point list -> float
+(** RMS noise voltage over the analysed band: trapezoidal integral of
+    the total PSD over frequency, square-rooted.  Points must be in
+    ascending frequency order.
+    @raise Invalid_argument with fewer than two points. *)

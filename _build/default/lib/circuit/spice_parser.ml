@@ -1,0 +1,298 @@
+type error = { line : int; message : string }
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* split a card into fields on whitespace, keeping parenthesized groups
+   (waveforms contain spaces) together *)
+let fields line =
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let depth = ref 0 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ')' ->
+          decr depth;
+          Buffer.add_char buf c
+      | ' ' | '\t' when !depth = 0 -> flush ()
+      | c -> Buffer.add_char buf c)
+    line;
+  if !depth <> 0 then fail "unbalanced parentheses";
+  flush ();
+  List.rev !out
+
+let number s =
+  (* tolerate a trailing unit word after the engineering suffix (10kHz) *)
+  match Units.parse_eng s with
+  | Some v -> v
+  | None -> fail "cannot parse number %S" s
+
+(* value of an argument that may be written 'name=value' *)
+let arg_value s =
+  match String.index_opt s '=' with
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+  | None -> s
+
+let split_args inner =
+  String.split_on_char ',' inner
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let waveform_of_string s =
+  match String.index_opt s '(' with
+  | None -> Waveform.Dc (number s)
+  | Some i ->
+      let kind = String.lowercase_ascii (String.sub s 0 i) in
+      let close =
+        match String.rindex_opt s ')' with
+        | Some c when c > i -> c
+        | Some _ | None -> fail "malformed waveform %S" s
+      in
+      let inner = String.sub s (i + 1) (close - i - 1) in
+      let args = split_args inner in
+      let num n =
+        match List.nth_opt args n with
+        | Some a -> number (arg_value a)
+        | None -> fail "waveform %S: missing argument %d" s (n + 1)
+      in
+      let opt n default =
+        match List.nth_opt args n with
+        | Some a -> number (arg_value a)
+        | None -> default
+      in
+      (match kind with
+      | "dc" -> Waveform.Dc (num 0)
+      | "step" ->
+          Waveform.Step
+            { base = num 0; elev = num 1; delay = opt 2 0.; rise = opt 3 0. }
+      | "sine" | "sin" ->
+          Waveform.Sine
+            { offset = num 0; ampl = num 1; freq = num 2; phase = opt 3 0. }
+      | "pwl" ->
+          let corner a =
+            match String.split_on_char ':' (arg_value a) with
+            | [ t; v ] -> (number t, number v)
+            | _ -> fail "pwl corner %S must be time:value" a
+          in
+          Waveform.Pwl (List.map corner args)
+      | "multisine" -> begin
+          match args with
+          | offset :: tones ->
+              let tone a =
+                match String.split_on_char ':' (arg_value a) with
+                | [ ampl; freq ] -> (number ampl, number freq)
+                | _ -> fail "multisine tone %S must be ampl:freq" a
+              in
+              Waveform.Multi_sine
+                { offset = number (arg_value offset);
+                  tones = List.map tone tones }
+          | [] -> fail "multisine needs an offset and tones"
+        end
+      | other -> fail "unknown waveform kind %S" other)
+
+(* key=value lookup in a field list *)
+let keyed fields key =
+  List.find_map
+    (fun f ->
+      match String.index_opt f '=' with
+      | Some i when String.lowercase_ascii (String.sub f 0 i) = key ->
+          Some (String.sub f (i + 1) (String.length f - i - 1))
+      | Some _ | None -> None)
+    fields
+
+let parse_model_card fields models =
+  match fields with
+  | _ :: name :: polarity :: rest ->
+      let base =
+        match String.lowercase_ascii polarity with
+        | "nmos" -> Mos_model.nmos_default
+        | "pmos" -> Mos_model.pmos_default
+        | other -> fail ".model: unknown polarity %S" other
+      in
+      let get key default =
+        match keyed rest key with Some v -> number v | None -> default
+      in
+      let model =
+        {
+          base with
+          Mos_model.model_name = name;
+          vt0 = get "vt0" base.Mos_model.vt0;
+          kp = get "kp" base.Mos_model.kp;
+          lambda = get "lambda" base.Mos_model.lambda;
+        }
+      in
+      Hashtbl.replace models name model
+  | _ -> fail ".model: expected '.model name nmos|pmos [params]'"
+
+let parse_element card models =
+  match fields card with
+  | [] -> None
+  | name :: rest -> begin
+      let kind = Char.lowercase_ascii name.[0] in
+      let dev_name = String.sub name 1 (String.length name - 1) in
+      let dev_name = if dev_name = "" then name else dev_name in
+      let two_nodes_value make =
+        match rest with
+        | [ a; b; v ] -> make a b (number v)
+        | _ -> fail "%s: expected two nodes and a value" name
+      in
+      match kind with
+      | 'r' ->
+          Some
+            (two_nodes_value (fun a b v ->
+                 Device.Resistor { name = dev_name; a; b; ohms = v }))
+      | 'c' ->
+          Some
+            (two_nodes_value (fun a b v ->
+                 Device.Capacitor { name = dev_name; a; b; farads = v }))
+      | 'l' ->
+          Some
+            (two_nodes_value (fun a b v ->
+                 Device.Inductor { name = dev_name; a; b; henries = v }))
+      | 'v' -> begin
+          match rest with
+          | [ plus; minus; w ] ->
+              Some
+                (Device.Vsource
+                   { name = dev_name; plus; minus; wave = waveform_of_string w })
+          | _ -> fail "%s: expected 'V n+ n- wave'" name
+        end
+      | 'i' -> begin
+          match rest with
+          | [ from_node; to_node; w ] ->
+              Some
+                (Device.Isource
+                   {
+                     name = dev_name;
+                     from_node;
+                     to_node;
+                     wave = waveform_of_string w;
+                   })
+          | _ -> fail "%s: expected 'I nfrom nto wave'" name
+        end
+      | 'e' | 'g' -> begin
+          match rest with
+          | [ plus; minus; cp; cn; v ] ->
+              let x = number v in
+              if kind = 'e' then
+                Some
+                  (Device.Vcvs
+                     { name = dev_name; plus; minus; ctrl_plus = cp;
+                       ctrl_minus = cn; gain = x })
+              else
+                Some
+                  (Device.Vccs
+                     { name = dev_name; plus; minus; ctrl_plus = cp;
+                       ctrl_minus = cn; gm = x })
+          | _ -> fail "%s: expected four nodes and a value" name
+        end
+      | 'm' -> begin
+          match rest with
+          | drain :: gate :: source :: model_name :: params ->
+              let model =
+                match Hashtbl.find_opt models model_name with
+                | Some m -> m
+                | None -> fail "%s: unknown model %S" name model_name
+              in
+              let geom key =
+                match keyed params key with
+                | Some v -> number v
+                | None -> fail "%s: missing %s=" name (String.uppercase_ascii key)
+              in
+              Some
+                (Device.Mosfet
+                   {
+                     name = dev_name;
+                     drain;
+                     gate;
+                     source;
+                     model;
+                     w = geom "w";
+                     l = geom "l";
+                   })
+          | _ -> fail "%s: expected 'M nd ng ns model W= L='" name
+        end
+      | other -> fail "unknown element type %C" other
+    end
+
+let logical_lines text =
+  (* join continuation lines, keep (original line number, content) *)
+  let raw =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+  in
+  let rec join acc = function
+    | [] -> List.rev acc
+    | (n, l) :: rest when String.length l > 0 && l.[0] = '+' -> begin
+        match acc with
+        | (n0, prev) :: acc' ->
+            join ((n0, prev ^ " " ^ String.sub l 1 (String.length l - 1)) :: acc')
+              rest
+        | [] -> join [ (n, String.sub l 1 (String.length l - 1)) ] rest
+      end
+    | (n, l) :: rest -> join ((n, l) :: acc) rest
+  in
+  join [] raw
+
+let default_models () =
+  let models = Hashtbl.create 4 in
+  Hashtbl.replace models Mos_model.nmos_default.Mos_model.model_name
+    Mos_model.nmos_default;
+  Hashtbl.replace models Mos_model.pmos_default.Mos_model.model_name
+    Mos_model.pmos_default;
+  models
+
+let parse text =
+  let models = default_models () in
+  match logical_lines text with
+  | [] -> Error { line = 0; message = "empty deck" }
+  | (_, first) :: rest -> begin
+      let title =
+        if String.length first > 0 && first.[0] = '*' then
+          String.trim (String.sub first 1 (String.length first - 1))
+        else first
+      in
+      let netlist = ref (Netlist.empty ~title) in
+      let result = ref None in
+      List.iter
+        (fun (line, l) ->
+          if !result = None && l <> "" && l.[0] <> '*' then begin
+            let lower = String.lowercase_ascii l in
+            try
+              if lower = ".end" then ()
+              else if String.length lower >= 6 && String.sub lower 0 6 = ".model"
+              then parse_model_card (fields l) models
+              else if l.[0] = '.' then fail "unknown directive %S" l
+              else
+                match parse_element l models with
+                | Some d -> netlist := Netlist.add !netlist d
+                | None -> ()
+            with
+            | Parse_error message -> result := Some { line; message }
+            | Invalid_argument message -> result := Some { line; message }
+          end)
+        rest;
+      match !result with
+      | Some e -> Error e
+      | None -> Ok !netlist
+    end
+
+let parse_file path =
+  match open_in path with
+  | exception Sys_error message -> Error { line = 0; message }
+  | ic ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      parse text

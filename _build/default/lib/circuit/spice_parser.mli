@@ -1,0 +1,28 @@
+(** SPICE-style netlist parser — the inverse of {!Netlist.to_spice}.
+
+    Supported deck format:
+    - first line: title (becomes the netlist title);
+    - element cards: [Rname n1 n2 value], [Cname n1 n2 value],
+      [Lname n1 n2 value], [Vname n+ n- wave], [Iname n+ n- wave],
+      [Ename n+ n- nc+ nc- gain], [Gname n+ n- nc+ nc- gm],
+      [Mname nd ng ns model W=w L=l];
+    - waveforms: a bare number (DC), [dc(v)],
+      [step(base, elev, delay, rise)], [sine(offset, ampl, freq)],
+      [pwl(t1:v1, t2:v2, ...)];
+    - [.model name nmos|pmos [vt0=..] [kp=..] [lambda=..]] cards
+      (defaults from {!Mos_model.nmos_default}/{!Mos_model.pmos_default});
+    - [*] comment lines, [+] continuation lines, case-insensitive
+      keywords, engineering suffixes on all numbers ([10k], [2.5u], ...);
+    - terminated by [.end] (optional).
+
+    The device-name prefix letter is part of the element name, matching
+    what {!Netlist.to_spice} emits, so print -> parse -> print is a
+    fixpoint. *)
+
+type error = { line : int; message : string }
+
+val parse : string -> (Netlist.t, error) result
+(** Parse a whole deck from a string. *)
+
+val parse_file : string -> (Netlist.t, error) result
+(** Parse a deck from a file.  I/O errors are reported as [line = 0]. *)

@@ -1,0 +1,58 @@
+type result = {
+  sweep_values : float array;
+  traces : (string * float array) list;
+}
+
+let trace r node =
+  match List.assoc_opt node r.traces with
+  | Some t -> t
+  | None -> raise Not_found
+
+let with_dc_value nl ~source v =
+  match Netlist.find nl source with
+  | Some (Device.Isource i) ->
+      Netlist.replace nl source
+        [ Device.Isource { i with wave = Waveform.Dc v } ]
+  | Some (Device.Vsource s) ->
+      Netlist.replace nl source
+        [ Device.Vsource { s with wave = Waveform.Dc v } ]
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Sweep: %S is not an independent source" source)
+  | None -> invalid_arg (Printf.sprintf "Sweep: no device %S" source)
+
+let dc_transfer ?options nl ~source ~sweep_values ~observe =
+  if Array.length sweep_values = 0 then
+    invalid_arg "Sweep.dc_transfer: empty sweep";
+  let traces = List.map (fun n -> (n, Array.make (Array.length sweep_values) 0.)) observe in
+  let guess = ref None in
+  Array.iteri
+    (fun i v ->
+      let sys = Mna.build (with_dc_value nl ~source v) in
+      let report = Dc.solve ?options ?guess:!guess sys ~time:`Dc in
+      guess := Some report.Dc.solution;
+      List.iter
+        (fun (n, arr) -> arr.(i) <- Mna.voltage sys report.Dc.solution n)
+        traces)
+    sweep_values;
+  { sweep_values; traces }
+
+let linspace ~lo ~hi ~points =
+  if points < 2 then invalid_arg "Sweep.linspace: points < 2";
+  Array.init points (fun i ->
+      lo +. ((hi -. lo) *. float_of_int i /. float_of_int (points - 1)))
+
+let slope_at r ~node ~at =
+  let v = trace r node in
+  let n = Array.length r.sweep_values in
+  if n < 3 then invalid_arg "Sweep.slope_at: need >= 3 points";
+  (* nearest grid index, clamped away from the edges *)
+  let best = ref 1 in
+  for i = 1 to n - 2 do
+    if
+      Float.abs (r.sweep_values.(i) -. at)
+      < Float.abs (r.sweep_values.(!best) -. at)
+    then best := i
+  done;
+  let i = !best in
+  (v.(i + 1) -. v.(i - 1)) /. (r.sweep_values.(i + 1) -. r.sweep_values.(i - 1))

@@ -1,0 +1,38 @@
+(** DC transfer sweeps.
+
+    Sweep the DC value of one independent source over a grid, solving the
+    operating point at each step with warm-started Newton (the previous
+    solution seeds the next solve) — the standard continuation trick that
+    keeps strongly nonlinear transfer curves cheap and convergent. *)
+
+type result = {
+  sweep_values : float array;  (** the swept source values *)
+  traces : (string * float array) list;
+      (** per observed node, in the order of [observe] *)
+}
+
+val trace : result -> string -> float array
+(** @raise Not_found if the node was not observed. *)
+
+val dc_transfer :
+  ?options:Dc.options ->
+  Netlist.t ->
+  source:string ->
+  sweep_values:float array ->
+  observe:string list ->
+  result
+(** Replace the waveform of [source] by each DC value in turn.
+    @raise Invalid_argument if [source] is not an independent V or I
+    source or [sweep_values] is empty.
+    @raise Dc.No_convergence if some point cannot be solved. *)
+
+val linspace : lo:float -> hi:float -> points:int -> float array
+(** Evenly spaced inclusive grid.
+    @raise Invalid_argument if [points < 2]. *)
+
+val slope_at :
+  result -> node:string -> at:float -> float
+(** Central-difference derivative d(observed)/d(swept) at the grid point
+    nearest [at] — e.g. the transimpedance of the IV-converter.
+    @raise Not_found on an unknown node.
+    @raise Invalid_argument with fewer than three sweep points. *)

@@ -1,0 +1,34 @@
+(** Transient analysis.
+
+    Fixed-step implicit integration (backward Euler by default,
+    trapezoidal optionally) with a full Newton solve per step.  The test
+    configurations sample the output at a prescribed rate (100 MHz for the
+    step-response configurations, a period-locked rate for THD), so a
+    fixed step aligned to the sample clock is the natural choice. *)
+
+type method_ = Backward_euler | Trapezoidal
+
+type probe = { node : string; values : float array }
+
+type result = {
+  times : float array;  (** [t_0 = 0], then every [dt] up to [tstop] *)
+  probes : probe list;  (** in the order of [observe] *)
+}
+
+val probe_values : result -> string -> float array
+(** @raise Not_found if the node was not observed. *)
+
+exception Step_failure of { time : float; reason : string }
+
+val simulate :
+  ?options:Dc.options ->
+  ?method_:method_ ->
+  Mna.t ->
+  tstop:float ->
+  dt:float ->
+  observe:string list ->
+  result
+(** Initial condition is the operating point with sources at [t = 0].
+    A non-converging step is retried with up to 16x local step refinement
+    before {!Step_failure} is raised.
+    @raise Invalid_argument on non-positive [tstop] or [dt]. *)

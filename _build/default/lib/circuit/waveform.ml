@@ -1,0 +1,93 @@
+type t =
+  | Dc of float
+  | Step of { base : float; elev : float; delay : float; rise : float }
+  | Sine of { offset : float; ampl : float; freq : float; phase : float }
+  | Multi_sine of { offset : float; tones : (float * float) list }
+  | Pwl of (float * float) list
+
+let value w t =
+  match w with
+  | Dc v -> v
+  | Step { base; elev; delay; rise } ->
+      if t <= delay then base
+      else if rise <= 0. || t >= delay +. rise then base +. elev
+      else base +. (elev *. (t -. delay) /. rise)
+  | Sine { offset; ampl; freq; phase } ->
+      offset +. (ampl *. sin ((2. *. Float.pi *. freq *. t) +. phase))
+  | Multi_sine { offset; tones } ->
+      List.fold_left
+        (fun acc (ampl, freq) ->
+          acc +. (ampl *. sin (2. *. Float.pi *. freq *. t)))
+        offset tones
+  | Pwl corners -> begin
+      match corners with
+      | [] -> 0.
+      | (t0, v0) :: _ ->
+          if t <= t0 then v0
+          else
+            let rec walk = function
+              | [ (_, v) ] -> v
+              | (t1, v1) :: ((t2, v2) :: _ as rest) ->
+                  if t <= t2 then
+                    if t2 -. t1 <= 0. then v2
+                    else v1 +. ((v2 -. v1) *. (t -. t1) /. (t2 -. t1))
+                  else walk rest
+              | [] -> 0.
+            in
+            walk corners
+    end
+
+let dc_value = function
+  | Dc v -> v
+  | Sine { offset; _ } | Multi_sine { offset; _ } -> offset
+  | (Step _ | Pwl _) as w -> value w 0.
+
+let validate w =
+  match w with
+  | Dc _ -> Ok ()
+  | Step { delay; rise; _ } ->
+      if delay < 0. then Error "step: negative delay"
+      else if rise < 0. then Error "step: negative rise time"
+      else Ok ()
+  | Sine { freq; _ } ->
+      if freq <= 0. then Error "sine: frequency must be positive" else Ok ()
+  | Multi_sine { tones; _ } ->
+      if tones = [] then Error "multi_sine: no tones"
+      else if List.exists (fun (_, f) -> f <= 0.) tones then
+        Error "multi_sine: frequencies must be positive"
+      else Ok ()
+  | Pwl corners ->
+      let rec sorted = function
+        | (t1, _) :: ((t2, _) :: _ as rest) ->
+            if t1 >= t2 then Error "pwl: corners not strictly increasing"
+            else sorted rest
+        | [ _ ] | [] -> Ok ()
+      in
+      sorted corners
+
+let pp ppf = function
+  | Dc v -> Format.fprintf ppf "dc(%s)" (Units.format_eng v)
+  | Step { base; elev; delay; rise } ->
+      Format.fprintf ppf "step(base=%s, elev=%s, delay=%s, rise=%s)"
+        (Units.format_eng base) (Units.format_eng elev)
+        (Units.format_eng delay) (Units.format_eng rise)
+  | Sine { offset; ampl; freq; phase } ->
+      Format.fprintf ppf "sine(offset=%s, ampl=%s, freq=%sHz, phase=%.3g)"
+        (Units.format_eng offset) (Units.format_eng ampl)
+        (Units.format_eng freq) phase
+  | Multi_sine { offset; tones } ->
+      Format.fprintf ppf "multisine(offset=%s, %a)" (Units.format_eng offset)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (a, f) ->
+             Format.fprintf ppf "%s:%s" (Units.format_eng a)
+               (Units.format_eng f)))
+        tones
+  | Pwl corners ->
+      Format.fprintf ppf "pwl(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (t, v) ->
+             Format.fprintf ppf "%s:%s" (Units.format_eng t)
+               (Units.format_eng v)))
+        corners

@@ -1,0 +1,35 @@
+(** Source waveform descriptors.
+
+    These are the building blocks of the paper's test-configuration
+    stimuli: DC levels, slew-limited steps (Fig. 1), DC-offset sine waves
+    (the THD configuration of Figs. 2–4), and piecewise-linear segments. *)
+
+type t =
+  | Dc of float
+      (** Constant level. *)
+  | Step of { base : float; elev : float; delay : float; rise : float }
+      (** Level [base] until [delay], then a linear ramp of duration
+          [rise] up to [base +. elev].  [rise = 0.] is an ideal step. *)
+  | Sine of { offset : float; ampl : float; freq : float; phase : float }
+      (** [offset +. ampl *. sin (2 pi freq t +. phase)]. *)
+  | Multi_sine of { offset : float; tones : (float * float) list }
+      (** Sum of sines: [offset +. sum_i ampl_i sin (2 pi freq_i t)] —
+          the two-tone intermodulation stimulus.  Each tone is
+          [(ampl, freq)]. *)
+  | Pwl of (float * float) list
+      (** Piecewise-linear [(time, value)] corners; must be sorted by
+          strictly increasing time.  Constant extrapolation outside. *)
+
+val value : t -> float -> float
+(** Waveform value at a given time (seconds). *)
+
+val dc_value : t -> float
+(** Value used by DC analyses: the level at [t = 0] except for [Sine],
+    which contributes its [offset] (the average level). *)
+
+val validate : t -> (unit, string) result
+(** Checks structural invariants: non-negative delay/rise, positive sine
+    frequency, sorted PWL corners. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable description, e.g. [step(base=0, elev=25uA, rise=10ns)]. *)

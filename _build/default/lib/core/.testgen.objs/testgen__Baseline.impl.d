@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Coverage Engine Evaluator Faults Float Generate List Numerics Option Printf Sensitivity Test_config

@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Coverage Engine Evaluator Faults Test_config

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Float List Numerics Test_param Vec

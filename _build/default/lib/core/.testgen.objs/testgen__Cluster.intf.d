@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Numerics Test_param

@@ -1,0 +1,1 @@
+lib/core/collapse.ml: Cluster Evaluator Faults List Numerics Test_config Vec

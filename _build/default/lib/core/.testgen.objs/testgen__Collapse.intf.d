@@ -1,0 +1,1 @@
+lib/core/collapse.mli: Evaluator Faults Numerics

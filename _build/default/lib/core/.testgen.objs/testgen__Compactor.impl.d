@@ -1,0 +1,1 @@
+lib/core/compactor.ml: Collapse Coverage Engine Evaluator Faults Generate Hashtbl List Numerics Option Printf

@@ -1,0 +1,1 @@
+lib/core/compactor.mli: Collapse Coverage Engine Evaluator Faults Numerics

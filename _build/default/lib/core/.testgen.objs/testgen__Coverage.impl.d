@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Evaluator Faults Float List Numerics Printf Sensitivity String

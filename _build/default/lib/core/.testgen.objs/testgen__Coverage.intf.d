@@ -1,0 +1,1 @@
+lib/core/coverage.mli: Evaluator Faults Numerics

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Evaluator Faults Generate Int List Sys

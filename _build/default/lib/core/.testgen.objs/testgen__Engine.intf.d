@@ -1,0 +1,1 @@
+lib/core/engine.mli: Evaluator Faults Generate

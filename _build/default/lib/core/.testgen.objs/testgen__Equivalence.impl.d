@@ -1,0 +1,1 @@
+lib/core/equivalence.ml: Cluster Float Generate List Numerics Test_config

@@ -1,0 +1,1 @@
+lib/core/equivalence.mli: Generate Numerics Test_config

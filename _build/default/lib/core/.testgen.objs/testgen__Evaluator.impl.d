@@ -1,0 +1,1 @@
+lib/core/evaluator.ml: Array Execute Faults Hashtbl Printf Sensitivity String Test_config Tolerance

@@ -1,0 +1,1 @@
+lib/core/evaluator.mli: Execute Faults Numerics Test_config Tolerance

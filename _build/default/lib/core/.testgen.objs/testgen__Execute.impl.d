@@ -1,0 +1,1 @@
+lib/core/execute.ml: Ac Array Circuit Dc Device Float List Mna Netlist Noise Numerics Printf Sigproc Test_config Tran

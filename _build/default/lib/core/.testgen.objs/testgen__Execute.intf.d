@@ -1,0 +1,1 @@
+lib/core/execute.mli: Circuit Numerics Test_config

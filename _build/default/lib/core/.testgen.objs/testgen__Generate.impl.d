@@ -1,0 +1,1 @@
+lib/core/generate.ml: Brent Evaluator Faults Float Hashtbl List Numerics Powell Sensitivity Test_config Test_param Vec

@@ -1,0 +1,1 @@
+lib/core/quality.ml: Coverage Evaluator Float List Option Printf Sensitivity

@@ -1,0 +1,1 @@
+lib/core/quality.mli: Coverage Evaluator Execute Faults

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Coverage Float Hashtbl List Option Printf String Test_config Test_param

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Array Execute Float

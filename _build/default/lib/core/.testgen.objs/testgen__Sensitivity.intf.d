@@ -1,0 +1,1 @@
+lib/core/sensitivity.mli: Test_config

@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Buffer Faults Generate List Printf String

@@ -1,0 +1,1 @@
+lib/core/test_config.ml: Buffer Circuit Format List Numerics Printf Test_param

@@ -1,0 +1,1 @@
+lib/core/test_config.mli: Circuit Numerics Test_param

@@ -1,0 +1,1 @@
+lib/core/test_param.ml: Array Circuit Float Format List Printf

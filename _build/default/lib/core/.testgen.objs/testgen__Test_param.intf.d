@@ -1,0 +1,1 @@
+lib/core/test_param.mli: Format Numerics

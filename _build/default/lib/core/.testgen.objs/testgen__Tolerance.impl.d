@@ -1,0 +1,1 @@
+lib/core/tolerance.ml: Array Execute Float List Numerics Test_config Test_param Vec

@@ -1,0 +1,1 @@
+lib/core/tolerance.mli: Execute Numerics Test_config

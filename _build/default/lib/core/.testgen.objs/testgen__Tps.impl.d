@@ -1,0 +1,1 @@
+lib/core/tps.ml: Array Evaluator Faults Float List String Test_config Test_param

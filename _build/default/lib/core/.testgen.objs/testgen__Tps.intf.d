@@ -1,0 +1,1 @@
+lib/core/tps.mli: Evaluator Faults Numerics

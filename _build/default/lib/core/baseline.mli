@@ -1,0 +1,52 @@
+(** Selection-only baseline (the strategy the paper argues against).
+
+    §2.2: "test generation by using a fixed predefined set of possible
+    tests to select from, and detection of fault models as plain
+    evaluation criterion, will not result in the most sensitive test
+    set".  The baseline freezes every configuration at its designer seed
+    parameters and merely {e selects} among those fixed tests.  Comparing
+    the baseline's weakest-detectable impact per fault with the optimized
+    flow's critical impact quantifies the value of parameter tailoring. *)
+
+type fault_comparison = {
+  cmp_fault_id : string;
+  seed_detects : bool;  (** any seed test detects at dictionary impact *)
+  seed_best_sensitivity : float;  (** over the seed tests *)
+  seed_critical_impact : float option;
+      (** weakest impact any seed test still detects; [None] if not even
+          the strongest impact is detected *)
+  optimized_critical_impact : float option;
+      (** from the generation run; [None] for undetectable faults *)
+}
+
+type summary = {
+  comparisons : fault_comparison list;
+  seed_covered : int;
+  optimized_covered : int;
+  total : int;
+  median_impact_gain : float;
+      (** median over faults of optimized/seed critical impact — how much
+          weaker a defect the tailored tests catch (>1 means better) *)
+}
+
+val seed_tests : Test_config.t list -> Coverage.test list
+(** One test per configuration, at the seed parameter values. *)
+
+val critical_impact_of_tests :
+  evaluators:Evaluator.t list ->
+  tests:Coverage.test list ->
+  Faults.Fault.t ->
+  ?span:float ->
+  ?steps:int ->
+  unit ->
+  float option
+(** Weakest model resistance at which {e some} test of the set still
+    detects the fault: geometric walk + log bisection over
+    [R/span, R*span] (span default 1e3). *)
+
+val compare :
+  evaluators:Evaluator.t list ->
+  Faults.Dictionary.t ->
+  Engine.run ->
+  summary
+(** Full XBASE comparison against the run's optimized results. *)

@@ -1,0 +1,41 @@
+(** Grouping of optimized tests in parameter space (paper §4.1).
+
+    The collapse algorithm first identifies groups of fault-specific best
+    tests that sit close together in the test configuration's parameter
+    space (Fig. 8 shows the groups for configurations #1–#3).  We use
+    complete-linkage agglomerative clustering in bound-normalized
+    coordinates, so a single threshold works across parameters of very
+    different physical scales. *)
+
+type item = {
+  item_id : string;  (** fault id the optimized test belongs to *)
+  location : Numerics.Vec.t;  (** parameter values, physical units *)
+}
+
+val normalize : Test_param.t list -> Numerics.Vec.t -> Numerics.Vec.t
+(** Bound-normalize a parameter vector to the unit cube. *)
+
+val distance : Numerics.Vec.t -> Numerics.Vec.t -> float
+(** Infinity-norm distance used by the linkage. *)
+
+val group :
+  params:Test_param.t list ->
+  ?threshold:float ->
+  item list ->
+  item list list
+(** Complete-linkage clusters: any two members of a group lie within
+    [threshold] (default 0.15) of each other in normalized coordinates.
+    Groups and members keep deterministic order (by first appearance).
+    @raise Invalid_argument if an item's dimension differs from the
+    parameter list. *)
+
+val centroid : item list -> Numerics.Vec.t
+(** Component-wise mean of the member locations — the collapsed test's
+    parameter values ("determined by the average of the parameters of
+    the group-members").
+    @raise Invalid_argument on an empty group. *)
+
+val split : item list -> item list * item list
+(** Partition a group in two around its farthest pair — the refinement
+    used when a collapse proposal fails the sensitivity screen.
+    @raise Invalid_argument on groups smaller than two. *)

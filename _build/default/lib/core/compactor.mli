@@ -1,0 +1,43 @@
+(** End-to-end compaction (paper §4): from per-fault generation results
+    to the final compact high-quality test set. *)
+
+type compact_test = {
+  ct_label : string;  (** e.g. ["tc1-g2"] *)
+  ct_config_id : int;
+  ct_params : Numerics.Vec.t;
+  ct_fault_ids : string list;  (** faults whose best test collapsed here *)
+}
+
+type result = {
+  compact_tests : compact_test list;
+  groups : Collapse.group list;
+  stats : Collapse.stats;
+  original_test_count : int;
+      (** one optimized test per dictionary fault (undetectable faults
+          carry their most sensitive test, per the paper's fault-impact
+          extension) *)
+  coverage : Coverage.report;
+      (** final set scored against the full dictionary at dictionary
+          impacts *)
+}
+
+val members_of_run :
+  Engine.run -> config_id:int -> Collapse.member list
+(** Collapse members for one configuration: every fault whose best test
+    uses it, carried at its critical impact with its recorded optimal
+    sensitivity.  Undetectable faults are carried at the strongest
+    impact tried. *)
+
+val compact :
+  ?delta:float ->
+  ?threshold:float ->
+  evaluators:Evaluator.t list ->
+  Faults.Dictionary.t ->
+  Engine.run ->
+  result
+(** Collapse every configuration's tests ([delta] defaults to 0.1,
+    see {!Collapse}), assemble the compact set, and evaluate its
+    coverage. *)
+
+val compaction_ratio : result -> float
+(** [original tests / compact tests]. *)

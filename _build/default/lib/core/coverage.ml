@@ -1,0 +1,76 @@
+type test = {
+  test_label : string;
+  test_config_id : int;
+  test_params : Numerics.Vec.t;
+}
+
+type detection = {
+  det_fault_id : string;
+  detected_by : string list;
+  best_sensitivity : float;
+}
+
+type report = {
+  tests : test list;
+  detections : detection list;
+  covered : int;
+  total : int;
+}
+
+let percent r =
+  if r.total = 0 then 100.
+  else 100. *. float_of_int r.covered /. float_of_int r.total
+
+let missed r =
+  List.filter_map
+    (fun d -> if d.detected_by = [] then Some d.det_fault_id else None)
+    r.detections
+
+let evaluate ~evaluators dictionary tests =
+  let evaluator_for cid =
+    match
+      List.find_opt (fun ev -> Evaluator.config_id ev = cid) evaluators
+    with
+    | Some ev -> ev
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Coverage.evaluate: no evaluator for config #%d" cid)
+  in
+  let detections =
+    List.map
+      (fun entry ->
+        let fault = entry.Faults.Dictionary.fault in
+        let hits, best =
+          List.fold_left
+            (fun (hits, best) test ->
+              let ev = evaluator_for test.test_config_id in
+              let s = Evaluator.sensitivity ev fault test.test_params in
+              let hits =
+                if Sensitivity.detects s then test.test_label :: hits else hits
+              in
+              (hits, Float.min best s))
+            ([], infinity) tests
+        in
+        {
+          det_fault_id = entry.Faults.Dictionary.fault_id;
+          detected_by = List.rev hits;
+          best_sensitivity = best;
+        })
+      (Faults.Dictionary.entries dictionary)
+  in
+  let covered =
+    List.length (List.filter (fun d -> d.detected_by <> []) detections)
+  in
+  {
+    tests;
+    detections;
+    covered;
+    total = Faults.Dictionary.size dictionary;
+  }
+
+let essential_tests r =
+  List.filter_map
+    (fun d ->
+      match d.detected_by with [ only ] -> Some only | [] | _ :: _ :: _ -> None)
+    r.detections
+  |> List.sort_uniq String.compare

@@ -1,0 +1,82 @@
+type run = {
+  results : Generate.result list;
+  evaluators : Evaluator.t list;
+  wall_seconds : float;
+  total_fault_simulations : int;
+}
+
+let run ?options ?progress ~evaluators dictionary =
+  let entries = Faults.Dictionary.entries dictionary in
+  let total = List.length entries in
+  let started = Sys.time () in
+  let before =
+    List.fold_left (fun acc ev -> acc + Evaluator.evaluation_count ev) 0
+      evaluators
+  in
+  let results =
+    List.mapi
+      (fun i entry ->
+        let r = Generate.generate ?options ~evaluators entry in
+        (match progress with
+        | Some f ->
+            f ~done_:(i + 1) ~total ~fault_id:entry.Faults.Dictionary.fault_id
+        | None -> ());
+        r)
+      entries
+  in
+  let after =
+    List.fold_left (fun acc ev -> acc + Evaluator.evaluation_count ev) 0
+      evaluators
+  in
+  {
+    results;
+    evaluators;
+    wall_seconds = Sys.time () -. started;
+    total_fault_simulations = after - before;
+  }
+
+type distribution_row = {
+  dist_config_id : int;
+  bridge_count : int;
+  pinhole_count : int;
+}
+
+let distribution run =
+  let config_ids =
+    List.map Evaluator.config_id run.evaluators |> List.sort_uniq Int.compare
+  in
+  List.map
+    (fun cid ->
+      let mine =
+        List.filter (fun r -> Generate.best_config_id r = cid) run.results
+      in
+      let bridges, pinholes =
+        List.fold_left
+          (fun (b, p) r ->
+            match Faults.Fault.kind r.Generate.dictionary_fault with
+            | `Bridge -> (b + 1, p)
+            | `Pinhole -> (b, p + 1))
+          (0, 0) mine
+      in
+      { dist_config_id = cid; bridge_count = bridges; pinhole_count = pinholes })
+    config_ids
+
+let undetectable_faults run =
+  List.filter
+    (fun r ->
+      match r.Generate.outcome with
+      | Generate.Undetectable _ -> true
+      | Generate.Unique _ -> false)
+    run.results
+
+let results_for_config run ~config_id =
+  List.filter (fun r -> Generate.best_config_id r = config_id) run.results
+
+let critical_impacts run =
+  List.filter_map
+    (fun r ->
+      match r.Generate.outcome with
+      | Generate.Unique { critical_impact; _ } ->
+          Some (r.Generate.fault_id, critical_impact)
+      | Generate.Undetectable _ -> None)
+    run.results

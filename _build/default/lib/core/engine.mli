@@ -1,0 +1,38 @@
+(** Whole-dictionary test generation (the producer of Table 2 and
+    Fig. 8). *)
+
+type run = {
+  results : Generate.result list;  (** one per dictionary entry, in order *)
+  evaluators : Evaluator.t list;
+  wall_seconds : float;
+  total_fault_simulations : int;
+}
+
+val run :
+  ?options:Generate.options ->
+  ?progress:(done_:int -> total:int -> fault_id:string -> unit) ->
+  evaluators:Evaluator.t list ->
+  Faults.Dictionary.t ->
+  run
+(** Generate the optimal test for every fault of the dictionary.
+    [progress] is invoked after each fault (CLI feedback). *)
+
+type distribution_row = {
+  dist_config_id : int;
+  bridge_count : int;
+  pinhole_count : int;
+}
+
+val distribution : run -> distribution_row list
+(** Per-configuration counts of best tests, split by fault kind — the
+    paper's Table 2.  Rows are sorted by configuration id and include
+    zero rows for configurations that won no fault. *)
+
+val undetectable_faults : run -> Generate.result list
+
+val results_for_config : run -> config_id:int -> Generate.result list
+(** Results whose best test uses the given configuration (Fig. 8 and
+    Table 3 inputs). *)
+
+val critical_impacts : run -> (string * float) list
+(** [(fault_id, critical impact)] for every uniquely solved fault. *)

@@ -1,0 +1,88 @@
+type equivalence_class = {
+  representative : string;
+  members : string list;
+  class_config_id : int;
+  class_params : Numerics.Vec.t;
+}
+
+type item = {
+  fault_id : string;
+  config_id : int;
+  normalized : Numerics.Vec.t;
+  params : Numerics.Vec.t;
+  critical : float option;
+}
+
+let item_of_result configs (r : Generate.result) =
+  let config_id = Generate.best_config_id r in
+  let params = Generate.best_params r in
+  let config =
+    List.find (fun c -> c.Test_config.config_id = config_id) configs
+  in
+  {
+    fault_id = r.Generate.fault_id;
+    config_id;
+    normalized = Cluster.normalize config.Test_config.params params;
+    params;
+    critical =
+      (match r.Generate.outcome with
+      | Generate.Unique { critical_impact; _ } -> Some critical_impact
+      | Generate.Undetectable _ -> None);
+  }
+
+let equivalent ~tolerance ~impact_ratio a b =
+  a.config_id = b.config_id
+  && Numerics.Vec.dist_inf a.normalized b.normalized <= tolerance
+  &&
+  match (a.critical, b.critical) with
+  | Some ra, Some rb ->
+      let hi = Float.max ra rb and lo = Float.min ra rb in
+      hi /. lo <= impact_ratio
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+
+let classes ?(tolerance = 0.05) ?(impact_ratio = 2.) ~configs results =
+  let items = List.map (item_of_result configs) results in
+  (* greedy single-pass partition: deterministic, order-preserving *)
+  let classes = ref [] in
+  List.iter
+    (fun it ->
+      let placed = ref false in
+      classes :=
+        List.map
+          (fun (rep, members) ->
+            if (not !placed) && equivalent ~tolerance ~impact_ratio rep it
+            then begin
+              placed := true;
+              (rep, it :: members)
+            end
+            else (rep, members))
+          !classes;
+      if not !placed then classes := !classes @ [ (it, []) ])
+    items;
+  List.map
+    (fun (rep, members) ->
+      let all = rep :: List.rev members in
+      (* representative: the member detecting the weakest impact *)
+      let best =
+        List.fold_left
+          (fun best it ->
+            match (best.critical, it.critical) with
+            | Some rb, Some ri when ri > rb -> it
+            | _ -> best)
+          rep all
+      in
+      {
+        representative = best.fault_id;
+        members = List.map (fun it -> it.fault_id) all;
+        class_config_id = best.config_id;
+        class_params = best.params;
+      })
+    !classes
+
+let collapse_ratio cls =
+  let members =
+    List.fold_left (fun n c -> n + List.length c.members) 0 cls
+  in
+  if cls = [] then 1.
+  else float_of_int members /. float_of_int (List.length cls)

@@ -1,0 +1,31 @@
+(** Fault-equivalence analysis ("collapsing of dictionaries", paper
+    §2.2).
+
+    Because generation targets the fault {e type at a location} rather
+    than the exact dictionary model, faults whose optimal tests coincide
+    are equivalent from the tester's point of view: one representative
+    per class is enough for future re-generation runs.  Two generation
+    results are equivalent when they selected the same configuration with
+    (bound-normalized) parameters within [tolerance], and their critical
+    impacts agree within [impact_ratio]. *)
+
+type equivalence_class = {
+  representative : string;  (** fault id with the strongest (weakest-R
+                                detectable) critical impact *)
+  members : string list;  (** all fault ids in the class, incl. the rep *)
+  class_config_id : int;
+  class_params : Numerics.Vec.t;  (** the representative's parameters *)
+}
+
+val classes :
+  ?tolerance:float ->
+  ?impact_ratio:float ->
+  configs:Test_config.t list ->
+  Generate.result list ->
+  equivalence_class list
+(** Partition results into equivalence classes ([tolerance] in
+    normalized parameter space, default 0.05; [impact_ratio] default 2).
+    Undetectable faults always form singleton classes. *)
+
+val collapse_ratio : equivalence_class list -> float
+(** [faults / classes]. *)

@@ -1,0 +1,74 @@
+
+type t = {
+  config : Test_config.t;
+  profile : Execute.profile;
+  nominal : Execute.target;
+  box_model : Tolerance.t;
+  nominal_cache : (string, float array) Hashtbl.t;
+  mutable evals : int;
+}
+
+let create ?(profile = Execute.default_profile) config ~nominal ~box_model =
+  {
+    config;
+    profile;
+    nominal;
+    box_model;
+    nominal_cache = Hashtbl.create 64;
+    evals = 0;
+  }
+
+let config t = t.config
+let config_id t = t.config.Test_config.config_id
+let nominal_target t = t.nominal
+
+let cache_key values =
+  String.concat ","
+    (Array.to_list (Array.map (Printf.sprintf "%.12g") values))
+
+let nominal_observables t values =
+  let key = cache_key values in
+  match Hashtbl.find_opt t.nominal_cache key with
+  | Some obs -> obs
+  | None ->
+      let obs = Execute.observables ~profile:t.profile t.config t.nominal values in
+      Hashtbl.replace t.nominal_cache key obs;
+      obs
+
+let box t values = Tolerance.box t.box_model values
+
+let detected_sentinel = -1e6
+
+let faulty_target t fault =
+  {
+    t.nominal with
+    Execute.netlist = Faults.Inject.apply t.nominal.Execute.netlist fault;
+  }
+
+let faulty_observables t fault values =
+  t.evals <- t.evals + 1;
+  Execute.observables ~profile:t.profile t.config (faulty_target t fault) values
+
+let sensitivity_and_deviation t fault values =
+  let nominal = nominal_observables t values in
+  match faulty_observables t fault values with
+  | faulty ->
+      let dev = Execute.deviations t.config ~nominal ~faulty in
+      let s =
+        Sensitivity.compute t.config ~box:(box t values) ~nominal ~faulty
+      in
+      (s, dev)
+  | exception Execute.Execution_failure _ -> (detected_sentinel, [||])
+
+let sensitivity t fault values = fst (sensitivity_and_deviation t fault values)
+
+let sensitivity_of_target t target values =
+  let nominal = nominal_observables t values in
+  t.evals <- t.evals + 1;
+  match Execute.observables ~profile:t.profile t.config target values with
+  | observed ->
+      Sensitivity.compute t.config ~box:(box t values) ~nominal
+        ~faulty:observed
+  | exception Execute.Execution_failure _ -> detected_sentinel
+
+let evaluation_count t = t.evals

@@ -1,0 +1,57 @@
+(** Bundled per-configuration evaluation context.
+
+    An evaluator owns everything needed to answer "what is [S_f(T)] for
+    this configuration?": the nominal target, the calibrated box model
+    and an execution profile.  Nominal observables are memoized per
+    parameter value set, which makes the impact-convergence loop (many
+    impacts, same [T]) cheap. *)
+
+type t
+
+val create :
+  ?profile:Execute.profile ->
+  Test_config.t ->
+  nominal:Execute.target ->
+  box_model:Tolerance.t ->
+  t
+
+val config : t -> Test_config.t
+val config_id : t -> int
+val nominal_target : t -> Execute.target
+
+val nominal_observables : t -> Numerics.Vec.t -> float array
+(** Memoized nominal measurement at the given parameter values. *)
+
+val box : t -> Numerics.Vec.t -> float array
+
+val detected_sentinel : float
+(** Sensitivity assigned when the faulty circuit cannot be simulated at
+    all (-1e6): a macro whose faulty version does not even reach an
+    operating point is trivially caught on the tester. *)
+
+val sensitivity : t -> Faults.Fault.t -> Numerics.Vec.t -> float
+(** [S_f(T)]: injects the fault into the nominal netlist, measures, and
+    scores against the memoized nominal response and the box model.
+    Returns {!detected_sentinel} if the faulty simulation fails.
+    @raise Execute.Execution_failure if the {e nominal} simulation fails
+    (a setup error, not a fault effect). *)
+
+val sensitivity_and_deviation :
+  t -> Faults.Fault.t -> Numerics.Vec.t -> float * float array
+(** Sensitivity together with the per-return-value deviations (reports).
+    The deviation array is empty when the faulty simulation failed. *)
+
+val faulty_observables :
+  t -> Faults.Fault.t -> Numerics.Vec.t -> float array
+(** Raw faulty measurement (no memoization).
+    @raise Execute.Execution_failure on simulator failure. *)
+
+val sensitivity_of_target : t -> Execute.target -> Numerics.Vec.t -> float
+(** Score an arbitrary target (e.g. a fault-free circuit at a Monte-Carlo
+    process point) against this evaluator's nominal response and box —
+    the production pass/fail decision: negative means the part fails the
+    test.  Returns {!detected_sentinel} if the target cannot be
+    simulated. *)
+
+val evaluation_count : t -> int
+(** Number of faulty-circuit simulations performed so far. *)

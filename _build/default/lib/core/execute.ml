@@ -1,0 +1,203 @@
+open Circuit
+
+type target = {
+  netlist : Netlist.t;
+  stimulus_source : string;
+  observe_node : string;
+}
+
+type profile = {
+  samples_per_period : int;
+  settle_periods : int;
+  analyze_periods : int;
+  thd_harmonics : int;
+  dc_options : Dc.options;
+}
+
+let default_profile =
+  {
+    samples_per_period = 128;
+    settle_periods = 2;
+    analyze_periods = 2;
+    thd_harmonics = 5;
+    dc_options = Dc.default_options;
+  }
+
+let fast_profile =
+  {
+    samples_per_period = 64;
+    settle_periods = 1;
+    analyze_periods = 1;
+    thd_harmonics = 5;
+    dc_options = Dc.default_options;
+  }
+
+exception Execution_failure of string
+
+let with_stimulus nl ~source wave =
+  match Netlist.find nl source with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Execute.with_stimulus: no device %S" source)
+  | Some (Device.Isource i) ->
+      Netlist.replace nl source [ Device.Isource { i with wave } ]
+  | Some (Device.Vsource v) ->
+      Netlist.replace nl source [ Device.Vsource { v with wave } ]
+  | Some
+      ( Device.Resistor _ | Device.Capacitor _ | Device.Inductor _
+      | Device.Vcvs _ | Device.Vccs _ | Device.Mosfet _ ) ->
+      invalid_arg
+        (Printf.sprintf
+           "Execute.with_stimulus: %S is not an independent source" source)
+
+let check_values config values =
+  if Numerics.Vec.dim values <> Test_config.n_params config then
+    invalid_arg "Execute: parameter value count mismatch"
+
+let dc_voltage ~options nl ~observe =
+  let sys = Mna.build nl in
+  match Dc.solve ~options sys ~time:`Dc with
+  | report -> Mna.voltage sys report.Dc.solution observe
+  | exception Dc.No_convergence msg -> raise (Execution_failure msg)
+
+let transient ~options nl ~observe ~tstop ~dt =
+  let sys = Mna.build nl in
+  match Tran.simulate ~options sys ~tstop ~dt ~observe:[ observe ] with
+  | result -> Tran.probe_values result observe
+  | exception Tran.Step_failure { time; reason } ->
+      raise
+        (Execution_failure
+           (Printf.sprintf "transient step failed at t=%g: %s" time reason))
+  | exception Dc.No_convergence msg -> raise (Execution_failure msg)
+
+let observables ?(profile = default_profile) config target values =
+  check_values config values;
+  let options = profile.dc_options in
+  match config.Test_config.analysis with
+  | Test_config.Dc_levels waves ->
+      waves values
+      |> List.map (fun w ->
+             let nl =
+               with_stimulus target.netlist ~source:target.stimulus_source w
+             in
+             dc_voltage ~options nl ~observe:target.observe_node)
+      |> Array.of_list
+  | Test_config.Tran_thd { stimulus; fundamental } ->
+      let f0 = fundamental values in
+      if f0 <= 0. then raise (Execution_failure "THD: non-positive fundamental");
+      let spp = profile.samples_per_period in
+      let dt = 1. /. (f0 *. float_of_int spp) in
+      let total = profile.settle_periods + profile.analyze_periods in
+      let tstop = float_of_int total /. f0 in
+      let nl =
+        with_stimulus target.netlist ~source:target.stimulus_source
+          (stimulus values)
+      in
+      let samples =
+        transient ~options nl ~observe:target.observe_node ~tstop ~dt
+      in
+      let keep = spp * profile.analyze_periods in
+      let seg = Array.sub samples (Array.length samples - keep) keep in
+      let thd =
+        Sigproc.Thd.thd_percent ~harmonics:profile.thd_harmonics ~samples:seg
+          ~sample_rate:(1. /. dt) ~fundamental_hz:f0 ()
+      in
+      [| thd |]
+  | Test_config.Tran_samples { stimulus; sample_rate; test_time } ->
+      let dt = 1. /. sample_rate in
+      let nl =
+        with_stimulus target.netlist ~source:target.stimulus_source
+          (stimulus values)
+      in
+      transient ~options nl ~observe:target.observe_node ~tstop:test_time ~dt
+  | Test_config.Tran_imd { stimulus; base_freq; k1; k2 } ->
+      let f0 = base_freq values in
+      if f0 <= 0. then raise (Execution_failure "IMD: non-positive base frequency");
+      let spp = profile.samples_per_period in
+      (* sampling is locked to the base period; the highest product
+         2 k2 - k1 must stay below Nyquist *)
+      if (2 * k2) - k1 >= spp / 2 then
+        raise (Execution_failure "IMD: products above Nyquist for this profile");
+      let dt = 1. /. (f0 *. float_of_int spp) in
+      let total = profile.settle_periods + profile.analyze_periods in
+      let tstop = float_of_int total /. f0 in
+      let nl =
+        with_stimulus target.netlist ~source:target.stimulus_source
+          (stimulus values)
+      in
+      let samples =
+        transient ~options nl ~observe:target.observe_node ~tstop ~dt
+      in
+      let keep = spp * profile.analyze_periods in
+      let seg = Array.sub samples (Array.length samples - keep) keep in
+      let imd3 =
+        Sigproc.Imd.imd3_percent ~samples:seg ~sample_rate:(1. /. dt)
+          ~base_freq:f0 ~k1 ~k2 ()
+      in
+      [| imd3 |]
+  | Test_config.Noise_psd { bias; freq } ->
+      let f = freq values in
+      if f <= 0. then raise (Execution_failure "noise: non-positive frequency");
+      let nl =
+        with_stimulus target.netlist ~source:target.stimulus_source
+          (bias values)
+      in
+      let sys = Mna.build nl in
+      let op =
+        match Dc.solve ~options sys ~time:`Dc with
+        | report -> report.Dc.solution
+        | exception Dc.No_convergence msg -> raise (Execution_failure msg)
+      in
+      (match
+         Noise.output_noise sys ~op ~observe:target.observe_node
+           ~freqs:[| f |]
+       with
+      | [ point ] -> [| 1e9 *. sqrt point.Noise.total_psd |]
+      | _ -> raise (Execution_failure "noise: unexpected result")
+      | exception Not_found ->
+          raise (Execution_failure "noise: unknown observation node")
+      | exception Numerics.Cmat.Singular _ ->
+          raise (Execution_failure "noise: singular small-signal system"))
+  | Test_config.Ac_gain { bias; freq } ->
+      let f = freq values in
+      if f <= 0. then raise (Execution_failure "AC: non-positive frequency");
+      let nl =
+        with_stimulus target.netlist ~source:target.stimulus_source
+          (bias values)
+      in
+      let sys = Mna.build nl in
+      let op =
+        match Dc.solve ~options sys ~time:`Dc with
+        | report -> report.Dc.solution
+        | exception Dc.No_convergence msg -> raise (Execution_failure msg)
+      in
+      (match
+         Ac.sweep sys ~op ~source:target.stimulus_source ~freqs:[| f |]
+           ~observe:target.observe_node
+       with
+      | [ point ] ->
+          [| Ac.gain_db point.Ac.value; Ac.phase_deg point.Ac.value |]
+      | _ -> raise (Execution_failure "AC: unexpected sweep result")
+      | exception Numerics.Cmat.Singular _ ->
+          raise (Execution_failure "AC: singular small-signal system"))
+
+let deviations config ~nominal ~faulty =
+  if Array.length nominal <> Array.length faulty then
+    invalid_arg "Execute.deviations: observable length mismatch";
+  match config.Test_config.returns with
+  | Test_config.Per_component ->
+      Array.init (Array.length faulty) (fun i -> faulty.(i) -. nominal.(i))
+  | Test_config.Max_abs_delta ->
+      [| Sigproc.Metrics.max_abs_delta faulty nominal |]
+  | Test_config.Sum_abs_delta ->
+      [|
+        Float.abs
+          (Sigproc.Metrics.accumulate faulty
+          -. Sigproc.Metrics.accumulate nominal);
+      |]
+
+let return_values config ~nominal ~observed =
+  match config.Test_config.returns with
+  | Test_config.Per_component -> Array.copy observed
+  | Test_config.Max_abs_delta | Test_config.Sum_abs_delta ->
+      deviations config ~nominal ~faulty:observed

@@ -1,0 +1,60 @@
+(** Test execution: apply a test to a circuit and collect observables.
+
+    This is the reproduction's stand-in for "HSPICE run + automatic
+    post-processing" (paper §3.3): the configuration's stimulus replaces
+    the macro's input-source waveform, the requested analysis runs, and
+    the observable vector comes back.  Deviation computation implements
+    the per-return-value [delta r] of §3.1. *)
+
+type target = {
+  netlist : Circuit.Netlist.t;  (** nominal or fault-injected macro *)
+  stimulus_source : string;  (** independent source the stimulus replaces *)
+  observe_node : string;
+}
+
+type profile = {
+  samples_per_period : int;  (** THD transient resolution (default 128) *)
+  settle_periods : int;  (** periods simulated before the THD window (2) *)
+  analyze_periods : int;  (** periods inside the THD window (2) *)
+  thd_harmonics : int;  (** highest harmonic order (5) *)
+  dc_options : Circuit.Dc.options;
+}
+
+val default_profile : profile
+
+val fast_profile : profile
+(** Coarser THD windows for unit tests and quick sweeps. *)
+
+exception Execution_failure of string
+(** Raised when the underlying analysis cannot complete (DC or transient
+    non-convergence) — treated by callers as "no measurable response". *)
+
+val with_stimulus :
+  Circuit.Netlist.t -> source:string -> Circuit.Waveform.t ->
+  Circuit.Netlist.t
+(** Replace the waveform of the named independent V or I source.
+    @raise Invalid_argument if the device is missing or not an
+    independent source. *)
+
+val observables :
+  ?profile:profile -> Test_config.t -> target -> Numerics.Vec.t ->
+  float array
+(** Run the configuration's analysis with the given parameter values.
+    The result length depends on the analysis: one voltage per DC level,
+    one THD value, or the full sample train.
+    @raise Execution_failure on simulator failure.
+    @raise Invalid_argument if the value vector length differs from the
+    configuration's parameter count. *)
+
+val deviations :
+  Test_config.t -> nominal:float array -> faulty:float array -> float array
+(** Per-return-value deviations [delta r_i] between two observable
+    vectors, according to the configuration's return mode.  Length equals
+    {!Test_config.return_count}.
+    @raise Invalid_argument on observable length mismatch. *)
+
+val return_values :
+  Test_config.t -> nominal:float array -> observed:float array -> float array
+(** The return values [R(T)] themselves (for reports): equal to the
+    observables for [Per_component], and to the deviation metric
+    relative to nominal for the delta modes. *)

@@ -1,0 +1,113 @@
+type cost_model = {
+  dc_point_cost : float;
+  transient_cost_per_sample : float;
+  thd_cost : float;
+  ac_point_cost : float;
+}
+
+let default_cost_model =
+  {
+    dc_point_cost = 1e-3;
+    transient_cost_per_sample = 1e-8;
+    thd_cost = 5e-3;
+    ac_point_cost = 2e-3;
+  }
+
+let test_cost model (config : Test_config.t) =
+  match config.Test_config.analysis with
+  | Test_config.Dc_levels waves ->
+      let n =
+        List.length (waves (Test_param.seeds_of config.Test_config.params))
+      in
+      float_of_int n *. model.dc_point_cost
+  | Test_config.Tran_thd _ | Test_config.Tran_imd _ -> model.thd_cost
+  | Test_config.Tran_samples { sample_rate; test_time; _ } ->
+      sample_rate *. test_time *. model.transient_cost_per_sample
+  | Test_config.Ac_gain _ | Test_config.Noise_psd _ -> model.ac_point_cost
+
+type scheduled = {
+  order : Coverage.test list;
+  cumulative_coverage : float list;
+  cumulative_cost : float list;
+  expected_detection_cost : float;
+}
+
+let order ~cost_model ~configs ~weights ~detections tests =
+  let config_of cid =
+    match
+      List.find_opt (fun c -> c.Test_config.config_id = cid) configs
+    with
+    | Some c -> c
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Schedule.order: unknown configuration #%d" cid)
+  in
+  let cost_of (t : Coverage.test) =
+    test_cost cost_model (config_of t.Coverage.test_config_id)
+  in
+  let total_weight =
+    Float.max 1e-300 (List.fold_left (fun acc (_, w) -> acc +. w) 0. weights)
+  in
+  let weight_of fid =
+    Option.value ~default:0. (List.assoc_opt fid weights) /. total_weight
+  in
+  (* faults each test detects *)
+  let faults_of (t : Coverage.test) =
+    List.filter_map
+      (fun (fid, labels) ->
+        if List.exists (String.equal t.Coverage.test_label) labels then
+          Some fid
+        else None)
+      detections
+  in
+  let remaining = ref tests in
+  let caught = Hashtbl.create 64 in
+  let ordered = ref [] in
+  let coverage = ref 0. in
+  let cost = ref 0. in
+  let cum_cov = ref [] and cum_cost = ref [] in
+  let expected = ref 0. in
+  while !remaining <> [] do
+    let gain_of t =
+      List.fold_left
+        (fun acc fid ->
+          if Hashtbl.mem caught fid then acc else acc +. weight_of fid)
+        0. (faults_of t)
+    in
+    (* pick the best gain/cost ratio; stable for ties *)
+    let best =
+      List.fold_left
+        (fun best t ->
+          let ratio = gain_of t /. Float.max 1e-12 (cost_of t) in
+          match best with
+          | Some (_, best_ratio) when best_ratio >= ratio -> best
+          | Some _ | None -> Some (t, ratio))
+        None !remaining
+    in
+    match best with
+    | None -> remaining := []
+    | Some (t, _) ->
+        let gain = gain_of t in
+        List.iter
+          (fun fid ->
+            if not (Hashtbl.mem caught fid) then Hashtbl.replace caught fid ())
+          (faults_of t);
+        cost := !cost +. cost_of t;
+        coverage := !coverage +. (100. *. gain);
+        (* a defect caught first by this test pays the cost so far *)
+        expected := !expected +. (gain *. !cost);
+        ordered := t :: !ordered;
+        cum_cov := !coverage :: !cum_cov;
+        cum_cost := !cost :: !cum_cost;
+        remaining :=
+          List.filter
+            (fun t' ->
+              not (String.equal t'.Coverage.test_label t.Coverage.test_label))
+            !remaining
+  done;
+  {
+    order = List.rev !ordered;
+    cumulative_coverage = List.rev !cum_cov;
+    cumulative_cost = List.rev !cum_cost;
+    expected_detection_cost = !expected;
+  }

@@ -1,0 +1,47 @@
+(** Production test scheduling.
+
+    A compact test set still has a free ordering degree: production
+    testers abort on the first failing measurement, so tests should be
+    ordered to catch likely defects as early (and as cheaply) as
+    possible.  This module orders tests greedily by incremental
+    weighted-coverage per unit application cost — a standard companion
+    step to the paper's compaction. *)
+
+type cost_model = {
+  dc_point_cost : float;  (** seconds per DC measurement (default 1e-3) *)
+  transient_cost_per_sample : float;  (** default 1e-8 *)
+  thd_cost : float;  (** seconds per THD measurement (default 5e-3) *)
+  ac_point_cost : float;  (** seconds per AC point (default 2e-3) *)
+}
+
+val default_cost_model : cost_model
+
+val test_cost : cost_model -> Test_config.t -> float
+(** Estimated tester time to apply one test of this configuration. *)
+
+type scheduled = {
+  order : Coverage.test list;  (** application order *)
+  cumulative_coverage : float list;
+      (** weighted coverage (percent) after each test *)
+  cumulative_cost : float list;  (** seconds after each test *)
+  expected_detection_cost : float;
+      (** expected tester time to the first failing measurement for a
+          defective part, under the fault weights *)
+}
+
+val order :
+  cost_model:cost_model ->
+  configs:Test_config.t list ->
+  weights:(string * float) list ->
+  detections:(string * string list) list ->
+  Coverage.test list ->
+  scheduled
+(** Greedy ordering: repeatedly pick the test with the best
+    (incremental likelihood caught) / cost ratio; ties and zero-gain
+    tests keep their input order at the tail.
+
+    [weights] maps fault ids to likelihoods (need not be normalized);
+    [detections] maps fault ids to the labels of the tests detecting them
+    (as produced by {!Coverage.evaluate}).
+    @raise Invalid_argument if a test references an unknown
+    configuration id. *)

@@ -1,0 +1,235 @@
+let format_version = 1
+
+let float_str x = Printf.sprintf "%.17g" x
+
+let vec_str v =
+  String.concat " " (Array.to_list (Array.map float_str v))
+
+let fault_str = function
+  | Faults.Fault.Bridge { node_a; node_b; resistance } ->
+      Printf.sprintf "bridge %s %s %s" node_a node_b (float_str resistance)
+  | Faults.Fault.Pinhole { mosfet; r_shunt } ->
+      Printf.sprintf "pinhole %s %s" mosfet (float_str r_shunt)
+
+let to_string results =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Printf.sprintf "atpg-session %d\n" format_version);
+  List.iter
+    (fun (r : Generate.result) ->
+      Buffer.add_string b
+        (Printf.sprintf "result %s\n" r.Generate.fault_id);
+      Buffer.add_string b
+        (Printf.sprintf "fault %s\n" (fault_str r.Generate.dictionary_fault));
+      List.iter
+        (fun (c : Generate.candidate) ->
+          Buffer.add_string b
+            (Printf.sprintf "candidate %d %s %d | %s\n" c.Generate.cand_config_id
+               (float_str c.Generate.low_impact_sensitivity)
+               c.Generate.optimizer_evaluations
+               (vec_str c.Generate.cand_params)))
+        r.Generate.candidates;
+      (match r.Generate.outcome with
+      | Generate.Unique { config_id; params; critical_impact; dictionary_sensitivity } ->
+          Buffer.add_string b
+            (Printf.sprintf "unique %d %s %s | %s\n" config_id
+               (float_str critical_impact)
+               (float_str dictionary_sensitivity)
+               (vec_str params))
+      | Generate.Undetectable
+          { most_sensitive_config; params; best_sensitivity; strongest_impact } ->
+          Buffer.add_string b
+            (Printf.sprintf "undetectable %d %s %s | %s\n" most_sensitive_config
+               (float_str best_sensitivity)
+               (float_str strongest_impact)
+               (vec_str params)));
+      List.iter
+        (fun (s : Generate.trace_step) ->
+          Buffer.add_string b
+            (Printf.sprintf "trace %s |%s\n"
+               (float_str s.Generate.impact)
+               (String.concat ""
+                  (List.map (Printf.sprintf " %d") s.Generate.detecting))))
+        r.Generate.trace;
+      Buffer.add_string b "end\n")
+    results;
+  Buffer.contents b
+
+exception Bad of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let parse_float s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> failf "bad float %S" s
+
+let parse_int s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> failf "bad int %S" s
+
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let split_bar line =
+  match String.index_opt line '|' with
+  | None -> failf "missing '|' separator in %S" line
+  | Some i ->
+      ( String.trim (String.sub line 0 i),
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let parse_vec s = Array.of_list (List.map parse_float (words s))
+
+let parse_fault = function
+  | [ "bridge"; a; b; r ] -> Faults.Fault.bridge a b ~resistance:(parse_float r)
+  | [ "pinhole"; m; r ] -> Faults.Fault.pinhole m ~r_shunt:(parse_float r)
+  | other -> failf "bad fault line: %s" (String.concat " " other)
+
+type partial = {
+  mutable p_fault : Faults.Fault.t option;
+  mutable p_candidates : Generate.candidate list;
+  mutable p_outcome : Generate.outcome option;
+  mutable p_trace : Generate.trace_step list;
+}
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | [] -> Error "empty session"
+  | header :: rest -> begin
+      match words header with
+      | [ "atpg-session"; v ] when int_of_string_opt v = Some format_version
+        -> begin
+          try
+            let results = ref [] in
+            let current = ref None in
+            let current_id = ref "" in
+            let finish () =
+              match !current with
+              | None -> ()
+              | Some p ->
+                  let fault =
+                    match p.p_fault with
+                    | Some f -> f
+                    | None -> failf "result %s: missing fault" !current_id
+                  in
+                  let outcome =
+                    match p.p_outcome with
+                    | Some o -> o
+                    | None -> failf "result %s: missing outcome" !current_id
+                  in
+                  results :=
+                    {
+                      Generate.fault_id = !current_id;
+                      dictionary_fault = fault;
+                      candidates = List.rev p.p_candidates;
+                      outcome;
+                      trace = List.rev p.p_trace;
+                    }
+                    :: !results;
+                  current := None
+            in
+            List.iter
+              (fun line ->
+                let line = String.trim line in
+                if line = "" then ()
+                else
+                  match (words line, !current) with
+                  | "result" :: id :: [], _ ->
+                      finish ();
+                      current_id := String.concat "" [ id ];
+                      current :=
+                        Some
+                          {
+                            p_fault = None;
+                            p_candidates = [];
+                            p_outcome = None;
+                            p_trace = [];
+                          }
+                  | "fault" :: spec, Some p -> p.p_fault <- Some (parse_fault spec)
+                  | "candidate" :: _, Some p -> begin
+                      let head, tail = split_bar line in
+                      match words head with
+                      | [ _; cid; s; evals ] ->
+                          p.p_candidates <-
+                            {
+                              Generate.cand_config_id = parse_int cid;
+                              cand_params = parse_vec tail;
+                              low_impact_sensitivity = parse_float s;
+                              optimizer_evaluations = parse_int evals;
+                            }
+                            :: p.p_candidates
+                      | _ -> failf "bad candidate line %S" line
+                    end
+                  | "unique" :: _, Some p -> begin
+                      let head, tail = split_bar line in
+                      match words head with
+                      | [ _; cid; crit; s ] ->
+                          p.p_outcome <-
+                            Some
+                              (Generate.Unique
+                                 {
+                                   config_id = parse_int cid;
+                                   params = parse_vec tail;
+                                   critical_impact = parse_float crit;
+                                   dictionary_sensitivity = parse_float s;
+                                 })
+                      | _ -> failf "bad unique line %S" line
+                    end
+                  | "undetectable" :: _, Some p -> begin
+                      let head, tail = split_bar line in
+                      match words head with
+                      | [ _; cid; s; impact ] ->
+                          p.p_outcome <-
+                            Some
+                              (Generate.Undetectable
+                                 {
+                                   most_sensitive_config = parse_int cid;
+                                   params = parse_vec tail;
+                                   best_sensitivity = parse_float s;
+                                   strongest_impact = parse_float impact;
+                                 })
+                      | _ -> failf "bad undetectable line %S" line
+                    end
+                  | "trace" :: _, Some p -> begin
+                      let head, tail = split_bar line in
+                      match words head with
+                      | [ _; impact ] ->
+                          p.p_trace <-
+                            {
+                              Generate.impact = parse_float impact;
+                              detecting = List.map parse_int (words tail);
+                            }
+                            :: p.p_trace
+                      | _ -> failf "bad trace line %S" line
+                    end
+                  | [ "end" ], Some _ -> finish ()
+                  | _, None -> failf "line outside a result block: %S" line
+                  | other, Some _ ->
+                      failf "unknown line: %S" (String.concat " " other))
+              rest;
+            finish ();
+            Ok (List.rev !results)
+          with Bad m | Invalid_argument m -> Error m
+        end
+      | [ "atpg-session"; v ] ->
+          Error (Printf.sprintf "unsupported session version %s" v)
+      | _ -> Error "not an atpg session file"
+    end
+
+let save ~path results =
+  match open_out path with
+  | exception Sys_error m -> Error m
+  | oc ->
+      output_string oc (to_string results);
+      close_out oc;
+      Ok ()
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      of_string text

@@ -1,0 +1,20 @@
+(** Persistence of generation results.
+
+    A whole-dictionary generation run costs minutes of simulation; this
+    module saves its results in a line-oriented text format so compaction,
+    scheduling and reporting can be re-run (or run with different
+    parameters such as [delta]) without regenerating.  The format is
+    versioned, human-readable and stable under round-trips. *)
+
+val format_version : int
+
+val to_string : Generate.result list -> string
+(** Serialize results (candidates, outcome, impact trace). *)
+
+val of_string : string -> (Generate.result list, string) result
+(** Parse a serialized session.  Fails with a diagnostic on version
+    mismatch or malformed input. *)
+
+val save : path:string -> Generate.result list -> (unit, string) result
+
+val load : path:string -> (Generate.result list, string) result

@@ -1,0 +1,134 @@
+type analysis =
+  | Dc_levels of (Numerics.Vec.t -> Circuit.Waveform.t list)
+  | Tran_thd of {
+      stimulus : Numerics.Vec.t -> Circuit.Waveform.t;
+      fundamental : Numerics.Vec.t -> float;
+    }
+  | Tran_samples of {
+      stimulus : Numerics.Vec.t -> Circuit.Waveform.t;
+      sample_rate : float;
+      test_time : float;
+    }
+  | Ac_gain of {
+      bias : Numerics.Vec.t -> Circuit.Waveform.t;
+      freq : Numerics.Vec.t -> float;
+    }
+  | Tran_imd of {
+      stimulus : Numerics.Vec.t -> Circuit.Waveform.t;
+      base_freq : Numerics.Vec.t -> float;
+      k1 : int;
+      k2 : int;
+    }
+  | Noise_psd of {
+      bias : Numerics.Vec.t -> Circuit.Waveform.t;
+      freq : Numerics.Vec.t -> float;
+    }
+
+type returns = Per_component | Max_abs_delta | Sum_abs_delta
+
+type t = {
+  config_id : int;
+  config_name : string;
+  macro_type : string;
+  control_node : string;
+  params : Test_param.t list;
+  analysis : analysis;
+  returns : returns;
+  return_names : string list;
+  accuracy_floor : float list;
+  summary : string;
+}
+
+let create ~id ~name ~macro_type ~control_node ~params ~analysis ~returns
+    ~return_names ~accuracy_floor ~summary =
+  if params = [] then invalid_arg "Test_config.create: no parameters";
+  if List.length return_names <> List.length accuracy_floor then
+    invalid_arg "Test_config.create: return_names / accuracy_floor mismatch";
+  if return_names = [] then invalid_arg "Test_config.create: no return values";
+  (match (returns, analysis) with
+  | (Max_abs_delta | Sum_abs_delta), _ when List.length return_names <> 1 ->
+      invalid_arg "Test_config.create: delta returns are single-valued"
+  | Per_component, (Tran_thd _ | Tran_imd _ | Noise_psd _)
+    when List.length return_names <> 1 ->
+      invalid_arg
+        "Test_config.create: THD/IMD/noise analyses have one return value"
+  | (Max_abs_delta | Sum_abs_delta), Noise_psd _ ->
+      invalid_arg "Test_config.create: noise needs Per_component returns"
+  | Per_component, Tran_imd { k1; k2; _ }
+    when k1 <= 0 || k2 <= k1 || (2 * k1) - k2 <= 0 ->
+      invalid_arg "Test_config.create: IMD needs 0 < k1 < k2 < 2 k1"
+  | (Max_abs_delta | Sum_abs_delta), Tran_imd _ ->
+      invalid_arg "Test_config.create: IMD needs Per_component returns"
+  | Per_component, Tran_samples _ ->
+      invalid_arg
+        "Test_config.create: sample-train analyses need a delta return mode"
+  | Per_component, Ac_gain _ when List.length return_names <> 2 ->
+      invalid_arg
+        "Test_config.create: AC analysis returns gain and phase (p = 2)"
+  | (Max_abs_delta | Sum_abs_delta), Ac_gain _ ->
+      invalid_arg "Test_config.create: AC analysis needs Per_component returns"
+  | (Per_component | Max_abs_delta | Sum_abs_delta), _ -> ());
+  List.iter
+    (fun f ->
+      if f <= 0. then
+        invalid_arg "Test_config.create: accuracy floors must be positive")
+    accuracy_floor;
+  {
+    config_id = id;
+    config_name = name;
+    macro_type;
+    control_node;
+    params;
+    analysis;
+    returns;
+    return_names;
+    accuracy_floor;
+    summary;
+  }
+
+let n_params t = List.length t.params
+
+let return_count t = List.length t.return_names
+
+let param_values_of_seed t = Test_param.seeds_of t.params
+
+let describe t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "Macro type: %s\n" t.macro_type);
+  Buffer.add_string b
+    (Printf.sprintf "Test configuration #%d: %s\n" t.config_id t.config_name);
+  Buffer.add_string b (Printf.sprintf "  control node: %s\n" t.control_node);
+  Buffer.add_string b (Printf.sprintf "  stimulus:     %s\n" t.summary);
+  List.iter
+    (fun p ->
+      Buffer.add_string b
+        (Format.asprintf "  parameter:    %a\n" Test_param.pp p))
+    t.params;
+  (match t.analysis with
+  | Dc_levels _ -> ()
+  | Tran_thd _ ->
+      Buffer.add_string b "  analysis:     transient, period-locked window\n"
+  | Tran_samples { sample_rate; test_time; _ } ->
+      Buffer.add_string b
+        (Printf.sprintf "  analysis:     transient; sample-rate=%sHz test-time=%ss\n"
+           (Circuit.Units.format_eng sample_rate)
+           (Circuit.Units.format_eng test_time))
+  | Ac_gain _ ->
+      Buffer.add_string b
+        "  analysis:     small-signal AC at the operating point\n"
+  | Tran_imd { k1; k2; _ } ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  analysis:     two-tone transient (f1 = %d f0, f2 = %d f0), \
+            period-locked window\n"
+           k1 k2)
+  | Noise_psd _ ->
+      Buffer.add_string b
+        "  analysis:     output noise density at the operating point\n");
+  List.iteri
+    (fun i rn ->
+      Buffer.add_string b
+        (Printf.sprintf "  return value: %s (tester accuracy %.4g)\n" rn
+           (List.nth t.accuracy_floor i)))
+    t.return_names;
+  Buffer.contents b

@@ -1,0 +1,109 @@
+(** Test configuration descriptions and implementations.
+
+    A {e test configuration description} (paper §2.1, Fig. 1) dictates
+    which node is controlled with which parameterized waveform, which
+    node is observed, and which post-processing turns the observation
+    into the test's {e return value(s)}.  An {e implementation} adds
+    parameter bounds and seed values for a specific macro.  A {e test}
+    is an implementation plus concrete parameter values. *)
+
+type analysis =
+  | Dc_levels of (Numerics.Vec.t -> Circuit.Waveform.t list)
+      (** One DC solve per waveform; the observable vector is the
+          observation-node voltage at each level. *)
+  | Tran_thd of {
+      stimulus : Numerics.Vec.t -> Circuit.Waveform.t;
+      fundamental : Numerics.Vec.t -> float;
+    }
+      (** Sine-driven transient; the observable is the single THD value
+          (percent) of the observation node. *)
+  | Tran_samples of {
+      stimulus : Numerics.Vec.t -> Circuit.Waveform.t;
+      sample_rate : float;
+      test_time : float;
+    }
+      (** Transient sampled at [sample_rate] for [test_time]; the
+          observable vector is the raw sample train. *)
+  | Ac_gain of {
+      bias : Numerics.Vec.t -> Circuit.Waveform.t;
+          (** DC bias applied to the stimulus source before linearization *)
+      freq : Numerics.Vec.t -> float;
+    }
+      (** Small-signal transfer from the stimulus source to the
+          observation node at one frequency; the observable vector is
+          [| gain_db; phase_deg |].  An extension beyond the paper's
+          Table 1 (the framework the paper proposes is explicitly open to
+          new configuration families). *)
+  | Tran_imd of {
+      stimulus : Numerics.Vec.t -> Circuit.Waveform.t;
+          (** must contain the two tones [k1 f0] and [k2 f0] *)
+      base_freq : Numerics.Vec.t -> float;
+      k1 : int;
+      k2 : int;
+    }
+      (** Two-tone transient; the observable is the single IMD3 value
+          (percent) of the observation node — another extension family. *)
+  | Noise_psd of {
+      bias : Numerics.Vec.t -> Circuit.Waveform.t;
+      freq : Numerics.Vec.t -> float;
+    }
+      (** Output noise spectral density at one frequency (adjoint
+          small-signal analysis); the observable is the square-root PSD
+          in nV per root-hertz.  A defect that adds or shifts resistive
+          paths changes the noise signature even when the transfer
+          function barely moves — a further extension family. *)
+
+type returns =
+  | Per_component
+      (** Every observable component is a return value; its deviation is
+          the component-wise faulty-minus-nominal difference. *)
+  | Max_abs_delta
+      (** Single return value: [max_k |obs_f(k) - obs_nom(k)|]
+          (Table 1's [Max(dV)] post-processing). *)
+  | Sum_abs_delta
+      (** Single return value: [|sum_k obs_f(k) - sum_k obs_nom(k)|]
+          (Fig. 1's accumulated [sum V(Vout)] post-processing). *)
+
+type t = {
+  config_id : int;
+  config_name : string;
+  macro_type : string;
+      (** description sharing: configurations apply to all macros of this
+          type (paper §2.1) *)
+  control_node : string;  (** standardized name of the driven node *)
+  params : Test_param.t list;
+  analysis : analysis;
+  returns : returns;
+  return_names : string list;  (** display names, one per return value *)
+  accuracy_floor : float list;
+      (** tester accuracy per return value — the minimum tolerance-box
+          half-width the test equipment can guarantee *)
+  summary : string;  (** one-line stimulus/return description for Table 1 *)
+}
+
+val create :
+  id:int ->
+  name:string ->
+  macro_type:string ->
+  control_node:string ->
+  params:Test_param.t list ->
+  analysis:analysis ->
+  returns:returns ->
+  return_names:string list ->
+  accuracy_floor:float list ->
+  summary:string ->
+  t
+(** @raise Invalid_argument on empty parameter lists, mismatched
+    return-name/floor lengths, or a multi-component [returns] combined
+    with single-value analyses (Tran_thd is always one component). *)
+
+val n_params : t -> int
+
+val return_count : t -> int
+(** Number of return values ([p] in the paper): the length of
+    [return_names]. *)
+
+val param_values_of_seed : t -> Numerics.Vec.t
+
+val describe : t -> string
+(** Multi-line Fig. 1-style configuration description. *)

@@ -1,0 +1,34 @@
+type t = {
+  param_name : string;
+  units : string;
+  lower : float;
+  upper : float;
+  seed : float;
+}
+
+let create ~name ~units ~lower ~upper ~seed =
+  if lower >= upper then
+    invalid_arg (Printf.sprintf "Test_param.create %s: lower >= upper" name);
+  if seed < lower || seed > upper then
+    invalid_arg (Printf.sprintf "Test_param.create %s: seed out of bounds" name);
+  { param_name = name; units; lower; upper; seed }
+
+let normalize p v =
+  let n = (v -. p.lower) /. (p.upper -. p.lower) in
+  Float.min 1. (Float.max 0. n)
+
+let denormalize p n = p.lower +. (n *. (p.upper -. p.lower))
+
+let clamp p v = Float.min p.upper (Float.max p.lower v)
+
+let bounds_of params =
+  let arr = Array.of_list params in
+  (Array.map (fun p -> p.lower) arr, Array.map (fun p -> p.upper) arr)
+
+let seeds_of params = Array.of_list (List.map (fun p -> p.seed) params)
+
+let pp_value p ppf v = Format.fprintf ppf "%s%s" (Circuit.Units.format_eng v) p.units
+
+let pp ppf p =
+  Format.fprintf ppf "%s in [%a, %a] seed %a" p.param_name (pp_value p) p.lower
+    (pp_value p) p.upper (pp_value p) p.seed

@@ -1,0 +1,39 @@
+(** Test parameters.
+
+    A test configuration carries named parameters (DC level, frequency,
+    step elevation, ...) with constraint bounds "determined by the
+    specifications of the macro and the test equipment" and a seed value
+    provided by the designer.  The optimizer works in physical units and
+    the compaction clustering in bound-normalized coordinates. *)
+
+type t = {
+  param_name : string;
+  units : string;  (** e.g. ["uA"], ["kHz"] — display only *)
+  lower : float;
+  upper : float;
+  seed : float;
+}
+
+val create :
+  name:string -> units:string -> lower:float -> upper:float -> seed:float -> t
+(** @raise Invalid_argument unless [lower < upper] and the seed lies
+    within the bounds. *)
+
+val normalize : t -> float -> float
+(** Map a physical value to [\[0, 1\]] (clamped). *)
+
+val denormalize : t -> float -> float
+(** Inverse of {!normalize} for values in [\[0, 1\]]. *)
+
+val clamp : t -> float -> float
+
+val bounds_of : t list -> Numerics.Vec.t * Numerics.Vec.t
+(** [(lowers, uppers)] for an optimizer box. *)
+
+val seeds_of : t list -> Numerics.Vec.t
+
+val pp : Format.formatter -> t -> unit
+(** e.g. [freq in [1kHz, 100kHz] seed 10kHz]. *)
+
+val pp_value : t -> Format.formatter -> float -> unit
+(** Value with the parameter's display unit. *)

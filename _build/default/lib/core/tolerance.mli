@@ -1,0 +1,67 @@
+(** Tolerance-box estimation ("box functions").
+
+    A fault can only be detected when the faulty return value leaves the
+    window that "safely boxes in expectable response values based on
+    known variations on process parameters" plus "the accuracy
+    specifications of test equipment" (paper §2.2).
+
+    Following §3.3 ("for each test configuration a function is available
+    estimating the tolerance box value(s) for any parameter value set"),
+    the box is {e calibrated once} per configuration: the deviation of
+    every process corner from the nominal response is measured on a
+    lattice of parameter values, enveloped, inflated by a guardband, and
+    afterwards interpolated multilinearly for arbitrary parameter values.
+    The tester accuracy floor bounds the box from below. *)
+
+type t
+
+val calibrate :
+  ?profile:Execute.profile ->
+  ?grid:int ->
+  ?guardband:float ->
+  Test_config.t ->
+  nominal:Execute.target ->
+  corners:Execute.target list ->
+  unit ->
+  t
+(** [grid] (default 3) is the number of lattice points per parameter
+    axis; [guardband] (default 1.25) inflates the raw corner envelope.
+    Corners that fail to simulate at some lattice point are skipped at
+    that point (a corner so extreme it breaks the solver would be
+    screened out at production test anyway).
+    @raise Invalid_argument if [grid < 2], [guardband < 1] or [corners]
+    is empty.
+    @raise Execute.Execution_failure if the {e nominal} circuit fails. *)
+
+val calibrate_monte_carlo :
+  ?profile:Execute.profile ->
+  ?grid:int ->
+  ?guardband:float ->
+  ?quantile:float ->
+  Test_config.t ->
+  nominal:Execute.target ->
+  samples:Execute.target list ->
+  unit ->
+  t
+(** Monte-Carlo variant of {!calibrate}: the per-lattice-point envelope is
+    the [quantile] (default 100, i.e. the maximum) of the absolute
+    deviations over the given process {e samples} instead of the corner
+    maximum.  With a large sample count and a sub-100 quantile this trades
+    a controlled overkill rate for a tighter box.
+    @raise Invalid_argument on an empty sample list or a quantile outside
+    (0, 100]. *)
+
+val box : t -> Numerics.Vec.t -> float array
+(** Tolerance-box half-widths (one per return value) at a parameter
+    value set, clamped below by the configuration's accuracy floor.
+    Values outside the lattice are clamped onto it. *)
+
+val config : t -> Test_config.t
+
+val lattice_points : t -> Numerics.Vec.t list
+(** The calibration lattice (diagnostics and tests). *)
+
+val floor_only :
+  Test_config.t -> t
+(** A degenerate model whose box is just the tester accuracy floor —
+    useful for unit tests and for idealized what-if studies. *)

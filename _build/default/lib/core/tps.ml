@@ -1,0 +1,121 @@
+
+type graph = {
+  config_id : int;
+  fault : Faults.Fault.t;
+  axes : (string * float array) list;
+  values : float array;
+}
+
+let sweep evaluator fault ?(grid = 11) () =
+  if grid < 2 then invalid_arg "Tps.sweep: grid < 2";
+  let config = Evaluator.config evaluator in
+  let params = Array.of_list config.Test_config.params in
+  let axes =
+    Array.map
+      (fun (p : Test_param.t) ->
+        ( p.Test_param.param_name,
+          Array.init grid (fun i ->
+              p.Test_param.lower
+              +. ((p.Test_param.upper -. p.Test_param.lower)
+                  *. float_of_int i
+                  /. float_of_int (grid - 1))) ))
+      params
+  in
+  let dims = Array.map (fun (_, a) -> Array.length a) axes in
+  let total = Array.fold_left ( * ) 1 dims in
+  let values =
+    Array.init total (fun flat ->
+        let idx = Array.make (Array.length dims) 0 in
+        let rem = ref flat in
+        for d = Array.length dims - 1 downto 0 do
+          idx.(d) <- !rem mod dims.(d);
+          rem := !rem / dims.(d)
+        done;
+        let point = Array.mapi (fun d i -> snd axes.(d) |> fun a -> a.(i)) idx in
+        Evaluator.sensitivity evaluator fault point)
+  in
+  {
+    config_id = Evaluator.config_id evaluator;
+    fault;
+    axes = Array.to_list axes;
+    values;
+  }
+
+let dims g = List.map (fun (_, a) -> Array.length a) g.axes |> Array.of_list
+
+let value_at g idx =
+  let d = dims g in
+  if Array.length idx <> Array.length d then
+    invalid_arg "Tps.value_at: rank mismatch";
+  let flat = ref 0 in
+  Array.iteri
+    (fun i k ->
+      if k < 0 || k >= d.(i) then invalid_arg "Tps.value_at: index range";
+      flat := (!flat * d.(i)) + k)
+    idx;
+  g.values.(!flat)
+
+let argmin g =
+  let d = dims g in
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v < g.values.(!best) then best := i) g.values;
+  let idx = Array.make (Array.length d) 0 in
+  let rem = ref !best in
+  for k = Array.length d - 1 downto 0 do
+    idx.(k) <- !rem mod d.(k);
+    rem := !rem / d.(k)
+  done;
+  let axes = Array.of_list g.axes in
+  (Array.mapi (fun k i -> (snd axes.(k)).(i)) idx, g.values.(!best))
+
+let detection_fraction g =
+  let neg = Array.fold_left (fun n v -> if v < 0. then n + 1 else n) 0 g.values in
+  float_of_int neg /. float_of_int (Array.length g.values)
+
+let normalized_argmin_shift g1 g2 =
+  if
+    List.length g1.axes <> List.length g2.axes
+    || not
+         (List.for_all2
+            (fun (n1, a1) (n2, a2) ->
+              String.equal n1 n2 && Array.length a1 = Array.length a2)
+            g1.axes g2.axes)
+  then invalid_arg "Tps.normalized_argmin_shift: incompatible graphs";
+  let p1, _ = argmin g1 and p2, _ = argmin g2 in
+  let shift = ref 0. in
+  List.iteri
+    (fun d (_, axis) ->
+      let span = axis.(Array.length axis - 1) -. axis.(0) in
+      if span > 0. then
+        shift := Float.max !shift (Float.abs (p1.(d) -. p2.(d)) /. span))
+    g1.axes;
+  !shift
+
+type region_classification = {
+  weakened_impacts : float array;
+  shifts : float array;
+  region : [ `Soft | `Hard ];
+}
+
+let classify_region evaluator fault ?(factors = [| 2.; 4. |]) ?grid
+    ?(stability_threshold = 0.2) () =
+  let impacts =
+    Array.append [| 1. |] factors
+    |> Array.map (fun f -> Faults.Fault.impact_resistance fault *. f)
+  in
+  let graphs =
+    Array.map
+      (fun r -> sweep evaluator (Faults.Fault.with_impact fault r) ?grid ())
+      impacts
+  in
+  let shifts =
+    Array.init
+      (Array.length graphs - 1)
+      (fun i -> normalized_argmin_shift graphs.(i) graphs.(i + 1))
+  in
+  let stable = Array.for_all (fun s -> s <= stability_threshold) shifts in
+  {
+    weakened_impacts = impacts;
+    shifts;
+    region = (if stable then `Soft else `Hard);
+  }

@@ -1,0 +1,54 @@
+(** Test-parameter sensitivity graphs (paper §3.1, Figs. 2–4).
+
+    A tps-graph samples [S_f(T)] on a regular grid of the configuration's
+    parameter space.  Positive regions mean the fault model is classified
+    undetectable there; negative regions mean detection.  Sweeping the
+    same fault at decreasing impact exposes the paper's hard-fault /
+    soft-fault region dichotomy (§3.2): below some impact the landscape
+    shape — and with it the argmin — stabilizes. *)
+
+type graph = {
+  config_id : int;
+  fault : Faults.Fault.t;
+  axes : (string * float array) list;
+      (** per parameter: name and grid coordinates *)
+  values : float array;
+      (** sensitivities, row-major over the axes in order *)
+}
+
+val sweep : Evaluator.t -> Faults.Fault.t -> ?grid:int -> unit -> graph
+(** Sample the sensitivity on a [grid]-per-axis lattice (default 11).
+    @raise Invalid_argument if [grid < 2]. *)
+
+val value_at : graph -> int array -> float
+(** Grid value by per-axis indices.  @raise Invalid_argument on rank or
+    range errors. *)
+
+val argmin : graph -> Numerics.Vec.t * float
+(** Best (most detecting) grid point and its sensitivity. *)
+
+val detection_fraction : graph -> float
+(** Fraction of grid points with negative sensitivity. *)
+
+val normalized_argmin_shift : graph -> graph -> float
+(** Distance (infinity norm in bound-normalized coordinates) between two
+    graphs' argmin locations — the soft-region stability measure.
+    @raise Invalid_argument if the graphs have different axes. *)
+
+type region_classification = {
+  weakened_impacts : float array;  (** impacts compared, ascending *)
+  shifts : float array;  (** consecutive normalized argmin shifts *)
+  region : [ `Soft | `Hard ];
+}
+
+val classify_region :
+  Evaluator.t ->
+  Faults.Fault.t ->
+  ?factors:float array ->
+  ?grid:int ->
+  ?stability_threshold:float ->
+  unit ->
+  region_classification
+(** Sweep the fault at its own impact and at weakened impacts (default
+    factors [|2.; 4.|]), compare argmin locations; [`Soft] iff every
+    consecutive shift is below [stability_threshold] (default 0.2). *)

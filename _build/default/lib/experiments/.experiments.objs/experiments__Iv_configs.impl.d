@@ -1,0 +1,1 @@
+lib/experiments/iv_configs.ml: Array Circuit List Test_config Test_param Testgen Waveform

@@ -1,0 +1,1 @@
+lib/experiments/iv_configs.mli: Testgen

@@ -1,0 +1,1 @@
+lib/experiments/runs.mli: Faults Setup Testgen

@@ -1,0 +1,1 @@
+lib/experiments/setup.ml: Evaluator Execute Faults Iv_configs List Macros Test_config Testgen Tolerance

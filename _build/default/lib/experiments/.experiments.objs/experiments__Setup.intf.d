@@ -1,0 +1,1 @@
+lib/experiments/setup.mli: Faults Macros Testgen

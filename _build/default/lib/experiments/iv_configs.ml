@@ -1,0 +1,118 @@
+open Testgen
+open Circuit
+
+let ua = 1e-6
+let sine_amplitude = 10. *. ua
+let step_sample_rate = 100e6
+let step_test_time = 7.5e-6
+let step_rise_time = 10e-9
+let step_delay = 100e-9
+
+let param = Test_param.create
+
+let config1 =
+  Test_config.create ~id:1 ~name:"DC level" ~macro_type:"IV-converter"
+    ~control_node:"Iin"
+    ~params:
+      [ param ~name:"lev" ~units:"A" ~lower:(-50. *. ua) ~upper:(50. *. ua)
+          ~seed:(10. *. ua) ]
+    ~analysis:(Test_config.Dc_levels (fun v -> [ Waveform.Dc v.(0) ]))
+    ~returns:Test_config.Per_component
+    ~return_names:[ "V(Vout)" ]
+    ~accuracy_floor:[ 1e-3 ]
+    ~summary:"I(Iin) = lev (dc current value)"
+
+let config2 =
+  Test_config.create ~id:2 ~name:"DC pair" ~macro_type:"IV-converter"
+    ~control_node:"Iin"
+    ~params:
+      [
+        param ~name:"base" ~units:"A" ~lower:(-40. *. ua) ~upper:(40. *. ua)
+          ~seed:0.;
+        param ~name:"elev" ~units:"A" ~lower:(5. *. ua) ~upper:(50. *. ua)
+          ~seed:(20. *. ua);
+      ]
+    ~analysis:
+      (Test_config.Dc_levels
+         (fun v -> [ Waveform.Dc v.(0); Waveform.Dc (v.(0) +. v.(1)) ]))
+    ~returns:Test_config.Per_component
+    ~return_names:[ "V(Vout)@base"; "V(Vout)@base+elev" ]
+    ~accuracy_floor:[ 1e-3; 1e-3 ]
+    ~summary:"I(Iin) = base, then base+elev (two dc current values)"
+
+let config3 =
+  Test_config.create ~id:3 ~name:"THD" ~macro_type:"IV-converter"
+    ~control_node:"Iin"
+    ~params:
+      [
+        param ~name:"Iin_dc" ~units:"A" ~lower:0. ~upper:(40. *. ua)
+          ~seed:(20. *. ua);
+        param ~name:"freq" ~units:"Hz" ~lower:1e3 ~upper:100e3 ~seed:10e3;
+      ]
+    ~analysis:
+      (Test_config.Tran_thd
+         {
+           stimulus =
+             (fun v ->
+               Waveform.Sine
+                 { offset = v.(0); ampl = sine_amplitude; freq = v.(1); phase = 0. });
+           fundamental = (fun v -> v.(1));
+         })
+    ~returns:Test_config.Per_component
+    ~return_names:[ "THD(Vout) [%]" ]
+    ~accuracy_floor:[ 0.01 ]
+    ~summary:"I(Iin) = sine(Iin_dc, 10uA, freq); THD measurement"
+
+let config4 =
+  Test_config.create ~id:4 ~name:"Step response (max deviation)"
+    ~macro_type:"IV-converter" ~control_node:"Iin"
+    ~params:
+      [ param ~name:"elev" ~units:"A" ~lower:(5. *. ua) ~upper:(50. *. ua)
+          ~seed:(25. *. ua) ]
+    ~analysis:
+      (Test_config.Tran_samples
+         {
+           stimulus =
+             (fun v ->
+               Waveform.Step
+                 { base = 0.; elev = v.(0); delay = step_delay; rise = step_rise_time });
+           sample_rate = step_sample_rate;
+           test_time = step_test_time;
+         })
+    ~returns:Test_config.Max_abs_delta
+    ~return_names:[ "Max_k |dV(Vout,t_k)|" ]
+    ~accuracy_floor:[ 2e-3 ]
+    ~summary:"I(Iin) = step(0, elev, slew-rate=sl); Vout sampled at 100MHz for 7.5us"
+
+let config5 =
+  Test_config.create ~id:5 ~name:"Step response (accumulated)"
+    ~macro_type:"IV-converter" ~control_node:"Iin"
+    ~params:
+      [
+        param ~name:"base" ~units:"A" ~lower:(-40. *. ua) ~upper:(40. *. ua)
+          ~seed:0.;
+        param ~name:"elev" ~units:"A" ~lower:(5. *. ua) ~upper:(50. *. ua)
+          ~seed:(25. *. ua);
+      ]
+    ~analysis:
+      (Test_config.Tran_samples
+         {
+           stimulus =
+             (fun v ->
+               Waveform.Step
+                 { base = v.(0); elev = v.(1); delay = step_delay; rise = step_rise_time });
+           sample_rate = step_sample_rate;
+           test_time = step_test_time;
+         })
+    ~returns:Test_config.Sum_abs_delta
+    ~return_names:[ "|d Sum_k V(Vout,t_k)|" ]
+    ~accuracy_floor:[ 0.4 ]
+    ~summary:"I(Iin) = step(base, elev, slew-rate=sl); return Sum V(Vout); \
+              sample-rate=s test-time=t"
+
+let all = [ config1; config2; config3; config4; config5 ]
+
+let by_id id =
+  match List.find_opt (fun c -> c.Test_config.config_id = id) all with
+  | Some c -> c
+  | None -> raise Not_found

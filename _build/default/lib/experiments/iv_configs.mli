@@ -1,0 +1,42 @@
+(** The five IV-converter test configurations (paper Table 1).
+
+    The original table is partially illegible in the available scan; the
+    configurations are reconstructed from the prose constraints (see
+    DESIGN.md §5): two single-parameter and three two-parameter
+    configurations; #3 is the THD measurement of Figs. 2–4; #4 and #5
+    sample Vout at 100 MHz during 7.5 us; the step-response description
+    of Fig. 1 (accumulated sum of V(Vout)) is configuration #5.
+
+    All stimuli drive the standardized node ["Iin"] of IV-converter-type
+    macros with a current waveform. *)
+
+val sine_amplitude : float
+(** Fixed 10 uA amplitude of configuration #3's sine stimulus. *)
+
+val step_sample_rate : float
+(** 100 MHz. *)
+
+val step_test_time : float
+(** 7.5 us. *)
+
+val config1 : Testgen.Test_config.t
+(** DC level [lev] in [-50, 50] uA; return value V(Vout). *)
+
+val config2 : Testgen.Test_config.t
+(** Two DC levels [base], [base+elev]; p = 2 return values. *)
+
+val config3 : Testgen.Test_config.t
+(** THD of Vout for a sine of DC offset [Iin_dc] in [0, 40] uA and
+    frequency [freq] in [1, 100] kHz. *)
+
+val config4 : Testgen.Test_config.t
+(** Current step 0 -> [elev]; return Max_k |dV(Vout, t_k)|. *)
+
+val config5 : Testgen.Test_config.t
+(** Current step [base] -> [base+elev]; return |d sum_k V(Vout, t_k)|. *)
+
+val all : Testgen.Test_config.t list
+(** Configurations #1..#5 in order. *)
+
+val by_id : int -> Testgen.Test_config.t
+(** @raise Not_found for ids outside 1..5. *)

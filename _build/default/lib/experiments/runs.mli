@@ -1,0 +1,72 @@
+(** Per-experiment report generators.
+
+    One function per table/figure of the paper (see DESIGN.md §4); each
+    returns a printable report.  The expensive whole-dictionary
+    generation run is produced once with {!engine_run} and shared by the
+    result-dependent experiments. *)
+
+val fig1 : unit -> string
+(** Fig. 1: a test-configuration description (the step-response
+    configuration with accumulated-sum return value). *)
+
+val tab1 : unit -> string
+(** Table 1: the five configuration definitions. *)
+
+val tps_fault : Faults.Fault.t
+(** The bridge used for the tps-graph figures (nodes n1-vout, the
+    "two arbitrarily chosen nodes" of the paper's example). *)
+
+val fig234 : ?grid:int -> Setup.t -> string
+(** Figs. 2-4: tps-graphs of the THD configuration for the bridge at
+    10 kOhm (hard region), 34 kOhm and 75 kOhm (soft region), plus the
+    soft-region stability summary of §3.2. *)
+
+val fig5 : Setup.t -> string
+(** Fig. 5: the p = 2 tolerance box of configuration #2 with one
+    response inside the box (possibly fault-free) and one outside
+    (necessarily faulty). *)
+
+val fig6 : ?fault_id:string -> Setup.t -> string
+(** Fig. 6: full generation trace for one fault — optimized candidates,
+    impact-convergence steps and the surviving test. *)
+
+val fig7 : unit -> string
+(** Fig. 7: the pinhole fault model as the netlist expansion it induces. *)
+
+val engine_run :
+  ?progress:(done_:int -> total:int -> fault_id:string -> unit) ->
+  Setup.t ->
+  Testgen.Engine.run
+(** The 55-fault generation run feeding tab2/fig8/tab3/tab4/xbase. *)
+
+val tab2 : Setup.t -> Testgen.Engine.run -> string
+(** Table 2: distribution of best tests over the configurations, split
+    by fault type. *)
+
+val fig8 : Setup.t -> Testgen.Engine.run -> string
+(** Fig. 8: optimized parameter values of configurations #1-#3. *)
+
+val tab3 : Setup.t -> Testgen.Engine.run -> string
+(** Table 3: the parameter values of configuration #5's best tests. *)
+
+val compact_run :
+  ?delta:float -> Setup.t -> Testgen.Engine.run -> Testgen.Compactor.result
+(** The §4 compaction of a generation run (default delta 0.1). *)
+
+val render_tab4 : delta:float -> Testgen.Compactor.result -> string
+(** Render a compaction result as the TAB4 report. *)
+
+val tab4 : ?delta:float -> Setup.t -> Testgen.Engine.run -> string
+(** §4.2: the collapsed (compact) test set, its groups, and the final
+    coverage ([compact_run] + [render_tab4]). *)
+
+val xbase : Setup.t -> Testgen.Engine.run -> string
+(** §2.2 claim: optimized tailoring vs fixed-seed selection. *)
+
+val all_reports :
+  ?progress:(done_:int -> total:int -> fault_id:string -> unit) ->
+  Setup.t ->
+  (string * string) list
+(** Every {e paper} experiment in DESIGN.md order as [(id, report)]
+    pairs, running the engine once.  The extension experiments live in
+    {!Extensions}. *)

@@ -1,0 +1,55 @@
+open Testgen
+
+type t = {
+  macro : Macros.Macro.t;
+  configs : Test_config.t list;
+  evaluators : Evaluator.t list;
+  dictionary : Faults.Dictionary.t;
+  profile : Execute.profile;
+}
+
+let target_of_macro (macro : Macros.Macro.t) point =
+  {
+    Execute.netlist = macro.Macros.Macro.build point;
+    stimulus_source = macro.Macros.Macro.stimulus_source;
+    observe_node = macro.Macros.Macro.observe_node;
+  }
+
+let create ?(profile = Execute.default_profile) ?grid ?guardband ?corners
+    ~macro ~configs () =
+  let corner_points =
+    match corners with Some c -> c | None -> Macros.Process.corners ()
+  in
+  let nominal = target_of_macro macro Macros.Process.nominal in
+  let corner_targets = List.map (target_of_macro macro) corner_points in
+  let evaluators =
+    List.map
+      (fun config ->
+        let box_model =
+          Tolerance.calibrate ~profile ?grid ?guardband config ~nominal
+            ~corners:corner_targets ()
+        in
+        Evaluator.create ~profile config ~nominal ~box_model)
+      configs
+  in
+  {
+    macro;
+    configs;
+    evaluators;
+    dictionary = Macros.Macro.dictionary macro;
+    profile;
+  }
+
+let iv ?profile ?grid () =
+  create ?profile ?grid ~macro:Macros.Iv_converter.macro ~configs:Iv_configs.all
+    ()
+
+let evaluator t id =
+  match
+    List.find_opt (fun ev -> Evaluator.config_id ev = id) t.evaluators
+  with
+  | Some ev -> ev
+  | None -> raise Not_found
+
+let reduced t ~n_faults =
+  { t with dictionary = Faults.Dictionary.take t.dictionary n_faults }

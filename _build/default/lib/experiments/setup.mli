@@ -1,0 +1,39 @@
+(** Experiment context: a macro wired to its test configurations with
+    calibrated tolerance boxes — everything the generation engine needs. *)
+
+type t = {
+  macro : Macros.Macro.t;
+  configs : Testgen.Test_config.t list;
+  evaluators : Testgen.Evaluator.t list;
+  dictionary : Faults.Dictionary.t;
+  profile : Testgen.Execute.profile;
+}
+
+val target_of_macro :
+  Macros.Macro.t -> Macros.Process.point -> Testgen.Execute.target
+(** Build an execution target for the macro at a process point
+    (standardized stimulus source and observation node). *)
+
+val create :
+  ?profile:Testgen.Execute.profile ->
+  ?grid:int ->
+  ?guardband:float ->
+  ?corners:Macros.Process.point list ->
+  macro:Macros.Macro.t ->
+  configs:Testgen.Test_config.t list ->
+  unit ->
+  t
+(** Calibrate a box model per configuration over the process [corners]
+    (default {!Macros.Process.corners}) and bundle evaluators plus the
+    macro's exhaustive fault dictionary. *)
+
+val iv : ?profile:Testgen.Execute.profile -> ?grid:int -> unit -> t
+(** The paper's experiment: IV-converter macro with configurations
+    #1..#5 and the 55-fault dictionary. *)
+
+val evaluator : t -> int -> Testgen.Evaluator.t
+(** By configuration id.  @raise Not_found if absent. *)
+
+val reduced : t -> n_faults:int -> t
+(** Same context with a truncated dictionary — for quick runs and unit
+    tests. *)

@@ -1,0 +1,1 @@
+lib/fault/dictionary.ml: Fault Format Hashtbl List Printf String

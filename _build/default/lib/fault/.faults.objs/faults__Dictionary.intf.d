@@ -1,0 +1,1 @@
+lib/fault/dictionary.mli: Fault Format

@@ -1,0 +1,1 @@
+lib/fault/ifa.ml: Circuit Device Dictionary Fault Float List Netlist Printf

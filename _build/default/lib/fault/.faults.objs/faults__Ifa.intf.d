@@ -1,0 +1,1 @@
+lib/fault/ifa.mli: Circuit Dictionary

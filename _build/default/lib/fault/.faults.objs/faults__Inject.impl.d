@@ -1,0 +1,1 @@
+lib/fault/inject.ml: Circuit Device Fault List Netlist Printf String

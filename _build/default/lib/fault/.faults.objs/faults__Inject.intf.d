@@ -1,0 +1,1 @@
+lib/fault/inject.mli: Circuit Fault

@@ -1,0 +1,1 @@
+lib/fault/universe.ml: Circuit Device Fault List Netlist String

@@ -1,0 +1,1 @@
+lib/fault/universe.mli: Circuit Fault

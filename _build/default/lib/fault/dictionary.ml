@@ -1,0 +1,43 @@
+type entry = { fault_id : string; fault : Fault.t }
+
+type t = entry list
+
+let of_faults faults =
+  let entries = List.map (fun f -> { fault_id = Fault.id f; fault = f }) faults in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if Hashtbl.mem tbl e.fault_id then
+        invalid_arg
+          (Printf.sprintf "Dictionary.of_faults: duplicate fault %S" e.fault_id);
+      Hashtbl.replace tbl e.fault_id ())
+    entries;
+  entries
+
+let entries t = t
+
+let size = List.length
+
+let find t fid = List.find_opt (fun e -> String.equal e.fault_id fid) t
+
+let count_by_kind t =
+  List.fold_left
+    (fun (b, p) e ->
+      match Fault.kind e.fault with
+      | `Bridge -> (b + 1, p)
+      | `Pinhole -> (b, p + 1))
+    (0, 0) t
+
+let filter t pred = List.filter pred t
+
+let take t n =
+  let rec go acc i = function
+    | [] -> List.rev acc
+    | _ when i >= n -> List.rev acc
+    | e :: rest -> go (e :: acc) (i + 1) rest
+  in
+  go [] 0 t
+
+let pp_summary ppf t =
+  let b, p = count_by_kind t in
+  Format.fprintf ppf "%d faults (%d bridges, %d pinholes)" (size t) b p

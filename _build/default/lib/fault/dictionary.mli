@@ -1,0 +1,33 @@
+(** Fault dictionaries.
+
+    A dictionary is the ordered list of modelled faults the test
+    generation run must cover, each with a stable identifier and its
+    initial (dictionary) impact. *)
+
+type entry = {
+  fault_id : string;
+  fault : Fault.t;  (** carries the dictionary impact *)
+}
+
+type t
+
+val of_faults : Fault.t list -> t
+(** @raise Invalid_argument on duplicate fault sites. *)
+
+val entries : t -> entry list
+
+val size : t -> int
+
+val find : t -> string -> entry option
+(** Look up by fault id. *)
+
+val count_by_kind : t -> int * int
+(** [(bridges, pinholes)]. *)
+
+val filter : t -> (entry -> bool) -> t
+
+val take : t -> int -> t
+(** First [n] entries (or all if fewer) — used by reduced test runs. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** e.g. ["55 faults (45 bridges, 10 pinholes)"]. *)

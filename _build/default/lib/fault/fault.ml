@@ -1,0 +1,55 @@
+type t =
+  | Bridge of { node_a : string; node_b : string; resistance : float }
+  | Pinhole of { mosfet : string; r_shunt : float }
+
+let bridge a b ~resistance =
+  if String.equal a b then invalid_arg "Fault.bridge: identical nodes";
+  if resistance <= 0. then invalid_arg "Fault.bridge: resistance <= 0";
+  let node_a, node_b = if String.compare a b <= 0 then (a, b) else (b, a) in
+  Bridge { node_a; node_b; resistance }
+
+let pinhole mosfet ~r_shunt =
+  if r_shunt <= 0. then invalid_arg "Fault.pinhole: resistance <= 0";
+  Pinhole { mosfet; r_shunt }
+
+let id = function
+  | Bridge { node_a; node_b; _ } -> Printf.sprintf "bridge:%s-%s" node_a node_b
+  | Pinhole { mosfet; _ } -> Printf.sprintf "pinhole:%s" mosfet
+
+let kind = function Bridge _ -> `Bridge | Pinhole _ -> `Pinhole
+
+let kind_name f = match kind f with `Bridge -> "bridge" | `Pinhole -> "pinhole"
+
+let impact_resistance = function
+  | Bridge { resistance; _ } -> resistance
+  | Pinhole { r_shunt; _ } -> r_shunt
+
+let with_impact f r =
+  if r <= 0. then invalid_arg "Fault.with_impact: resistance <= 0";
+  match f with
+  | Bridge b -> Bridge { b with resistance = r }
+  | Pinhole p -> Pinhole { p with r_shunt = r }
+
+let weaken f ~factor =
+  if factor <= 1. then invalid_arg "Fault.weaken: factor <= 1";
+  with_impact f (impact_resistance f *. factor)
+
+let intensify f ~factor =
+  if factor <= 1. then invalid_arg "Fault.intensify: factor <= 1";
+  with_impact f (impact_resistance f /. factor)
+
+let describe f =
+  match f with
+  | Bridge { node_a; node_b; resistance } ->
+      Printf.sprintf "bridge %s-%s (R=%s)" node_a node_b
+        (Circuit.Units.format_eng ~unit_symbol:"Ohm" resistance)
+  | Pinhole { mosfet; r_shunt } ->
+      Printf.sprintf "pinhole in %s at 25%% from drain (Rp=%s)" mosfet
+        (Circuit.Units.format_eng ~unit_symbol:"Ohm" r_shunt)
+
+let equal_site f g =
+  match (f, g) with
+  | Bridge a, Bridge b ->
+      String.equal a.node_a b.node_a && String.equal a.node_b b.node_b
+  | Pinhole a, Pinhole b -> String.equal a.mosfet b.mosfet
+  | Bridge _, Pinhole _ | Pinhole _, Bridge _ -> false

@@ -1,0 +1,55 @@
+(** Structural fault models for analog macros.
+
+    The paper's experiment uses two layout-caused defect classes:
+
+    - {b bridging} faults — a resistive short between two circuit nodes,
+      modelled by a resistor;
+    - {b pinhole} faults — a gate-oxide defect, modelled after Eckersall
+      et al. (Fig. 7): the transistor is split in two series segments and
+      a shunt resistor connects the gate to the channel point at 25 % of
+      the channel length from the drain.
+
+    Both models carry a resistance that tunes the {e impact} of the fault:
+    decreasing the resistance intensifies the defect, increasing it
+    weakens it.  Impact manipulation is the engine behind the paper's
+    "critical impact level" notion of test optimality. *)
+
+type t =
+  | Bridge of { node_a : string; node_b : string; resistance : float }
+  | Pinhole of { mosfet : string; r_shunt : float }
+
+val bridge : string -> string -> resistance:float -> t
+(** Normalizes node order so that [bridge a b] and [bridge b a] are equal.
+    @raise Invalid_argument if the nodes are equal or the resistance is
+    not positive. *)
+
+val pinhole : string -> r_shunt:float -> t
+(** @raise Invalid_argument if the resistance is not positive. *)
+
+val id : t -> string
+(** Stable identifier, e.g. ["bridge:n1-vout"] or ["pinhole:m3"]. *)
+
+val kind : t -> [ `Bridge | `Pinhole ]
+
+val kind_name : t -> string
+
+val impact_resistance : t -> float
+(** The model resistance (ohms). *)
+
+val with_impact : t -> float -> t
+(** Same fault with a different model resistance.
+    @raise Invalid_argument if the resistance is not positive. *)
+
+val weaken : t -> factor:float -> t
+(** Multiply the model resistance by [factor > 1]: the defect gets less
+    severe.  @raise Invalid_argument if [factor <= 1]. *)
+
+val intensify : t -> factor:float -> t
+(** Divide the model resistance by [factor > 1]: the defect gets more
+    severe.  @raise Invalid_argument if [factor <= 1]. *)
+
+val describe : t -> string
+(** Human-readable one-liner including the impact value. *)
+
+val equal_site : t -> t -> bool
+(** Same defect location and type, ignoring the impact value. *)

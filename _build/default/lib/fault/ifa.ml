@@ -1,0 +1,51 @@
+open Circuit
+
+type weighted = { entry : Dictionary.entry; weight : float }
+
+let shared_device_count nl a b =
+  List.length
+    (List.filter
+       (fun d ->
+         let nodes = Device.nodes d in
+         let canon n = if Device.is_ground n then "0" else n in
+         let canon_a = if Device.is_ground a then "0" else a in
+         let canon_b = if Device.is_ground b then "0" else b in
+         let touched = List.map canon nodes in
+         List.mem canon_a touched && List.mem canon_b touched)
+       (Netlist.devices nl))
+
+let bridge_weight nl a b = 1. +. float_of_int (shared_device_count nl a b)
+
+let pinhole_weight nl name =
+  match Netlist.find nl name with
+  | Some (Device.Mosfet { w; l; _ }) -> w *. l *. 1e12  (* um^2 *)
+  | Some
+      ( Device.Resistor _ | Device.Capacitor _ | Device.Inductor _
+      | Device.Vsource _ | Device.Isource _ | Device.Vcvs _ | Device.Vccs _ )
+    ->
+      invalid_arg (Printf.sprintf "Ifa.pinhole_weight: %S is not a MOSFET" name)
+  | None ->
+      invalid_arg (Printf.sprintf "Ifa.pinhole_weight: unknown device %S" name)
+
+let raw_weight nl (entry : Dictionary.entry) =
+  match entry.Dictionary.fault with
+  | Fault.Bridge { node_a; node_b; _ } -> bridge_weight nl node_a node_b
+  | Fault.Pinhole { mosfet; _ } -> pinhole_weight nl mosfet
+
+let weigh nl dictionary =
+  let entries = Dictionary.entries dictionary in
+  let raws = List.map (fun e -> (e, raw_weight nl e)) entries in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. raws in
+  if total <= 0. then invalid_arg "Ifa.weigh: zero total weight";
+  List.map (fun (entry, w) -> { entry; weight = w /. total }) raws
+
+let weighted_coverage weighted ~detected =
+  if weighted = [] then invalid_arg "Ifa.weighted_coverage: empty list";
+  100.
+  *. List.fold_left
+       (fun acc { entry; weight } ->
+         if detected entry.Dictionary.fault_id then acc +. weight else acc)
+       0. weighted
+
+let sort_by_weight weighted =
+  List.stable_sort (fun a b -> Float.compare b.weight a.weight) weighted

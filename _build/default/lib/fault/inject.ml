@@ -1,0 +1,65 @@
+open Circuit
+
+let drain_fraction = 0.25
+
+let bridge_device_name = "FAULT_bridge"
+
+let pinhole_subcircuit dev ~r_shunt ~internal_node =
+  match dev with
+  | Device.Mosfet { name; drain; gate; source; model; w; l } ->
+      [
+        Device.Mosfet
+          {
+            name = name ^ "_drainseg";
+            drain;
+            gate;
+            source = internal_node;
+            model;
+            w;
+            l = l *. drain_fraction;
+          };
+        Device.Mosfet
+          {
+            name = name ^ "_srcseg";
+            drain = internal_node;
+            gate;
+            source;
+            model;
+            w;
+            l = l *. (1. -. drain_fraction);
+          };
+        Device.Resistor
+          { name = name ^ "_pinhole"; a = gate; b = internal_node; ohms = r_shunt };
+      ]
+  | Device.Resistor _ | Device.Capacitor _ | Device.Inductor _
+  | Device.Vsource _ | Device.Isource _ | Device.Vcvs _ | Device.Vccs _ ->
+      invalid_arg "Inject.pinhole_subcircuit: device is not a MOSFET"
+
+let apply nl fault =
+  match fault with
+  | Fault.Bridge { node_a; node_b; resistance } ->
+      let known = Netlist.all_nodes nl in
+      let check n =
+        if
+          (not (Device.is_ground n))
+          && not (List.exists (String.equal n) known)
+        then
+          invalid_arg
+            (Printf.sprintf "Inject.apply: bridge references unknown node %S" n)
+      in
+      check node_a;
+      check node_b;
+      Netlist.add nl
+        (Device.Resistor
+           { name = bridge_device_name; a = node_a; b = node_b; ohms = resistance })
+  | Fault.Pinhole { mosfet; r_shunt } -> begin
+      match Netlist.find nl mosfet with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Inject.apply: pinhole references unknown device %S"
+               mosfet)
+      | Some dev ->
+          let internal_node = Netlist.fresh_node nl ~prefix:(mosfet ^ "_ph") in
+          Netlist.replace nl mosfet
+            (pinhole_subcircuit dev ~r_shunt ~internal_node)
+    end

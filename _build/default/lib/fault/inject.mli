@@ -1,0 +1,28 @@
+(** Fault injection as netlist transformation.
+
+    A faulty circuit is the nominal netlist plus a structural edit:
+    bridges add a resistor; pinholes replace one MOSFET by the Fig. 7
+    subcircuit (two series channel segments with a gate-to-channel shunt
+    resistor at 25 % of the channel length from the drain). *)
+
+val drain_fraction : float
+(** Position of the pinhole defect, as the fraction of the channel length
+    measured from the drain (0.25, per the paper's choice to avoid
+    undersized-channel modelling issues). *)
+
+val bridge_device_name : string
+(** Name given to the injected bridge resistor (["FAULT_bridge"]). *)
+
+val apply : Circuit.Netlist.t -> Fault.t -> Circuit.Netlist.t
+(** Produce the faulty netlist.
+    @raise Invalid_argument if a bridge references an unknown node, if a
+    pinhole references a device that is not a MOSFET, or if the fault's
+    device/node names collide with injected names. *)
+
+val pinhole_subcircuit :
+  Circuit.Device.t -> r_shunt:float -> internal_node:string ->
+  Circuit.Device.t list
+(** The expansion used for a pinhole on the given MOSFET: drain-side
+    segment (L/4), source-side segment (3L/4) and the shunt resistor.
+    Exposed separately so reports can print the Fig. 7 model.
+    @raise Invalid_argument if the device is not a MOSFET. *)

@@ -1,0 +1,36 @@
+open Circuit
+
+let default_bridge_resistance = 10e3
+let default_pinhole_resistance = 2e3
+
+let bridges ?(initial_resistance = default_bridge_resistance) ~nodes () =
+  let sorted = List.sort String.compare nodes in
+  let rec unique = function
+    | a :: (b :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg "Universe.bridges: duplicate node names"
+        else unique rest
+    | [ _ ] | [] -> ()
+  in
+  unique sorted;
+  let rec pairs = function
+    | [] -> []
+    | a :: rest ->
+        List.map (fun b -> Fault.bridge a b ~resistance:initial_resistance) rest
+        @ pairs rest
+  in
+  pairs sorted
+
+let pinholes ?(initial_r_shunt = default_pinhole_resistance) nl =
+  Netlist.devices nl
+  |> List.filter_map (fun d ->
+         match d with
+         | Device.Mosfet { name; _ } ->
+             Some (Fault.pinhole name ~r_shunt:initial_r_shunt)
+         | Device.Resistor _ | Device.Capacitor _ | Device.Inductor _
+         | Device.Vsource _ | Device.Isource _ | Device.Vcvs _
+         | Device.Vccs _ -> None)
+
+let exhaustive ?bridge_resistance ?pinhole_r_shunt ~nodes nl =
+  bridges ?initial_resistance:bridge_resistance ~nodes ()
+  @ pinholes ?initial_r_shunt:pinhole_r_shunt nl

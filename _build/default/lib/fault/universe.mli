@@ -1,0 +1,30 @@
+(** Exhaustive fault-universe generation.
+
+    The paper builds its dictionary "for simplicity" as the exhaustive
+    list of bridging and pinhole faults of the macro: every unordered
+    pair of layout nodes becomes a bridge, every MOSFET a pinhole.  For
+    the 10-node, 10-transistor IV-converter this yields the paper's
+    45 + 10 = 55 faults. *)
+
+val default_bridge_resistance : float
+(** 10 kOhm — the paper's initial bridge impact. *)
+
+val default_pinhole_resistance : float
+(** 2 kOhm — the paper's initial pinhole shunt. *)
+
+val bridges :
+  ?initial_resistance:float -> nodes:string list -> unit -> Fault.t list
+(** All unordered pairs of the given nodes, in lexicographic order.
+    @raise Invalid_argument on duplicate node names. *)
+
+val pinholes :
+  ?initial_r_shunt:float -> Circuit.Netlist.t -> Fault.t list
+(** One pinhole per MOSFET of the netlist, in device order. *)
+
+val exhaustive :
+  ?bridge_resistance:float ->
+  ?pinhole_r_shunt:float ->
+  nodes:string list ->
+  Circuit.Netlist.t ->
+  Fault.t list
+(** Bridges over [nodes] followed by pinholes of the netlist. *)

@@ -1,0 +1,1 @@
+lib/macros/iv_converter.ml: Circuit Dc Device Fun Macro Mna Mos_model Netlist Process Waveform

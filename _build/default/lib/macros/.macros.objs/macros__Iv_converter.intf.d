@@ -1,0 +1,1 @@
+lib/macros/iv_converter.mli: Circuit Macro Process

@@ -1,0 +1,1 @@
+lib/macros/macro.ml: Circuit Faults List Netlist Printf Process String

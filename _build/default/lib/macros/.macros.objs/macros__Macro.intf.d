@@ -1,0 +1,1 @@
+lib/macros/macro.mli: Circuit Faults Process

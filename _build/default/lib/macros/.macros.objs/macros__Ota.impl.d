@@ -1,0 +1,1 @@
+lib/macros/ota.ml: Circuit Device Fun Macro Mos_model Netlist Process Waveform

@@ -1,0 +1,1 @@
+lib/macros/ota.mli: Circuit Macro Process

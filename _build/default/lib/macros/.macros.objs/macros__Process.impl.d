@@ -1,0 +1,1 @@
+lib/macros/process.ml: Circuit List Numerics Printf

@@ -1,0 +1,1 @@
+lib/macros/process.mli: Circuit Numerics

@@ -1,0 +1,1 @@
+lib/macros/sallen_key.ml: Circuit Device Float Fun Macro Mos_model Netlist Process Waveform

@@ -1,0 +1,1 @@
+lib/macros/sallen_key.mli: Circuit Macro Process

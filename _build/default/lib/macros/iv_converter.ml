@@ -1,0 +1,88 @@
+open Circuit
+
+let supply_voltage = 5.
+let feedback_resistance = 20e3
+
+let fault_nodes =
+  [ "0"; "iin"; "n1"; "n2"; "nbias"; "nmir"; "ntail"; "vdd"; "vref"; "vout" ]
+
+let build (p : Process.point) =
+  let nmos = Process.apply_nmos p Mos_model.nmos_default in
+  let pmos = Process.apply_pmos p Mos_model.pmos_default in
+  let r = Process.scale_res p in
+  let c = Process.scale_cap p in
+  let um = 1e-6 in
+  let nmosfet name drain gate source w l =
+    Device.Mosfet { name; drain; gate; source; model = nmos; w = w *. um; l = l *. um }
+  in
+  let pmosfet name drain gate source w l =
+    Device.Mosfet { name; drain; gate; source; model = pmos; w = w *. um; l = l *. um }
+  in
+  Netlist.empty ~title:"CMOS IV-converter macro"
+  |> Fun.flip Netlist.add_all
+       [
+         (* supply with a small source resistance so supply bridges load it *)
+         Device.Vsource
+           { name = "vdd_src"; plus = "vdd_ext"; minus = "0";
+             wave = Waveform.Dc supply_voltage };
+         Device.Resistor { name = "rsup"; a = "vdd_ext"; b = "vdd"; ohms = r 2. };
+         (* stimulus: test configurations replace this device's waveform *)
+         Device.Isource
+           { name = "iin_src"; from_node = "0"; to_node = "iin";
+             wave = Waveform.Dc 0. };
+         (* input stage: differential pair with PMOS mirror load *)
+         nmosfet "m1" "nmir" "iin" "ntail" 50. 1.;
+         nmosfet "m2" "n1" "vref" "ntail" 50. 1.;
+         pmosfet "m3" "nmir" "nmir" "vdd" 25. 1.;
+         pmosfet "m4" "n1" "nmir" "vdd" 25. 1.;
+         nmosfet "m5" "ntail" "nbias" "0" 20. 2.;
+         (* second stage *)
+         pmosfet "m6" "n2" "n1" "vdd" 100. 1.;
+         nmosfet "m7" "n2" "nbias" "0" 40. 2.;
+         (* bias chain *)
+         nmosfet "m8" "nbias" "nbias" "0" 20. 2.;
+         Device.Resistor { name = "rbias"; a = "vdd"; b = "nbias"; ohms = r 100e3 };
+         (* output follower *)
+         nmosfet "m9" "vdd" "n2" "vout" 50. 1.;
+         nmosfet "m10" "vout" "nbias" "0" 40. 2.;
+         (* reference divider *)
+         Device.Resistor { name = "rref1"; a = "vdd"; b = "vref"; ohms = r 50e3 };
+         Device.Resistor { name = "rref2"; a = "vref"; b = "0"; ohms = r 50e3 };
+         (* transimpedance feedback *)
+         Device.Resistor
+           { name = "rf"; a = "vout"; b = "iin"; ohms = r feedback_resistance };
+         (* compensation and load *)
+         Device.Capacitor { name = "cc"; a = "n1"; b = "n2"; farads = c 10e-12 };
+         Device.Capacitor { name = "cl"; a = "vout"; b = "0"; farads = c 20e-12 };
+         Device.Capacitor { name = "cin"; a = "iin"; b = "0"; farads = c 5e-12 };
+       ]
+
+let macro =
+  {
+    Macro.macro_name = "iv_converter";
+    macro_type = "IV-converter";
+    description =
+      "Two-stage CMOS transimpedance amplifier (10 nodes, 10 MOSFETs); \
+       Vout = Vref - Iin*Rf with Rf = 20k at a 5 V supply";
+    build;
+    fault_nodes;
+    stimulus_source = "iin_src";
+    observe_node = "vout";
+  }
+
+let vout_at iin =
+  let nl = build Process.nominal in
+  let nl =
+    Netlist.replace nl "iin_src"
+      [
+        Device.Isource
+          { name = "iin_src"; from_node = "0"; to_node = "iin";
+            wave = Waveform.Dc iin };
+      ]
+  in
+  let sys = Mna.build nl in
+  Mna.voltage sys (Dc.operating_point sys ~time:`Dc) "vout"
+
+let transimpedance () =
+  let di = 1e-6 in
+  (vout_at di -. vout_at (-.di)) /. (2. *. di)

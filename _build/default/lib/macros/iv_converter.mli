@@ -1,0 +1,41 @@
+(** The CMOS IV-converter macro.
+
+    A two-stage transimpedance amplifier standing in for the
+    photo-detector IV-converter the paper evaluates (Kimmels 1995, MESA
+    report; schematic unpublished).  It is designed so that the exhaustive
+    fault universe matches the paper exactly: {b 10 layout nodes} give
+    C(10,2) = 45 bridging faults and {b 10 MOSFETs} give 10 pinhole
+    faults — the paper's 55-fault dictionary.
+
+    Topology: five-transistor NMOS-input OTA (M1/M2 differential pair,
+    M3/M4 PMOS mirror load, M5 tail source), PMOS common-source second
+    stage (M6) with NMOS current-source load (M7), resistor-biased diode
+    reference (M8), NMOS source follower output (M9) over a current sink
+    (M10).  A 20 kOhm feedback resistor from [vout] to the current input
+    [iin] closes the transimpedance loop:
+    [Vout = Vref - Iin * Rf], Vref = 2.5 V at a 5 V supply.
+
+    Standardized nodes: stimulus current source ["iin_src"] drives
+    ["iin"]; the observation node is ["vout"]. *)
+
+val supply_voltage : float
+(** 5 V. *)
+
+val feedback_resistance : float
+(** 20 kOhm: the transimpedance gain. *)
+
+val fault_nodes : string list
+(** The 10 layout nodes:
+    ["0"; "iin"; "n1"; "n2"; "nbias"; "nmir"; "ntail"; "vdd"; "vref";
+    "vout"]. *)
+
+val build : Process.point -> Circuit.Netlist.t
+(** Netlist at a process point. *)
+
+val macro : Macro.t
+(** The packaged macro ([macro_type = "IV-converter"]). *)
+
+val transimpedance : unit -> float
+(** Measured nominal DC transimpedance dVout/dIin (ohms, negative),
+    obtained by finite difference — used by tests to confirm the
+    closed loop sits near [-feedback_resistance]. *)

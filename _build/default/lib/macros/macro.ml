@@ -1,0 +1,45 @@
+open Circuit
+
+type t = {
+  macro_name : string;
+  macro_type : string;
+  description : string;
+  build : Process.point -> Netlist.t;
+  fault_nodes : string list;
+  stimulus_source : string;
+  observe_node : string;
+}
+
+let nominal_netlist m = m.build Process.nominal
+
+let validate m =
+  match nominal_netlist m with
+  | exception Invalid_argument msg -> Error ("netlist build failed: " ^ msg)
+  | nl -> begin
+      match Netlist.connectivity_check nl with
+      | Error e -> Error e
+      | Ok () ->
+          if not (Netlist.mem nl m.stimulus_source) then
+            Error
+              (Printf.sprintf "stimulus source %S not in netlist"
+                 m.stimulus_source)
+          else begin
+            let known = Netlist.all_nodes nl in
+            let missing =
+              List.filter
+                (fun n -> not (List.exists (String.equal n) known))
+                (m.observe_node :: m.fault_nodes)
+            in
+            match missing with
+            | [] -> Ok ()
+            | n :: _ -> Error (Printf.sprintf "unknown macro node %S" n)
+          end
+    end
+
+let fault_universe ?bridge_resistance ?pinhole_r_shunt m =
+  Faults.Universe.exhaustive ?bridge_resistance ?pinhole_r_shunt
+    ~nodes:m.fault_nodes (nominal_netlist m)
+
+let dictionary ?bridge_resistance ?pinhole_r_shunt m =
+  Faults.Dictionary.of_faults
+    (fault_universe ?bridge_resistance ?pinhole_r_shunt m)

@@ -1,0 +1,37 @@
+(** Analog macro abstraction.
+
+    A macro couples a circuit generator (parameterized by a process
+    point) with the standardized node names the paper's test
+    configuration descriptions rely on ("Node names should however be
+    standardized"): the stimulus source to override and the observation
+    node, plus the list of layout nodes that defines the bridging-fault
+    universe. *)
+
+type t = {
+  macro_name : string;
+  macro_type : string;  (** e.g. ["IV-converter"] — keys configuration reuse *)
+  description : string;
+  build : Process.point -> Circuit.Netlist.t;
+  fault_nodes : string list;
+      (** layout nodes over which exhaustive bridges are generated *)
+  stimulus_source : string;
+      (** device name of the input source replaced by test configurations *)
+  observe_node : string;  (** standardized output node *)
+}
+
+val nominal_netlist : t -> Circuit.Netlist.t
+
+val validate : t -> (unit, string) result
+(** Checks that the nominal netlist builds, passes connectivity, contains
+    the stimulus source, and that the fault nodes and observation node
+    exist. *)
+
+val fault_universe :
+  ?bridge_resistance:float -> ?pinhole_r_shunt:float -> t ->
+  Faults.Fault.t list
+(** The exhaustive bridge + pinhole universe of the macro (see
+    {!Faults.Universe.exhaustive}). *)
+
+val dictionary :
+  ?bridge_resistance:float -> ?pinhole_r_shunt:float -> t ->
+  Faults.Dictionary.t

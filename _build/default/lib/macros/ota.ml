@@ -1,0 +1,49 @@
+open Circuit
+
+let fault_nodes = [ "0"; "inp"; "nbias"; "nmir"; "ntail"; "out"; "vdd" ]
+
+let build (p : Process.point) =
+  let nmos = Process.apply_nmos p Mos_model.nmos_default in
+  let pmos = Process.apply_pmos p Mos_model.pmos_default in
+  let r = Process.scale_res p in
+  let c = Process.scale_cap p in
+  let um = 1e-6 in
+  let nmosfet name drain gate source w l =
+    Device.Mosfet { name; drain; gate; source; model = nmos; w = w *. um; l = l *. um }
+  in
+  let pmosfet name drain gate source w l =
+    Device.Mosfet { name; drain; gate; source; model = pmos; w = w *. um; l = l *. um }
+  in
+  Netlist.empty ~title:"5T OTA unity-gain buffer"
+  |> Fun.flip Netlist.add_all
+       [
+         Device.Vsource
+           { name = "vdd_src"; plus = "vdd_ext"; minus = "0"; wave = Waveform.Dc 5. };
+         Device.Resistor { name = "rsup"; a = "vdd_ext"; b = "vdd"; ohms = r 2. };
+         (* stimulus at the non-inverting input *)
+         Device.Vsource
+           { name = "vin_src"; plus = "inp"; minus = "0"; wave = Waveform.Dc 2.5 };
+         (* the inverting input is the output: unity-gain buffer *)
+         nmosfet "m1" "nmir" "inp" "ntail" 50. 1.;
+         nmosfet "m2" "out" "out" "ntail" 50. 1.;
+         pmosfet "m3" "nmir" "nmir" "vdd" 25. 1.;
+         pmosfet "m4" "out" "nmir" "vdd" 25. 1.;
+         nmosfet "m5" "ntail" "nbias" "0" 20. 2.;
+         (* bias chain shared form with the IV-converter *)
+         Device.Resistor { name = "rbias"; a = "vdd"; b = "nbias"; ohms = r 100e3 };
+         nmosfet "m8" "nbias" "nbias" "0" 20. 2.;
+         Device.Capacitor { name = "cl"; a = "out"; b = "0"; farads = c 5e-12 };
+       ]
+
+let macro =
+  {
+    Macro.macro_name = "ota_buffer";
+    macro_type = "OTA-buffer";
+    description =
+      "Five-transistor OTA in unity-gain connection (7 nodes incl. rails, \
+       6 MOSFETs incl. bias)";
+    build;
+    fault_nodes;
+    stimulus_source = "vin_src";
+    observe_node = "out";
+  }

@@ -1,0 +1,16 @@
+(** A five-transistor OTA voltage buffer — the second example macro.
+
+    Demonstrates that the test-generation flow is macro-generic: a
+    unity-gain-connected NMOS-input OTA (7 layout nodes including the
+    rails, 6 MOSFETs including the bias diode) whose stimulus is a
+    voltage source at the non-inverting input and whose observation node
+    is the buffered output.  Its exhaustive universe is C(7,2) = 21
+    bridges + 6 pinholes = 27 faults. *)
+
+val fault_nodes : string list
+
+val build : Process.point -> Circuit.Netlist.t
+
+val macro : Macro.t
+(** [macro_type = "OTA-buffer"], stimulus ["vin_src"], observation
+    ["out"]. *)

@@ -1,0 +1,98 @@
+type point = {
+  label : string;
+  dvt_n : float;
+  dkp_n : float;
+  dlambda_n : float;
+  dvt_p : float;
+  dkp_p : float;
+  dlambda_p : float;
+  dres : float;
+  dcap : float;
+}
+
+let nominal =
+  {
+    label = "nominal";
+    dvt_n = 0.;
+    dkp_n = 0.;
+    dlambda_n = 0.;
+    dvt_p = 0.;
+    dkp_p = 0.;
+    dlambda_p = 0.;
+    dres = 0.;
+    dcap = 0.;
+  }
+
+type tolerances = {
+  vt_tol : float;
+  kp_tol : float;
+  lambda_tol : float;
+  res_tol : float;
+  cap_tol : float;
+}
+
+let default_tolerances =
+  { vt_tol = 0.05; kp_tol = 0.10; lambda_tol = 0.20; res_tol = 0.15; cap_tol = 0.10 }
+
+type axis = {
+  axis_name : string;
+  magnitude : tolerances -> float;
+  set : point -> float -> point;
+}
+
+let axes =
+  [
+    { axis_name = "vt_n"; magnitude = (fun t -> t.vt_tol);
+      set = (fun p v -> { p with dvt_n = v }) };
+    { axis_name = "kp_n"; magnitude = (fun t -> t.kp_tol);
+      set = (fun p v -> { p with dkp_n = v }) };
+    { axis_name = "lambda_n"; magnitude = (fun t -> t.lambda_tol);
+      set = (fun p v -> { p with dlambda_n = v }) };
+    { axis_name = "vt_p"; magnitude = (fun t -> t.vt_tol);
+      set = (fun p v -> { p with dvt_p = v }) };
+    { axis_name = "kp_p"; magnitude = (fun t -> t.kp_tol);
+      set = (fun p v -> { p with dkp_p = v }) };
+    { axis_name = "lambda_p"; magnitude = (fun t -> t.lambda_tol);
+      set = (fun p v -> { p with dlambda_p = v }) };
+    { axis_name = "res"; magnitude = (fun t -> t.res_tol);
+      set = (fun p v -> { p with dres = v }) };
+    { axis_name = "cap"; magnitude = (fun t -> t.cap_tol);
+      set = (fun p v -> { p with dcap = v }) };
+  ]
+
+let corners ?(tolerances = default_tolerances) () =
+  let single =
+    List.concat_map
+      (fun axis ->
+        let m = axis.magnitude tolerances in
+        [
+          axis.set { nominal with label = axis.axis_name ^ "+" } m;
+          axis.set { nominal with label = axis.axis_name ^ "-" } (-.m);
+        ])
+      axes
+  in
+  let all sign label =
+    List.fold_left
+      (fun p axis -> axis.set p (sign *. axis.magnitude tolerances))
+      { nominal with label } axes
+  in
+  single @ [ all 1. "all+"; all (-1.) "all-" ]
+
+let monte_carlo ?(tolerances = default_tolerances) rng ~n =
+  List.init n (fun i ->
+      let draw tol = Numerics.Rng.normal rng ~mu:0. ~sigma:(tol /. 3.) in
+      List.fold_left
+        (fun p axis -> axis.set p (draw (axis.magnitude tolerances)))
+        { nominal with label = Printf.sprintf "mc%d" i }
+        axes)
+
+let apply_nmos p (m : Circuit.Mos_model.t) =
+  Circuit.Mos_model.with_variation m ~dvt0:p.dvt_n ~dkp:p.dkp_n
+    ~dlambda:p.dlambda_n
+
+let apply_pmos p (m : Circuit.Mos_model.t) =
+  Circuit.Mos_model.with_variation m ~dvt0:p.dvt_p ~dkp:p.dkp_p
+    ~dlambda:p.dlambda_p
+
+let scale_res p r = r *. (1. +. p.dres)
+let scale_cap p c = c *. (1. +. p.dcap)

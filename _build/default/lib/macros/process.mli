@@ -1,0 +1,46 @@
+(** Process-variation model.
+
+    The paper's tolerance boxes "safely box in expectable response values
+    based on known variations on process parameters".  We model the
+    process as relative shifts of the MOS model parameters and of the
+    passive component values, sampled either as deterministic corners
+    (for box calibration) or Monte-Carlo (for verification). *)
+
+type point = {
+  label : string;
+  dvt_n : float;  (** relative shift of NMOS Vt0 *)
+  dkp_n : float;
+  dlambda_n : float;
+  dvt_p : float;  (** relative shift of PMOS |Vt0| *)
+  dkp_p : float;
+  dlambda_p : float;
+  dres : float;  (** relative shift of every resistor *)
+  dcap : float;  (** relative shift of every capacitor *)
+}
+
+val nominal : point
+(** All shifts zero. *)
+
+type tolerances = {
+  vt_tol : float;  (** default 0.05 *)
+  kp_tol : float;  (** default 0.10 *)
+  lambda_tol : float;  (** default 0.20 *)
+  res_tol : float;  (** default 0.15 *)
+  cap_tol : float;  (** default 0.10 *)
+}
+
+val default_tolerances : tolerances
+
+val corners : ?tolerances:tolerances -> unit -> point list
+(** Deterministic corner set: one-factor-at-a-time plus/minus for each of
+    the eight axes, plus the two all-extreme corners — 18 points, labelled. *)
+
+val monte_carlo :
+  ?tolerances:tolerances -> Numerics.Rng.t -> n:int -> point list
+(** [n] Gaussian samples with the tolerance as the 3-sigma bound. *)
+
+val apply_nmos : point -> Circuit.Mos_model.t -> Circuit.Mos_model.t
+val apply_pmos : point -> Circuit.Mos_model.t -> Circuit.Mos_model.t
+
+val scale_res : point -> float -> float
+val scale_cap : point -> float -> float

@@ -1,0 +1,59 @@
+open Circuit
+
+let r1 = 100e3
+let r2 = 100e3
+let c1 = 200e-12
+let c2 = 100e-12
+
+let cutoff_hz = 1. /. (2. *. Float.pi *. sqrt (r1 *. r2 *. c1 *. c2))
+
+let fault_nodes = [ "0"; "a"; "b"; "in"; "nbias"; "nmir"; "ntail"; "out"; "vdd" ]
+
+let build (p : Process.point) =
+  let nmos = Process.apply_nmos p Mos_model.nmos_default in
+  let pmos = Process.apply_pmos p Mos_model.pmos_default in
+  let r = Process.scale_res p in
+  let c = Process.scale_cap p in
+  let um = 1e-6 in
+  let nmosfet name drain gate source w l =
+    Device.Mosfet { name; drain; gate; source; model = nmos; w = w *. um; l = l *. um }
+  in
+  let pmosfet name drain gate source w l =
+    Device.Mosfet { name; drain; gate; source; model = pmos; w = w *. um; l = l *. um }
+  in
+  Netlist.empty ~title:"Sallen-Key low-pass (unity-gain OTA buffer)"
+  |> Fun.flip Netlist.add_all
+       [
+         Device.Vsource
+           { name = "vdd_src"; plus = "vdd_ext"; minus = "0"; wave = Waveform.Dc 5. };
+         Device.Resistor { name = "rsup"; a = "vdd_ext"; b = "vdd"; ohms = r 2. };
+         (* signal path: in -R1- a -R2- b -(buffer)- out, C1 a->out, C2 b->0 *)
+         Device.Vsource
+           { name = "vin_src"; plus = "in"; minus = "0"; wave = Waveform.Dc 2.5 };
+         Device.Resistor { name = "r1"; a = "in"; b = "a"; ohms = r r1 };
+         Device.Resistor { name = "r2"; a = "a"; b = "b"; ohms = r r2 };
+         Device.Capacitor { name = "c1"; a = "a"; b = "out"; farads = c c1 };
+         Device.Capacitor { name = "c2"; a = "b"; b = "0"; farads = c c2 };
+         (* the unity-gain buffer: non-inverting input at b, output at out *)
+         nmosfet "m1" "nmir" "b" "ntail" 50. 1.;
+         nmosfet "m2" "out" "out" "ntail" 50. 1.;
+         pmosfet "m3" "nmir" "nmir" "vdd" 25. 1.;
+         pmosfet "m4" "out" "nmir" "vdd" 25. 1.;
+         nmosfet "m5" "ntail" "nbias" "0" 20. 2.;
+         Device.Resistor { name = "rbias"; a = "vdd"; b = "nbias"; ohms = r 100e3 };
+         nmosfet "m8" "nbias" "nbias" "0" 20. 2.;
+         Device.Capacitor { name = "cl"; a = "out"; b = "0"; farads = c 2e-12 };
+       ]
+
+let macro =
+  {
+    Macro.macro_name = "sallen_key";
+    macro_type = "SK-lowpass";
+    description =
+      "Unity-gain Sallen-Key Butterworth low-pass (fc ~ 11.25 kHz) around \
+       the 5T OTA buffer";
+    build;
+    fault_nodes;
+    stimulus_source = "vin_src";
+    observe_node = "out";
+  }

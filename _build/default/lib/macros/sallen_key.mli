@@ -1,0 +1,21 @@
+(** Sallen-Key active low-pass macro.
+
+    A unity-gain Sallen-Key biquad (Butterworth, Q = 0.707) built around
+    the 5-transistor OTA buffer: R1 = R2 = 100 kOhm, C1 = 200 pF,
+    C2 = 100 pF, cutoff ~ 11.25 kHz.  The network impedance is kept well
+    above the buffer's output impedance so the response stays close to
+    the ideal biquad (-3 dB and -90 deg at fc, -40 dB/decade stopband).  Frequency-domain behaviour is the
+    whole point of this macro, so it exercises the AC test-configuration
+    family; its fault universe spans both the passive network and the
+    buffer's transistors. *)
+
+val cutoff_hz : float
+(** Nominal -3 dB cutoff, [1 / (2 pi sqrt (R1 R2 C1 C2))]. *)
+
+val fault_nodes : string list
+
+val build : Process.point -> Circuit.Netlist.t
+
+val macro : Macro.t
+(** [macro_type = "SK-lowpass"], stimulus ["vin_src"] at node ["in"],
+    observation ["out"]. *)

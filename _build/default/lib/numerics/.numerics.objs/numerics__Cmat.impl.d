@@ -1,0 +1,1 @@
+lib/numerics/cmat.ml: Array Complex

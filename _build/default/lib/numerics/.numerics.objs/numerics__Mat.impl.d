@@ -1,0 +1,1 @@
+lib/numerics/mat.ml: Array Float Format Vec

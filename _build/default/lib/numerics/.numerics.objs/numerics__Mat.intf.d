@@ -1,0 +1,1 @@
+lib/numerics/mat.mli: Format Vec

@@ -1,0 +1,1 @@
+lib/numerics/powell.ml: Array Brent Float Vec

@@ -1,0 +1,121 @@
+type result = { xmin : float; fmin : float; iterations : int }
+
+let golden_ratio = 0.381966011250105  (* 2 - phi *)
+
+let golden ?(tol = 1e-6) ?(max_iter = 200) ~f ~a ~b () =
+  if a > b then invalid_arg "Brent.golden: a > b";
+  let evals = ref 0 in
+  let eval x = incr evals; f x in
+  let rec loop a b x1 x2 f1 f2 n =
+    if n >= max_iter || b -. a <= tol *. (Float.abs x1 +. Float.abs x2 +. 1e-12) then
+      if f1 < f2 then { xmin = x1; fmin = f1; iterations = !evals }
+      else { xmin = x2; fmin = f2; iterations = !evals }
+    else if f1 < f2 then
+      let x1' = a +. (golden_ratio *. (x2 -. a)) in
+      loop a x2 x1' x1 (eval x1') f1 (n + 1)
+    else
+      let x2' = b -. (golden_ratio *. (b -. x1)) in
+      loop x1 b x2 x2' f2 (eval x2') (n + 1)
+  in
+  if b -. a < 1e-300 then { xmin = a; fmin = eval a; iterations = !evals }
+  else begin
+    let x1 = a +. (golden_ratio *. (b -. a)) in
+    let x2 = b -. (golden_ratio *. (b -. a)) in
+    loop a b x1 x2 (eval x1) (eval x2) 0
+  end
+
+(* Brent's method, following the classic ZEROIN-style formulation. *)
+let minimize ?(tol = 1e-6) ?(max_iter = 100) ~f ~a ~b () =
+  if a > b then invalid_arg "Brent.minimize: a > b";
+  let evals = ref 0 in
+  let eval x = incr evals; f x in
+  if b -. a < 1e-300 then { xmin = a; fmin = eval a; iterations = !evals }
+  else begin
+    let cgold = golden_ratio in
+    let eps = 1e-12 in
+    let a = ref a and b = ref b in
+    let x = ref (!a +. (cgold *. (!b -. !a))) in
+    let w = ref !x and v = ref !x in
+    let fx = ref (eval !x) in
+    let fw = ref !fx and fv = ref !fx in
+    let d = ref 0. and e = ref 0. in
+    let result = ref None in
+    let iter = ref 0 in
+    while !result = None && !iter < max_iter do
+      incr iter;
+      let xm = 0.5 *. (!a +. !b) in
+      let tol1 = (tol *. Float.abs !x) +. eps in
+      let tol2 = 2. *. tol1 in
+      if Float.abs (!x -. xm) <= tol2 -. (0.5 *. (!b -. !a)) then
+        result := Some { xmin = !x; fmin = !fx; iterations = !evals }
+      else begin
+        let use_golden = ref true in
+        if Float.abs !e > tol1 then begin
+          (* parabolic fit through x, v, w *)
+          let r = (!x -. !w) *. (!fx -. !fv) in
+          let q = (!x -. !v) *. (!fx -. !fw) in
+          let p = ((!x -. !v) *. q) -. ((!x -. !w) *. r) in
+          let q2 = 2. *. (q -. r) in
+          let p = if q2 > 0. then -.p else p in
+          let q2 = Float.abs q2 in
+          let etemp = !e in
+          e := !d;
+          if
+            Float.abs p < Float.abs (0.5 *. q2 *. etemp)
+            && p > q2 *. (!a -. !x)
+            && p < q2 *. (!b -. !x)
+          then begin
+            d := p /. q2;
+            let u = !x +. !d in
+            if u -. !a < tol2 || !b -. u < tol2 then
+              d := if xm >= !x then tol1 else -.tol1;
+            use_golden := false
+          end
+        end;
+        if !use_golden then begin
+          e := (if !x >= xm then !a else !b) -. !x;
+          d := cgold *. !e
+        end;
+        let u =
+          if Float.abs !d >= tol1 then !x +. !d
+          else !x +. (if !d >= 0. then tol1 else -.tol1)
+        in
+        let fu = eval u in
+        if fu <= !fx then begin
+          if u >= !x then a := !x else b := !x;
+          v := !w; fv := !fw;
+          w := !x; fw := !fx;
+          x := u; fx := fu
+        end else begin
+          if u < !x then a := u else b := u;
+          if fu <= !fw || !w = !x then begin
+            v := !w; fv := !fw;
+            w := u; fw := fu
+          end
+          else if fu <= !fv || !v = !x || !v = !w then begin
+            v := u; fv := fu
+          end
+        end
+      end
+    done;
+    match !result with
+    | Some r -> r
+    | None -> { xmin = !x; fmin = !fx; iterations = !evals }
+  end
+
+let bracket_scan ~f ~a ~b ~n =
+  if n < 2 then invalid_arg "Brent.bracket_scan: n < 2";
+  if a > b then invalid_arg "Brent.bracket_scan: a > b";
+  let h = (b -. a) /. float_of_int n in
+  let best_i = ref 0 and best_f = ref infinity in
+  for i = 0 to n do
+    let x = a +. (h *. float_of_int i) in
+    let fx = f x in
+    if fx < !best_f then begin
+      best_f := fx;
+      best_i := i
+    end
+  done;
+  let lo = Float.max a (a +. (h *. float_of_int (!best_i - 1))) in
+  let hi = Float.min b (a +. (h *. float_of_int (!best_i + 1))) in
+  (lo, hi)

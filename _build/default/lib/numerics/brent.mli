@@ -1,0 +1,32 @@
+(** One-dimensional minimization without derivatives.
+
+    The paper optimizes single-parameter test configurations with Brent's
+    method (Brent 1973, ch. 7) and uses it as the line search inside
+    Powell's method.  Both routines search a closed interval and never
+    evaluate the objective outside it. *)
+
+type result = {
+  xmin : float;  (** abscissa of the located minimum *)
+  fmin : float;  (** objective value at [xmin] *)
+  iterations : int;  (** objective evaluations spent *)
+}
+
+val golden : ?tol:float -> ?max_iter:int -> f:(float -> float) ->
+  a:float -> b:float -> unit -> result
+(** Golden-section search on [\[a, b\]].  Robust, linearly convergent;
+    used as a cross-check for Brent and in tests.
+    @raise Invalid_argument if [a > b]. *)
+
+val minimize : ?tol:float -> ?max_iter:int -> f:(float -> float) ->
+  a:float -> b:float -> unit -> result
+(** Brent's method on [\[a, b\]]: golden-section bracketing combined with
+    successive parabolic interpolation.  [tol] is the relative abscissa
+    tolerance (default [1e-6]); [max_iter] defaults to 100.
+    @raise Invalid_argument if [a > b]. *)
+
+val bracket_scan : f:(float -> float) -> a:float -> b:float -> n:int ->
+  float * float
+(** [bracket_scan ~f ~a ~b ~n] coarsely samples [n+1] equispaced points and
+    returns the sub-interval around the best sample — a cheap global phase
+    that guards Brent against landing in a secondary local minimum.
+    @raise Invalid_argument if [n < 2] or [a > b]. *)

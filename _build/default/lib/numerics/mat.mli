@@ -1,0 +1,62 @@
+(** Dense real matrices with LU decomposition.
+
+    Row-major storage.  Sized for modified-nodal-analysis systems of a few
+    tens of unknowns, where dense partial-pivoting LU is both simplest and
+    fastest. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix. *)
+
+val identity : int -> t
+
+val of_rows : float array array -> t
+(** Builds from an array of equal-length rows (copied). *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j x] increments element [(i,j)] by [x] — the MNA "stamp"
+    primitive. *)
+
+val copy : t -> t
+val fill : t -> float -> unit
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** Matrix-vector product. *)
+
+val mul : t -> t -> t
+(** Matrix-matrix product. *)
+
+val transpose : t -> t
+
+exception Singular of int
+(** Raised by factorization when a pivot column is numerically zero; the
+    payload is the offending elimination step. *)
+
+type lu
+(** A packed LU factorization with its pivot permutation. *)
+
+val lu_factor : t -> lu
+(** Factor a square matrix.  The input is not modified.
+    @raise Singular if the matrix is numerically singular.
+    @raise Invalid_argument if the matrix is not square. *)
+
+val lu_solve : lu -> Vec.t -> Vec.t
+(** Solve [A x = b] using a previous factorization of [A]. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve a b] factors and solves in one step. *)
+
+val det : t -> float
+(** Determinant via LU; [0.] for singular matrices. *)
+
+val norm_inf : t -> float
+(** Maximum absolute row sum. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,124 @@
+type result = {
+  xmin : Vec.t;
+  fmin : float;
+  evaluations : int;
+  iterations : int;
+}
+
+let line_range ~lower ~upper ~point ~dir =
+  let n = Vec.dim point in
+  if Vec.dim lower <> n || Vec.dim upper <> n || Vec.dim dir <> n then
+    invalid_arg "Powell.line_range: dimension mismatch";
+  let tmin = ref neg_infinity and tmax = ref infinity in
+  for i = 0 to n - 1 do
+    let d = dir.(i) in
+    if Float.abs d > 1e-300 then begin
+      let t1 = (lower.(i) -. point.(i)) /. d in
+      let t2 = (upper.(i) -. point.(i)) /. d in
+      let lo = Float.min t1 t2 and hi = Float.max t1 t2 in
+      tmin := Float.max !tmin lo;
+      tmax := Float.min !tmax hi
+    end
+  done;
+  (!tmin, !tmax)
+
+let check_box lower upper =
+  let n = Vec.dim lower in
+  if Vec.dim upper <> n then invalid_arg "Powell: box dimension mismatch";
+  for i = 0 to n - 1 do
+    if lower.(i) > upper.(i) then invalid_arg "Powell: inverted box"
+  done
+
+let minimize ?(tol = 1e-6) ?(max_iter = 60) ?(line_tol = 1e-5) ~f ~lower
+    ~upper ~start () =
+  check_box lower upper;
+  let n = Vec.dim lower in
+  if Vec.dim start <> n then invalid_arg "Powell.minimize: start dimension";
+  let evals = ref 0 in
+  let eval x = incr evals; f x in
+  let p = ref (Vec.clamp ~lower ~upper start) in
+  let fp = ref (eval !p) in
+  (* initial direction set: coordinate axes *)
+  let dirs = Array.init n (fun i -> Vec.init n (fun j -> if i = j then 1. else 0.)) in
+  let line_minimize point dir =
+    let tmin, tmax = line_range ~lower ~upper ~point ~dir in
+    if tmin > tmax || tmax -. tmin < 1e-15 then (point, eval point)
+    else begin
+      let g t = eval (Vec.clamp ~lower ~upper (Vec.axpy t dir point)) in
+      let lo, hi = Brent.bracket_scan ~f:g ~a:tmin ~b:tmax ~n:8 in
+      let r = Brent.minimize ~tol:line_tol ~f:g ~a:lo ~b:hi () in
+      (Vec.clamp ~lower ~upper (Vec.axpy r.xmin dir point), r.fmin)
+    end
+  in
+  let iter = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    let p0 = Vec.copy !p and f0 = !fp in
+    let biggest_drop = ref 0. and biggest_i = ref 0 in
+    for i = 0 to n - 1 do
+      let before = !fp in
+      let p', f' = line_minimize !p dirs.(i) in
+      if before -. f' > !biggest_drop then begin
+        biggest_drop := before -. f';
+        biggest_i := i
+      end;
+      p := p';
+      fp := f'
+    done;
+    let improvement = f0 -. !fp in
+    if improvement <= tol *. (Float.abs f0 +. Float.abs !fp +. 1e-12) then
+      converged := true
+    else if n > 1 then begin
+      (* Powell's update: try the average direction of the sweep. *)
+      let new_dir = Vec.sub !p p0 in
+      if Vec.norm_inf new_dir > 1e-15 then begin
+        let extrapolated =
+          Vec.clamp ~lower ~upper (Vec.axpy 2. new_dir p0)
+        in
+        let fe = eval extrapolated in
+        if fe < f0 then begin
+          let p', f' = line_minimize !p new_dir in
+          p := p';
+          fp := f';
+          (* replace the direction of largest decrease *)
+          dirs.(!biggest_i) <- dirs.(n - 1);
+          dirs.(n - 1) <- new_dir
+        end
+      end
+    end
+  done;
+  { xmin = !p; fmin = !fp; evaluations = !evals; iterations = !iter }
+
+let minimize_scan ?(tol = 1e-6) ?(max_iter = 60) ?(grid = 5) ~f ~lower
+    ~upper () =
+  check_box lower upper;
+  let n = Vec.dim lower in
+  if grid < 2 then invalid_arg "Powell.minimize_scan: grid < 2";
+  let scan_evals = ref 0 in
+  let best = ref None in
+  let point = Array.make n 0. in
+  let rec enumerate dim =
+    if dim = n then begin
+      incr scan_evals;
+      let x = Array.copy point in
+      let fx = f x in
+      match !best with
+      | Some (_, fb) when fb <= fx -> ()
+      | _ -> best := Some (x, fx)
+    end
+    else
+      for i = 0 to grid - 1 do
+        point.(dim) <-
+          lower.(dim)
+          +. ((upper.(dim) -. lower.(dim)) *. (float_of_int i +. 0.5)
+              /. float_of_int grid);
+        enumerate (dim + 1)
+      done
+  in
+  enumerate 0;
+  match !best with
+  | None -> invalid_arg "Powell.minimize_scan: empty box"
+  | Some (start, _) ->
+      let r = minimize ~tol ~max_iter ~f ~lower ~upper ~start () in
+      { r with evaluations = r.evaluations + !scan_evals }

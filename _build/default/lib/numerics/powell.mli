@@ -1,0 +1,38 @@
+(** Powell's direction-set minimization with box constraints.
+
+    Multi-parameter test configurations are optimized with Powell's method
+    (Acton 1990, pp. 264–267), which explores one-dimensional search
+    directions with Brent's method — exactly the combination the paper
+    uses.  Every trial point stays inside the [lower]/[upper] box: the line
+    search interval along each direction is clipped to the box before
+    Brent runs. *)
+
+type result = {
+  xmin : Vec.t;  (** located minimizer, inside the box *)
+  fmin : float;  (** objective value at [xmin] *)
+  evaluations : int;  (** objective evaluations spent *)
+  iterations : int;  (** outer direction-set sweeps *)
+}
+
+val line_range : lower:Vec.t -> upper:Vec.t -> point:Vec.t -> dir:Vec.t ->
+  float * float
+(** [line_range ~lower ~upper ~point ~dir] is the largest interval
+    [(tmin, tmax)] such that [point + t*dir] stays inside the box for all
+    [t] in it.  Components with a zero direction are ignored; if [point]
+    violates the box the interval may be empty ([tmin > tmax]). *)
+
+val minimize : ?tol:float -> ?max_iter:int -> ?line_tol:float ->
+  f:(Vec.t -> float) -> lower:Vec.t -> upper:Vec.t -> start:Vec.t ->
+  unit -> result
+(** Minimize [f] within the box from [start] (clamped into the box).
+    [tol] is the relative improvement threshold for convergence (default
+    [1e-6]); [max_iter] bounds outer sweeps (default 60).
+    @raise Invalid_argument on dimension mismatch or an inverted box. *)
+
+val minimize_scan : ?tol:float -> ?max_iter:int -> ?grid:int ->
+  f:(Vec.t -> float) -> lower:Vec.t -> upper:Vec.t ->
+  unit -> result
+(** Global-ish variant: coarsely scan a [grid]^n lattice (default 5) for
+    the best starting point, then run {!minimize} from there.  This is the
+    guard the paper alludes to when noting that Brent/Powell are local
+    methods that "may end up in local minima". *)

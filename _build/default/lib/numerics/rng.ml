@@ -1,0 +1,57 @@
+type t = { mutable state : int64; mutable cached : float option }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed; cached = None }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = create (int64 t)
+
+let float t =
+  (* 53 high bits -> [0, 1) *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let uniform t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.uniform: lo > hi";
+  lo +. ((hi -. lo) *. float t)
+
+let gaussian t =
+  match t.cached with
+  | Some g ->
+      t.cached <- None;
+      g
+  | None ->
+      (* Box-Muller; u1 bounded away from zero to keep log finite. *)
+      let u1 = Float.max 1e-300 (float t) in
+      let u2 = float t in
+      let r = sqrt (-2. *. log u1) in
+      let theta = 2. *. Float.pi *. u2 in
+      t.cached <- Some (r *. sin theta);
+      r *. cos theta
+
+let normal t ~mu ~sigma = mu +. (sigma *. gaussian t)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* keep 62 bits so the value always fits OCaml's native int non-negatively *)
+  let x = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  x mod bound
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All stochastic parts of the reproduction (process-variation sampling,
+    Monte-Carlo tolerance estimation) draw from explicit generator states so
+    every report is bit-reproducible. *)
+
+type t
+
+val create : int64 -> t
+(** Seeded generator.  Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** Derive an independent generator; advances the parent. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)].
+    @raise Invalid_argument if [lo > hi]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller, cached pair). *)
+
+val normal : t -> mu:float -> sigma:float -> float
+(** Normal with the given mean and standard deviation. *)
+
+val int : t -> bound:int -> int
+(** Uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,63 @@
+let require_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty array")
+
+let mean xs =
+  require_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  require_nonempty "Stats.variance" xs;
+  let m = mean xs in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+  /. float_of_int (Array.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  require_nonempty "Stats.min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let percentile xs p =
+  require_nonempty "Stats.percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Int.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.
+
+let max_abs xs = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0. xs
+
+type linreg = { slope : float; intercept : float; r2 : float }
+
+let linear_regression samples =
+  let n = Array.length samples in
+  if n < 2 then invalid_arg "Stats.linear_regression: need >= 2 samples";
+  let xs = Array.map fst samples and ys = Array.map snd samples in
+  let mx = mean xs and my = mean ys in
+  let sxx = ref 0. and sxy = ref 0. and syy = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      let dx = x -. mx and dy = y -. my in
+      sxx := !sxx +. (dx *. dx);
+      sxy := !sxy +. (dx *. dy);
+      syy := !syy +. (dy *. dy))
+    samples;
+  if !sxx < 1e-300 then
+    invalid_arg "Stats.linear_regression: degenerate abscissae";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 =
+    if !syy < 1e-300 then 1. else !sxy *. !sxy /. (!sxx *. !syy)
+  in
+  { slope; intercept; r2 }

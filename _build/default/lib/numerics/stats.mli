@@ -1,0 +1,32 @@
+(** Descriptive statistics and simple regression.
+
+    Used by the tolerance-box calibration (deviation envelopes over process
+    corners) and by the experiment reports. *)
+
+val mean : float array -> float
+(** @raise Invalid_argument on an empty array. *)
+
+val variance : float array -> float
+(** Population variance.  @raise Invalid_argument on an empty array. *)
+
+val stddev : float array -> float
+
+val min_max : float array -> float * float
+(** @raise Invalid_argument on an empty array. *)
+
+val median : float array -> float
+(** @raise Invalid_argument on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation between
+    order statistics.  @raise Invalid_argument on an empty array or [p]
+    outside the range. *)
+
+val max_abs : float array -> float
+(** Largest absolute value; [0.] on an empty array. *)
+
+type linreg = { slope : float; intercept : float; r2 : float }
+
+val linear_regression : (float * float) array -> linreg
+(** Least-squares line through [(x, y)] samples.
+    @raise Invalid_argument with fewer than two samples or degenerate x. *)

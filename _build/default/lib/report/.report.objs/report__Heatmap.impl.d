@@ -1,0 +1,1 @@
+lib/report/heatmap.ml: Array Buffer Float List Numerics Printf String

@@ -1,0 +1,1 @@
+lib/report/scatter.ml: Array Buffer Char Float List Printf String

@@ -1,0 +1,80 @@
+type bucket = { upper : float; glyph : char; legend : string }
+
+let tps_buckets =
+  [
+    { upper = -1000.; glyph = '#'; legend = "S < -1000" };
+    { upper = -100.; glyph = '@'; legend = "-1000 .. -100" };
+    { upper = -10.; glyph = '%'; legend = "-100 .. -10" };
+    { upper = -2.; glyph = '*'; legend = "-10 .. -2" };
+    { upper = -1.; glyph = '+'; legend = "-2 .. -1" };
+    { upper = -0.5; glyph = '='; legend = "-1 .. -0.5" };
+    { upper = 0.; glyph = '-'; legend = "-0.5 .. 0 (detected)" };
+    { upper = 0.5; glyph = ':'; legend = "0 .. 0.5 (undetected)" };
+    { upper = infinity; glyph = '.'; legend = "> 0.5" };
+  ]
+
+let glyph_of buckets v =
+  let rec pick = function
+    | [] -> '?'
+    | b :: rest -> if v <= b.upper then b.glyph else pick rest
+  in
+  (* buckets are ordered by ascending upper bound *)
+  pick buckets
+
+let render ?(buckets = tps_buckets) ~x_axis ~y_axis ~values () =
+  let x_name, xs = x_axis and y_name, ys = y_axis in
+  let nx = Array.length xs and ny = Array.length ys in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%s (vertical, top=%.4g) vs %s (horizontal)\n" y_name
+       ys.(ny - 1) x_name);
+  for yi = ny - 1 downto 0 do
+    Buffer.add_string b (Printf.sprintf "%10.4g |" ys.(yi));
+    for xi = 0 to nx - 1 do
+      Buffer.add_char b (glyph_of buckets (values xi yi));
+      Buffer.add_char b ' '
+    done;
+    Buffer.add_char b '\n'
+  done;
+  Buffer.add_string b (String.make 11 ' ');
+  Buffer.add_string b "+";
+  Buffer.add_string b (String.make (2 * nx) '-');
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Printf.sprintf "%s%s: %.4g .. %.4g\n" (String.make 12 ' ') x_name xs.(0)
+       xs.(nx - 1));
+  Buffer.add_string b "legend: ";
+  List.iter
+    (fun bk -> Buffer.add_string b (Printf.sprintf "[%c] %s  " bk.glyph bk.legend))
+    buckets;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let render_1d ~x_axis ~values ~height =
+  let x_name, xs = x_axis in
+  let n = Array.length values in
+  if Array.length xs <> n then invalid_arg "Heatmap.render_1d: length mismatch";
+  if height < 2 then invalid_arg "Heatmap.render_1d: height < 2";
+  if n = 0 then invalid_arg "Heatmap.render_1d: empty values";
+  let lo, hi = Numerics.Stats.min_max values in
+  let span = if hi -. lo <= 0. then 1. else hi -. lo in
+  let level v =
+    int_of_float (Float.round ((v -. lo) /. span *. float_of_int (height - 1)))
+  in
+  let b = Buffer.create 512 in
+  for row = height - 1 downto 0 do
+    let threshold = lo +. (span *. float_of_int row /. float_of_int (height - 1)) in
+    Buffer.add_string b (Printf.sprintf "%10.3g |" threshold);
+    for i = 0 to n - 1 do
+      Buffer.add_char b (if level values.(i) >= row then '*' else ' ')
+    done;
+    Buffer.add_char b '\n'
+  done;
+  Buffer.add_string b (String.make 11 ' ');
+  Buffer.add_string b "+";
+  Buffer.add_string b (String.make n '-');
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Printf.sprintf "%s%s: %.4g .. %.4g\n" (String.make 12 ' ') x_name xs.(0)
+       xs.(n - 1));
+  Buffer.contents b

@@ -1,0 +1,29 @@
+(** ASCII heatmaps in the style of the paper's tps-graph figures.
+
+    The figures bucket sensitivity values into ranges rendered with
+    different fill patterns and a legend; here each bucket maps to one
+    character. *)
+
+type bucket = { upper : float; glyph : char; legend : string }
+(** A value [v] falls into the first bucket with [v <= upper]. *)
+
+val tps_buckets : bucket list
+(** Default buckets mirroring Figs. 2–4's legend scale: strongly negative
+    (deep detection) through positive (undetectable). *)
+
+val render :
+  ?buckets:bucket list ->
+  x_axis:string * float array ->
+  y_axis:string * float array ->
+  values:(int -> int -> float) ->
+  unit ->
+  string
+(** Render a 2-D field: [values xi yi] with [xi] indexing the x axis and
+    [yi] the y axis.  The y axis is printed top-down from its last grid
+    value (like the paper's plots), with axis labels and the bucket
+    legend below. *)
+
+val render_1d :
+  x_axis:string * float array -> values:float array -> height:int -> string
+(** Vertical-bar plot of a one-parameter sweep.
+    @raise Invalid_argument on length mismatch or [height < 2]. *)

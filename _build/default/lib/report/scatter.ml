@@ -1,0 +1,65 @@
+type series = { series_glyph : char; points : (float * float) list }
+
+let render ?(width = 56) ?(height = 18) ~x_label ~y_label ~x_range ~y_range
+    series_list =
+  let x_lo, x_hi = x_range and y_lo, y_hi = y_range in
+  if x_lo >= x_hi || y_lo >= y_hi then
+    invalid_arg "Scatter.render: inverted range";
+  if width < 8 || height < 4 then invalid_arg "Scatter.render: grid too small";
+  let grid = Array.make_matrix height width ' ' in
+  let place glyph (x, y) =
+    if x >= x_lo && x <= x_hi && y >= y_lo && y <= y_hi then begin
+      let xi =
+        int_of_float
+          (Float.round ((x -. x_lo) /. (x_hi -. x_lo) *. float_of_int (width - 1)))
+      in
+      let yi =
+        int_of_float
+          (Float.round ((y -. y_lo) /. (y_hi -. y_lo) *. float_of_int (height - 1)))
+      in
+      grid.(height - 1 - yi).(xi) <- glyph
+    end
+  in
+  List.iter (fun s -> List.iter (place s.series_glyph) s.points) series_list;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "%s (vertical: %.4g .. %.4g)\n" y_label y_lo y_hi);
+  Array.iter
+    (fun row ->
+      Buffer.add_string b "  |";
+      Array.iter (Buffer.add_char b) row;
+      Buffer.add_char b '\n')
+    grid;
+  Buffer.add_string b "  +";
+  Buffer.add_string b (String.make width '-');
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Printf.sprintf "   %s: %.4g .. %.4g\n" x_label x_lo x_hi);
+  Buffer.contents b
+
+let render_1d ?(width = 56) ~label ~range points =
+  let lo, hi = range in
+  if lo >= hi then invalid_arg "Scatter.render_1d: inverted range";
+  let counts = Array.make width 0 in
+  List.iter
+    (fun x ->
+      if x >= lo && x <= hi then begin
+        let xi =
+          int_of_float
+            (Float.round ((x -. lo) /. (hi -. lo) *. float_of_int (width - 1)))
+        in
+        counts.(xi) <- counts.(xi) + 1
+      end)
+    points;
+  let b = Buffer.create 256 in
+  Buffer.add_string b "  |";
+  Array.iter
+    (fun c ->
+      Buffer.add_char b
+        (if c = 0 then ' ' else if c < 10 then Char.chr (Char.code '0' + c) else '#'))
+    counts;
+  Buffer.add_char b '\n';
+  Buffer.add_string b "  +";
+  Buffer.add_string b (String.make width '-');
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "   %s: %.4g .. %.4g\n" label lo hi);
+  Buffer.contents b

@@ -1,0 +1,23 @@
+(** ASCII scatter plots (Fig. 8: optimized parameter values in the
+    parameter planes of the test configurations). *)
+
+type series = { series_glyph : char; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  x_label:string ->
+  y_label:string ->
+  x_range:float * float ->
+  y_range:float * float ->
+  series list ->
+  string
+(** Plot point sets on a [width] x [height] character grid (defaults
+    56 x 18).  Overlapping points from different series show the glyph of
+    the later series.  Ranges must be non-degenerate.
+    @raise Invalid_argument on inverted ranges or tiny grids. *)
+
+val render_1d :
+  ?width:int -> label:string -> range:float * float -> float list -> string
+(** Strip plot for one-parameter configurations: tick marks on one axis
+    with point counts. *)

@@ -1,0 +1,62 @@
+type align = Left | Right
+
+type line = Row of string list | Rule
+
+type t = {
+  headers : (string * align) list;
+  mutable lines : line list;  (* reversed *)
+}
+
+let create ~headers = { headers; lines = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: width mismatch";
+  t.lines <- Row row :: t.lines
+
+let add_rule t = t.lines <- Rule :: t.lines
+
+let render t =
+  let cols = List.length t.headers in
+  let widths = Array.make cols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell -> widths.(i) <- Int.max widths.(i) (String.length cell))
+      row
+  in
+  measure (List.map fst t.headers);
+  List.iter (function Row r -> measure r | Rule -> ()) t.lines;
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let aligns = List.map snd t.headers in
+  let render_row row =
+    List.mapi
+      (fun i cell -> pad (List.nth aligns i) widths.(i) cell)
+      row
+    |> String.concat "  "
+  in
+  let rule =
+    Array.to_list widths
+    |> List.map (fun w -> String.make w '-')
+    |> String.concat "  "
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b (render_row (List.map fst t.headers));
+  Buffer.add_char b '\n';
+  Buffer.add_string b rule;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun l ->
+      (match l with
+      | Row r -> Buffer.add_string b (render_row r)
+      | Rule -> Buffer.add_string b rule);
+      Buffer.add_char b '\n')
+    (List.rev t.lines);
+  Buffer.contents b
+
+let of_rows ~headers rows =
+  let t = create ~headers in
+  List.iter (add_row t) rows;
+  render t

@@ -1,0 +1,19 @@
+(** Plain-text tables for the experiment reports. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the headers. *)
+
+val add_rule : t -> unit
+(** Horizontal separator at this position. *)
+
+val render : t -> string
+(** Box-drawing-free ASCII rendering with padded columns. *)
+
+val of_rows : headers:(string * align) list -> string list list -> string
+(** One-shot convenience. *)

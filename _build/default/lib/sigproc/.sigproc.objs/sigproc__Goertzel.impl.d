@@ -1,0 +1,1 @@
+lib/sigproc/goertzel.ml: Array Complex Float

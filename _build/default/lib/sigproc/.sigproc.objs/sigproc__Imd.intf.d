@@ -1,0 +1,1 @@
+lib/sigproc/imd.mli:

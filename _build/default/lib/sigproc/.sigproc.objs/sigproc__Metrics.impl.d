@@ -1,0 +1,1 @@
+lib/sigproc/metrics.ml: Array Float Numerics

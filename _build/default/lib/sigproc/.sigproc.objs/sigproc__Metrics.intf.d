@@ -1,0 +1,1 @@
+lib/sigproc/metrics.mli:

@@ -1,0 +1,1 @@
+lib/sigproc/thd.ml: Array Goertzel List

@@ -1,0 +1,33 @@
+let bin ~samples ~k =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Goertzel.bin: empty samples";
+  if k < 0 || k >= n then invalid_arg "Goertzel.bin: k out of range";
+  let w = 2. *. Float.pi *. float_of_int k /. float_of_int n in
+  let coeff = 2. *. cos w in
+  let s_prev = ref 0. and s_prev2 = ref 0. in
+  for i = 0 to n - 1 do
+    let s = samples.(i) +. (coeff *. !s_prev) -. !s_prev2 in
+    s_prev2 := !s_prev;
+    s_prev := s
+  done;
+  (* X_k = s_prev * e^{jw} - s_prev2 *)
+  {
+    Complex.re = (!s_prev *. cos w) -. !s_prev2;
+    im = !s_prev *. sin w;
+  }
+
+let amplitude ~samples ~k =
+  let n = Array.length samples in
+  let x = bin ~samples ~k in
+  let mag = Complex.norm x /. float_of_int n in
+  if k = 0 || (n mod 2 = 0 && k = n / 2) then mag else 2. *. mag
+
+let amplitude_at ~samples ~sample_rate ~freq =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Goertzel.amplitude_at: empty samples";
+  if sample_rate <= 0. then invalid_arg "Goertzel.amplitude_at: sample_rate";
+  let window = float_of_int n /. sample_rate in
+  let k = int_of_float (Float.round (freq *. window)) in
+  if k < 1 || k > n / 2 then
+    invalid_arg "Goertzel.amplitude_at: frequency not resolvable";
+  amplitude ~samples ~k

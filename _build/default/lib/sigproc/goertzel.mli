@@ -1,0 +1,22 @@
+(** Single-bin discrete Fourier transform (Goertzel algorithm).
+
+    The THD return value needs the amplitude of a handful of harmonics of
+    a known fundamental; Goertzel computes one bin in O(n) without a full
+    FFT and is exact when the analysis window spans an integer number of
+    periods — which the test configurations guarantee by construction. *)
+
+val bin : samples:float array -> k:int -> Complex.t
+(** DFT coefficient [X_k] of the sample array (no window, no scaling).
+    @raise Invalid_argument if the array is empty or [k] is outside
+    [0 .. n-1]. *)
+
+val amplitude : samples:float array -> k:int -> float
+(** Single-sided amplitude of bin [k]: [2|X_k|/n] for [0 < k < n/2],
+    [|X_0|/n] for the DC bin. *)
+
+val amplitude_at :
+  samples:float array -> sample_rate:float -> freq:float -> float
+(** Amplitude at an arbitrary frequency: rounds to the nearest integer
+    bin of the window.
+    @raise Invalid_argument if [freq] is not resolvable (below one cycle
+    per window or above Nyquist). *)

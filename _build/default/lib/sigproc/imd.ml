@@ -1,0 +1,28 @@
+type analysis = {
+  tone1 : float;
+  tone2 : float;
+  imd3_low : float;
+  imd3_high : float;
+  imd3_percent : float;
+}
+
+let analyze ~samples ~sample_rate ~base_freq ~k1 ~k2 () =
+  if k1 <= 0 || k2 <= k1 then invalid_arg "Imd.analyze: need 0 < k1 < k2";
+  let low = (2 * k1) - k2 in
+  let high = (2 * k2) - k1 in
+  if low <= 0 then invalid_arg "Imd.analyze: 2 f1 - f2 is at or below DC";
+  let amp k =
+    Goertzel.amplitude_at ~samples ~sample_rate
+      ~freq:(float_of_int k *. base_freq)
+  in
+  let tone1 = amp k1 and tone2 = amp k2 in
+  let imd3_low = amp low and imd3_high = amp high in
+  let reference = Float.min tone1 tone2 in
+  let imd3_percent =
+    if reference <= 1e-300 then infinity
+    else 100. *. Float.max imd3_low imd3_high /. reference
+  in
+  { tone1; tone2; imd3_low; imd3_high; imd3_percent }
+
+let imd3_percent ~samples ~sample_rate ~base_freq ~k1 ~k2 () =
+  (analyze ~samples ~sample_rate ~base_freq ~k1 ~k2 ()).imd3_percent

@@ -1,0 +1,43 @@
+let max_abs_delta a b =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Metrics.max_abs_delta: empty arrays";
+  if Array.length b <> n then
+    invalid_arg "Metrics.max_abs_delta: length mismatch";
+  let m = ref 0. in
+  for i = 0 to n - 1 do
+    m := Float.max !m (Float.abs (a.(i) -. b.(i)))
+  done;
+  !m
+
+let accumulate = Array.fold_left ( +. ) 0.
+
+let rms xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Metrics.rms: empty array";
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs /. float_of_int n)
+
+let peak_to_peak xs =
+  if Array.length xs = 0 then invalid_arg "Metrics.peak_to_peak: empty array";
+  let lo, hi = Numerics.Stats.min_max xs in
+  hi -. lo
+
+let settling_time ~times ~values ~target ~band =
+  let n = Array.length values in
+  if Array.length times <> n then
+    invalid_arg "Metrics.settling_time: length mismatch";
+  if band <= 0. then invalid_arg "Metrics.settling_time: band <= 0";
+  (* walk backwards: find the last out-of-band sample *)
+  let last_violation = ref (-1) in
+  for i = n - 1 downto 0 do
+    if !last_violation = -1 && Float.abs (values.(i) -. target) > band then
+      last_violation := i
+  done;
+  if !last_violation = -1 then if n = 0 then None else Some times.(0)
+  else if !last_violation = n - 1 then None
+  else Some times.(!last_violation + 1)
+
+let decimate xs ~every =
+  if every <= 0 then invalid_arg "Metrics.decimate: every <= 0";
+  let n = Array.length xs in
+  let m = ((n - 1) / every) + (if n = 0 then 0 else 1) in
+  Array.init m (fun i -> xs.(i * every))

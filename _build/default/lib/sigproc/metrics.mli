@@ -1,0 +1,31 @@
+(** Scalar metrics over sampled waveforms.
+
+    These implement the post-processing column of Table 1: maximum
+    sample-wise deviation (configurations #4), accumulated samples
+    (Fig. 1 / configuration #5), plus settling-time and RMS helpers used
+    by the examples. *)
+
+val max_abs_delta : float array -> float array -> float
+(** [max_k |a_k - b_k|].  @raise Invalid_argument on length mismatch or
+    empty arrays. *)
+
+val accumulate : float array -> float
+(** Sum of samples — the paper's "sampled and accumulated during the test
+    time" return value. *)
+
+val rms : float array -> float
+(** @raise Invalid_argument on an empty array. *)
+
+val peak_to_peak : float array -> float
+(** @raise Invalid_argument on an empty array. *)
+
+val settling_time :
+  times:float array -> values:float array -> target:float -> band:float ->
+  float option
+(** First time after which every sample stays within [band] of [target];
+    [None] if it never settles.  @raise Invalid_argument on mismatch or
+    non-positive band. *)
+
+val decimate : float array -> every:int -> float array
+(** Keep indices 0, every, 2*every, ...
+    @raise Invalid_argument if [every <= 0]. *)

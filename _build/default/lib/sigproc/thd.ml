@@ -1,0 +1,33 @@
+type analysis = {
+  fundamental : float;
+  harmonics : float array;
+  thd_percent : float;
+}
+
+let analyze ?(harmonics = 5) ~samples ~sample_rate ~fundamental_hz () =
+  if harmonics < 2 then invalid_arg "Thd.analyze: harmonics < 2";
+  let fund =
+    Goertzel.amplitude_at ~samples ~sample_rate ~freq:fundamental_hz
+  in
+  let nyquist = sample_rate /. 2. in
+  let orders =
+    List.filter
+      (fun k -> float_of_int k *. fundamental_hz < nyquist)
+      (List.init (harmonics - 1) (fun i -> i + 2))
+  in
+  let amps =
+    List.map
+      (fun k ->
+        Goertzel.amplitude_at ~samples ~sample_rate
+          ~freq:(float_of_int k *. fundamental_hz))
+      orders
+    |> Array.of_list
+  in
+  let power = Array.fold_left (fun acc a -> acc +. (a *. a)) 0. amps in
+  let thd =
+    if fund <= 1e-300 then infinity else 100. *. sqrt power /. fund
+  in
+  { fundamental = fund; harmonics = amps; thd_percent = thd }
+
+let thd_percent ?harmonics ~samples ~sample_rate ~fundamental_hz () =
+  (analyze ?harmonics ~samples ~sample_rate ~fundamental_hz ()).thd_percent

@@ -1,0 +1,35 @@
+(** Total harmonic distortion.
+
+    The paper's test configuration #3 returns a THD measurement of the
+    IV-converter output under a sine-wave input (Figs. 2–4).  THD is
+    computed from an integer number of fundamental periods as the RMS of
+    harmonics 2..[harmonics] relative to the fundamental amplitude,
+    expressed in percent. *)
+
+type analysis = {
+  fundamental : float;  (** amplitude of the fundamental *)
+  harmonics : float array;  (** amplitudes of harmonics 2, 3, ... *)
+  thd_percent : float;
+}
+
+val analyze :
+  ?harmonics:int ->
+  samples:float array ->
+  sample_rate:float ->
+  fundamental_hz:float ->
+  unit ->
+  analysis
+(** [harmonics] (default 5) is the highest harmonic order included.
+    Harmonics beyond Nyquist are skipped.  The fundamental must be
+    resolvable in the window.
+    @raise Invalid_argument on an empty window or unresolvable
+    fundamental. *)
+
+val thd_percent :
+  ?harmonics:int ->
+  samples:float array ->
+  sample_rate:float ->
+  fundamental_hz:float ->
+  unit ->
+  float
+(** Shorthand for [(analyze ...).thd_percent]. *)

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Ac Alcotest Array Circuit Complex Dc Device Float List Macros Mna Mos_model Netlist Noise Numerics Printf QCheck QCheck_alcotest Result String Tran Units Waveform

@@ -1,0 +1,1 @@
+test/test_compaction.ml: Alcotest Array Baseline Cluster Collapse Compactor Coverage Engine Evaluator Experiments Faults Float Generate Lazy List Macros Printf Test_param Testgen Tolerance

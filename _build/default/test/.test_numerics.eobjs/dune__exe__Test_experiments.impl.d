@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Circuit Evaluator Execute Experiments Faults Lazy List Macros String Test_config Testgen

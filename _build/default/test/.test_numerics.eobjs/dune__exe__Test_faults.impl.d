@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Circuit Dc Device Dictionary Fault Faults Float Format Inject List Macros Mna Mos_model Netlist Option Printf QCheck QCheck_alcotest String Universe Waveform

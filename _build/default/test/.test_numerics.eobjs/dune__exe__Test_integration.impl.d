@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Baseline Compactor Coverage Engine Evaluator Execute Experiments Faults Generate Lazy List Macros Printf String Testgen Tolerance Tps

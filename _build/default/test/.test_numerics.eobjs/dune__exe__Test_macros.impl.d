@@ -1,0 +1,1 @@
+test/test_macros.ml: Alcotest Circuit Dc Device Faults Float List Macros Mna Mos_model Netlist Numerics Printf String Waveform

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Brent Cmat Complex Float Int64 Mat Numerics Powell Printf QCheck QCheck_alcotest Rng Stats Vec

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Circuit Dc Device Float Format Int64 List Macros Mna Mos_model Netlist Numerics Printf QCheck QCheck_alcotest Spice_parser Waveform

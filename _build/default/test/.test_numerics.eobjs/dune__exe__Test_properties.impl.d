@@ -1,0 +1,1 @@
+test/test_properties.ml: Ac Alcotest Array Circuit Complex Dc Device Float Gen Int64 List Mna Netlist Numerics Printf QCheck QCheck_alcotest Testgen Tran Waveform

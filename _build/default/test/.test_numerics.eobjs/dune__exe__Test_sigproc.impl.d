@@ -1,0 +1,1 @@
+test/test_sigproc.ml: Alcotest Array Complex Float Int64 Numerics Printf QCheck QCheck_alcotest Sigproc

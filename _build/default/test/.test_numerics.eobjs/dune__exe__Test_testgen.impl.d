@@ -1,0 +1,1 @@
+test/test_testgen.ml: Alcotest Array Circuit Evaluator Execute Experiments Faults Float Generate Lazy List Macros Printf Sensitivity String Test_config Test_param Testgen Tolerance Tps

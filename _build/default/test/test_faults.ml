@@ -1,0 +1,254 @@
+(* Tests for fault models, injection, universes and dictionaries. *)
+
+open Faults
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1. +. Float.abs b)
+
+let check_float ?eps msg a b =
+  Alcotest.(check bool) (Printf.sprintf "%s (%.9g vs %.9g)" msg a b) true
+    (feq ?eps a b)
+
+(* ------------------------------------------------------------------ Fault *)
+
+let test_bridge_normalization () =
+  let f1 = Fault.bridge "vout" "n1" ~resistance:10e3 in
+  let f2 = Fault.bridge "n1" "vout" ~resistance:10e3 in
+  Alcotest.(check string) "same id" (Fault.id f1) (Fault.id f2);
+  Alcotest.(check string) "sorted id" "bridge:n1-vout" (Fault.id f1);
+  Alcotest.(check bool) "same site" true (Fault.equal_site f1 f2)
+
+let test_fault_validation () =
+  (try
+     ignore (Fault.bridge "a" "a" ~resistance:1.);
+     Alcotest.fail "identical nodes accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Fault.bridge "a" "b" ~resistance:0.);
+     Alcotest.fail "zero resistance accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Fault.pinhole "m1" ~r_shunt:(-1.));
+     Alcotest.fail "negative shunt accepted"
+   with Invalid_argument _ -> ())
+
+let test_impact_manipulation () =
+  let f = Fault.bridge "a" "b" ~resistance:10e3 in
+  check_float "impact" 10e3 (Fault.impact_resistance f);
+  check_float "weaken x3" 30e3
+    (Fault.impact_resistance (Fault.weaken f ~factor:3.));
+  check_float "intensify x4" 2.5e3
+    (Fault.impact_resistance (Fault.intensify f ~factor:4.));
+  check_float "with_impact" 77.
+    (Fault.impact_resistance (Fault.with_impact f 77.));
+  (try
+     ignore (Fault.weaken f ~factor:0.5);
+     Alcotest.fail "weaken factor <= 1 accepted"
+   with Invalid_argument _ -> ())
+
+let test_kinds_and_describe () =
+  let b = Fault.bridge "x" "y" ~resistance:1e3 in
+  let p = Fault.pinhole "m1" ~r_shunt:2e3 in
+  Alcotest.(check string) "bridge kind" "bridge" (Fault.kind_name b);
+  Alcotest.(check string) "pinhole kind" "pinhole" (Fault.kind_name p);
+  Alcotest.(check bool) "bridge describes nodes" true
+    (String.length (Fault.describe b) > 0);
+  Alcotest.(check bool) "different sites" false (Fault.equal_site b p)
+
+(* ----------------------------------------------------------------- Inject *)
+
+let simple_netlist () =
+  let open Circuit in
+  Netlist.add_all (Netlist.empty ~title:"dut")
+    [
+      Device.Vsource { name = "vdd"; plus = "vdd"; minus = "0"; wave = Waveform.Dc 5. };
+      Device.Resistor { name = "rd"; a = "vdd"; b = "d"; ohms = 10e3 };
+      Device.Mosfet { name = "m1"; drain = "d"; gate = "g"; source = "0";
+                      model = Mos_model.nmos_default; w = 10e-6; l = 2e-6 };
+      Device.Vsource { name = "vg"; plus = "g"; minus = "0"; wave = Waveform.Dc 2. };
+    ]
+
+let test_inject_bridge () =
+  let nl = simple_netlist () in
+  let faulty = Inject.apply nl (Fault.bridge "d" "g" ~resistance:5e3) in
+  Alcotest.(check int) "one extra device" (Circuit.Netlist.device_count nl + 1)
+    (Circuit.Netlist.device_count faulty);
+  (match Circuit.Netlist.find faulty Inject.bridge_device_name with
+  | Some (Circuit.Device.Resistor { ohms; _ }) -> check_float "bridge R" 5e3 ohms
+  | Some _ | None -> Alcotest.fail "bridge resistor missing")
+
+let test_inject_bridge_unknown_node () =
+  let nl = simple_netlist () in
+  (try
+     ignore (Inject.apply nl (Fault.bridge "d" "nonexistent" ~resistance:1e3));
+     Alcotest.fail "unknown node accepted"
+   with Invalid_argument _ -> ())
+
+let test_inject_pinhole_structure () =
+  let nl = simple_netlist () in
+  let faulty = Inject.apply nl (Fault.pinhole "m1" ~r_shunt:2e3) in
+  (* one mosfet replaced by two mosfets + resistor *)
+  Alcotest.(check int) "device count" (Circuit.Netlist.device_count nl + 2)
+    (Circuit.Netlist.device_count faulty);
+  Alcotest.(check bool) "original gone" false (Circuit.Netlist.mem faulty "m1");
+  (match Circuit.Netlist.find faulty "m1_drainseg" with
+  | Some (Circuit.Device.Mosfet { l; drain; _ }) ->
+      check_float "drain segment is L/4" 0.5e-6 l;
+      Alcotest.(check string) "keeps drain" "d" drain
+  | Some _ | None -> Alcotest.fail "drain segment missing");
+  (match Circuit.Netlist.find faulty "m1_srcseg" with
+  | Some (Circuit.Device.Mosfet { l; source; _ }) ->
+      check_float "source segment is 3L/4" 1.5e-6 l;
+      Alcotest.(check string) "keeps source" "0" source
+  | Some _ | None -> Alcotest.fail "source segment missing");
+  (match Circuit.Netlist.find faulty "m1_pinhole" with
+  | Some (Circuit.Device.Resistor { ohms; a; _ }) ->
+      check_float "shunt value" 2e3 ohms;
+      Alcotest.(check string) "shunt from gate" "g" a
+  | Some _ | None -> Alcotest.fail "shunt missing")
+
+let test_inject_pinhole_behaviour () =
+  (* the pinhole must actually change the DC solution *)
+  let open Circuit in
+  let nl = simple_netlist () in
+  let sys = Mna.build nl in
+  let v_nom = Mna.voltage sys (Dc.operating_point sys ~time:`Dc) "d" in
+  let faulty = Inject.apply nl (Fault.pinhole "m1" ~r_shunt:2e3) in
+  let sysf = Mna.build faulty in
+  let v_fault = Mna.voltage sysf (Dc.operating_point sysf ~time:`Dc) "d" in
+  Alcotest.(check bool)
+    (Printf.sprintf "pinhole shifts drain voltage (%.3f vs %.3f)" v_nom v_fault)
+    true
+    (Float.abs (v_nom -. v_fault) > 0.05)
+
+let test_inject_pinhole_on_non_mosfet () =
+  let nl = simple_netlist () in
+  (try
+     ignore (Inject.apply nl (Fault.pinhole "rd" ~r_shunt:1e3));
+     Alcotest.fail "pinhole on resistor accepted"
+   with Invalid_argument _ -> ())
+
+let test_weak_bridge_negligible () =
+  (* a 1 GOhm bridge is electrically invisible *)
+  let open Circuit in
+  let nl = simple_netlist () in
+  let sys = Mna.build nl in
+  let v_nom = Mna.voltage sys (Dc.operating_point sys ~time:`Dc) "d" in
+  let faulty = Inject.apply nl (Fault.bridge "d" "g" ~resistance:1e9) in
+  let sysf = Mna.build faulty in
+  let v_fault = Mna.voltage sysf (Dc.operating_point sysf ~time:`Dc) "d" in
+  Alcotest.(check bool) "negligible shift" true (Float.abs (v_nom -. v_fault) < 1e-3)
+
+(* --------------------------------------------------------------- Universe *)
+
+let test_universe_bridge_count () =
+  let nodes = [ "a"; "b"; "c"; "d"; "e" ] in
+  let bs = Universe.bridges ~nodes () in
+  Alcotest.(check int) "C(5,2)" 10 (List.length bs);
+  (* all distinct ids *)
+  let ids = List.sort_uniq String.compare (List.map Fault.id bs) in
+  Alcotest.(check int) "unique" 10 (List.length ids)
+
+let test_universe_duplicate_nodes () =
+  (try
+     ignore (Universe.bridges ~nodes:[ "a"; "b"; "a" ] ());
+     Alcotest.fail "duplicates accepted"
+   with Invalid_argument _ -> ())
+
+let test_universe_pinholes () =
+  let nl = simple_netlist () in
+  let ps = Universe.pinholes nl in
+  Alcotest.(check int) "one per mosfet" 1 (List.length ps);
+  match ps with
+  | [ p ] ->
+      check_float "default shunt" Universe.default_pinhole_resistance
+        (Fault.impact_resistance p)
+  | _ -> Alcotest.fail "unexpected"
+
+let test_universe_exhaustive_counts () =
+  (* the paper's numbers: 10 nodes, 10 mosfets -> 45 + 10 = 55 *)
+  let nl = Macros.Macro.nominal_netlist Macros.Iv_converter.macro in
+  let faults =
+    Universe.exhaustive ~nodes:Macros.Iv_converter.fault_nodes nl
+  in
+  Alcotest.(check int) "55 faults" 55 (List.length faults);
+  let bridges = List.filter (fun f -> Fault.kind f = `Bridge) faults in
+  let pinholes = List.filter (fun f -> Fault.kind f = `Pinhole) faults in
+  Alcotest.(check int) "45 bridges" 45 (List.length bridges);
+  Alcotest.(check int) "10 pinholes" 10 (List.length pinholes);
+  List.iter
+    (fun f ->
+      check_float "bridge initial impact 10k" 10e3 (Fault.impact_resistance f))
+    bridges;
+  List.iter
+    (fun f ->
+      check_float "pinhole initial impact 2k" 2e3 (Fault.impact_resistance f))
+    pinholes
+
+(* ------------------------------------------------------------- Dictionary *)
+
+let test_dictionary () =
+  let faults =
+    [ Fault.bridge "a" "b" ~resistance:10e3; Fault.pinhole "m1" ~r_shunt:2e3 ]
+  in
+  let d = Dictionary.of_faults faults in
+  Alcotest.(check int) "size" 2 (Dictionary.size d);
+  let b, p = Dictionary.count_by_kind d in
+  Alcotest.(check (pair int int)) "counts" (1, 1) (b, p);
+  Alcotest.(check bool) "find" true
+    (Option.is_some (Dictionary.find d "bridge:a-b"));
+  Alcotest.(check bool) "find missing" true
+    (Option.is_none (Dictionary.find d "bridge:x-y"));
+  Alcotest.(check int) "take 1" 1 (Dictionary.size (Dictionary.take d 1));
+  Alcotest.(check int) "take beyond" 2 (Dictionary.size (Dictionary.take d 10));
+  let summary = Format.asprintf "%a" Dictionary.pp_summary d in
+  Alcotest.(check string) "summary" "2 faults (1 bridges, 1 pinholes)" summary
+
+let test_dictionary_duplicates () =
+  (try
+     ignore
+       (Dictionary.of_faults
+          [ Fault.bridge "a" "b" ~resistance:1e3;
+            Fault.bridge "b" "a" ~resistance:9e9 ]);
+     Alcotest.fail "duplicate site accepted"
+   with Invalid_argument _ -> ())
+
+let prop_bridge_pairs =
+  QCheck.Test.make ~name:"bridge universe size is n(n-1)/2" ~count:20
+    QCheck.(int_range 2 12)
+    (fun n ->
+      let nodes = List.init n (fun i -> Printf.sprintf "n%d" i) in
+      List.length (Universe.bridges ~nodes ()) = n * (n - 1) / 2)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "fault",
+        [
+          Alcotest.test_case "bridge normalization" `Quick test_bridge_normalization;
+          Alcotest.test_case "validation" `Quick test_fault_validation;
+          Alcotest.test_case "impact manipulation" `Quick test_impact_manipulation;
+          Alcotest.test_case "kinds and describe" `Quick test_kinds_and_describe;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "bridge adds resistor" `Quick test_inject_bridge;
+          Alcotest.test_case "bridge checks nodes" `Quick test_inject_bridge_unknown_node;
+          Alcotest.test_case "pinhole structure (fig 7)" `Quick test_inject_pinhole_structure;
+          Alcotest.test_case "pinhole changes behaviour" `Quick test_inject_pinhole_behaviour;
+          Alcotest.test_case "pinhole only on mosfets" `Quick test_inject_pinhole_on_non_mosfet;
+          Alcotest.test_case "weak bridge negligible" `Quick test_weak_bridge_negligible;
+        ] );
+      ( "universe",
+        [
+          Alcotest.test_case "bridge count" `Quick test_universe_bridge_count;
+          Alcotest.test_case "duplicate nodes" `Quick test_universe_duplicate_nodes;
+          Alcotest.test_case "pinholes" `Quick test_universe_pinholes;
+          Alcotest.test_case "paper's 55 faults" `Quick test_universe_exhaustive_counts;
+          QCheck_alcotest.to_alcotest prop_bridge_pairs;
+        ] );
+      ( "dictionary",
+        [
+          Alcotest.test_case "basics" `Quick test_dictionary;
+          Alcotest.test_case "duplicates" `Quick test_dictionary_duplicates;
+        ] );
+    ]

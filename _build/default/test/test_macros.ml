@@ -1,0 +1,203 @@
+(* Tests for the process model and the macro designs. *)
+
+open Circuit
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1. +. Float.abs b)
+
+let check_float ?eps msg a b =
+  Alcotest.(check bool) (Printf.sprintf "%s (%.9g vs %.9g)" msg a b) true
+    (feq ?eps a b)
+
+(* ---------------------------------------------------------------- Process *)
+
+let test_corners_count () =
+  let cs = Macros.Process.corners () in
+  (* 8 axes x 2 directions + 2 all-extreme corners *)
+  Alcotest.(check int) "18 corners" 18 (List.length cs);
+  let labels = List.map (fun c -> c.Macros.Process.label) cs in
+  Alcotest.(check int) "labels unique" 18
+    (List.length (List.sort_uniq String.compare labels))
+
+let test_nominal_point () =
+  let p = Macros.Process.nominal in
+  check_float "no vt shift" 0. p.Macros.Process.dvt_n;
+  check_float "res scale identity" 123. (Macros.Process.scale_res p 123.);
+  check_float "cap scale identity" 1e-12 (Macros.Process.scale_cap p 1e-12)
+
+let test_apply_variation () =
+  let p = { Macros.Process.nominal with Macros.Process.dvt_n = 0.1; dkp_n = -0.2 } in
+  let m = Macros.Process.apply_nmos p Mos_model.nmos_default in
+  check_float "vt shifted" (0.7 *. 1.1) m.Mos_model.vt0;
+  check_float "kp shifted" (120e-6 *. 0.8) m.Mos_model.kp
+
+let test_apply_pmos_sign () =
+  (* positive dvt_p increases |vt0| of the (negative) pmos threshold *)
+  let p = { Macros.Process.nominal with Macros.Process.dvt_p = 0.1 } in
+  let m = Macros.Process.apply_pmos p Mos_model.pmos_default in
+  check_float "pmos vt more negative" (-0.88) m.Mos_model.vt0
+
+let test_monte_carlo () =
+  let rng = Numerics.Rng.create 3L in
+  let points = Macros.Process.monte_carlo rng ~n:200 in
+  Alcotest.(check int) "count" 200 (List.length points);
+  (* 3-sigma tolerance: nearly all samples well inside 2x tolerance *)
+  let outliers =
+    List.filter
+      (fun p -> Float.abs p.Macros.Process.dvt_n > 0.1)
+      points
+  in
+  Alcotest.(check bool) "few outliers" true (List.length outliers < 5)
+
+(* ----------------------------------------------------------- IV-converter *)
+
+let iv_netlist = Macros.Macro.nominal_netlist Macros.Iv_converter.macro
+
+let test_iv_validates () =
+  match Macros.Macro.validate Macros.Iv_converter.macro with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_iv_structure () =
+  let mosfets =
+    List.filter
+      (fun d -> match d with Device.Mosfet _ -> true | _ -> false)
+      (Netlist.devices iv_netlist)
+  in
+  Alcotest.(check int) "10 transistors" 10 (List.length mosfets);
+  Alcotest.(check int) "10 fault nodes" 10
+    (List.length Macros.Iv_converter.fault_nodes);
+  (* every fault node except ground is a real node *)
+  let all = Netlist.all_nodes iv_netlist in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " exists") true (List.mem n all))
+    Macros.Iv_converter.fault_nodes
+
+let test_iv_operating_point () =
+  let sys = Mna.build iv_netlist in
+  let report = Dc.solve sys ~time:`Dc in
+  Alcotest.(check int) "no homotopy needed" 0 report.Dc.gmin_steps;
+  let x = report.Dc.solution in
+  let v n = Mna.voltage sys x n in
+  (* virtual ground: the feedback forces iin ~ vref ~ vdd/2 *)
+  check_float ~eps:2e-3 "vref at mid-rail" 2.5 (v "vref");
+  Alcotest.(check bool) "virtual ground" true
+    (Float.abs (v "iin" -. v "vref") < 5e-3);
+  Alcotest.(check bool) "vout near mid-rail" true
+    (Float.abs (v "vout" -. 2.5) < 0.05);
+  (* every transistor saturated in the nominal design *)
+  List.iter
+    (fun (name, op) ->
+      Alcotest.(check bool) (name ^ " saturated") true
+        (op.Mos_model.region = `Saturation))
+    (Mna.mosfet_operating_points sys ~x)
+
+let test_iv_transimpedance () =
+  let zt = Macros.Iv_converter.transimpedance () in
+  (* closed loop: dVout/dIin ~ -Rf within 1 % *)
+  Alcotest.(check bool)
+    (Printf.sprintf "transimpedance %.1f ~ -Rf" zt)
+    true
+    (Float.abs (zt +. Macros.Iv_converter.feedback_resistance)
+    < 0.01 *. Macros.Iv_converter.feedback_resistance)
+
+let test_iv_linearity () =
+  (* output tracks -Rf * Iin over the +/-50 uA input range *)
+  let nl iin =
+    Netlist.replace iv_netlist "iin_src"
+      [
+        Device.Isource
+          { name = "iin_src"; from_node = "0"; to_node = "iin";
+            wave = Waveform.Dc iin };
+      ]
+  in
+  List.iter
+    (fun iin ->
+      let sys = Mna.build (nl iin) in
+      let v = Mna.voltage sys (Dc.operating_point sys ~time:`Dc) "vout" in
+      let expected = 2.4997 -. (iin *. 20e3) in
+      Alcotest.(check bool)
+        (Printf.sprintf "vout(%.0e) = %.4f ~ %.4f" iin v expected)
+        true
+        (Float.abs (v -. expected) < 0.01))
+    [ -50e-6; -20e-6; 20e-6; 50e-6 ]
+
+let test_iv_process_sensitivity () =
+  (* an extreme corner moves the macro's response but keeps it functional *)
+  let corner =
+    List.find
+      (fun c -> c.Macros.Process.label = "all+")
+      (Macros.Process.corners ())
+  in
+  let nl = Macros.Iv_converter.build corner in
+  let sys = Mna.build nl in
+  let x = Dc.operating_point sys ~time:`Dc in
+  Alcotest.(check bool) "still near mid-rail" true
+    (Float.abs (Mna.voltage sys x "vout" -. 2.5) < 0.3)
+
+let test_iv_dictionary () =
+  let d = Macros.Macro.dictionary Macros.Iv_converter.macro in
+  Alcotest.(check int) "55 faults" 55 (Faults.Dictionary.size d);
+  let b, p = Faults.Dictionary.count_by_kind d in
+  Alcotest.(check (pair int int)) "45+10" (45, 10) (b, p)
+
+(* -------------------------------------------------------------------- OTA *)
+
+let test_ota_validates () =
+  match Macros.Macro.validate Macros.Ota.macro with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_ota_buffer () =
+  let nl = Macros.Macro.nominal_netlist Macros.Ota.macro in
+  let sys = Mna.build nl in
+  let x = Dc.operating_point sys ~time:`Dc in
+  (* unity-gain buffer: out ~ inp = 2.5 V within the offset budget *)
+  Alcotest.(check bool) "buffers 2.5 V" true
+    (Float.abs (Mna.voltage sys x "out" -. 2.5) < 0.05)
+
+let test_ota_follows_input () =
+  let nl = Macros.Macro.nominal_netlist Macros.Ota.macro in
+  let stim v =
+    Circuit.Netlist.replace nl "vin_src"
+      [ Device.Vsource { name = "vin_src"; plus = "inp"; minus = "0";
+                         wave = Waveform.Dc v } ]
+  in
+  List.iter
+    (fun vin ->
+      let sys = Mna.build (stim vin) in
+      let out = Mna.voltage sys (Dc.operating_point sys ~time:`Dc) "out" in
+      Alcotest.(check bool)
+        (Printf.sprintf "out(%.1f) = %.3f" vin out)
+        true
+        (Float.abs (out -. vin) < 0.08))
+    [ 2.0; 2.5; 3.0 ]
+
+let () =
+  Alcotest.run "macros"
+    [
+      ( "process",
+        [
+          Alcotest.test_case "corner count" `Quick test_corners_count;
+          Alcotest.test_case "nominal point" `Quick test_nominal_point;
+          Alcotest.test_case "nmos variation" `Quick test_apply_variation;
+          Alcotest.test_case "pmos variation sign" `Quick test_apply_pmos_sign;
+          Alcotest.test_case "monte carlo" `Quick test_monte_carlo;
+        ] );
+      ( "iv_converter",
+        [
+          Alcotest.test_case "validates" `Quick test_iv_validates;
+          Alcotest.test_case "structure (10 nodes / 10 fets)" `Quick test_iv_structure;
+          Alcotest.test_case "operating point" `Quick test_iv_operating_point;
+          Alcotest.test_case "transimpedance" `Quick test_iv_transimpedance;
+          Alcotest.test_case "linearity" `Quick test_iv_linearity;
+          Alcotest.test_case "process corner" `Quick test_iv_process_sensitivity;
+          Alcotest.test_case "55-fault dictionary" `Quick test_iv_dictionary;
+        ] );
+      ( "ota",
+        [
+          Alcotest.test_case "validates" `Quick test_ota_validates;
+          Alcotest.test_case "buffers mid-rail" `Quick test_ota_buffer;
+          Alcotest.test_case "follows input" `Quick test_ota_follows_input;
+        ] );
+    ]

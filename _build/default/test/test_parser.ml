@@ -1,0 +1,255 @@
+(* Tests for the SPICE-style deck parser. *)
+
+open Circuit
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1. +. Float.abs b)
+
+let check_float ?eps msg a b =
+  Alcotest.(check bool) (Printf.sprintf "%s (%.9g vs %.9g)" msg a b) true
+    (feq ?eps a b)
+
+let ok deck =
+  match Spice_parser.parse deck with
+  | Ok nl -> nl
+  | Error e -> Alcotest.fail (Printf.sprintf "line %d: %s" e.Spice_parser.line e.Spice_parser.message)
+
+let err deck =
+  match Spice_parser.parse deck with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> e
+
+let find nl name =
+  match Netlist.find nl name with
+  | Some d -> d
+  | None -> Alcotest.fail ("device missing: " ^ name)
+
+(* ----------------------------------------------------------------- basics *)
+
+let test_title_and_end () =
+  let nl = ok "* my circuit\nRr1 a 0 1k\nRr2 a 0 1k\n.end\n" in
+  Alcotest.(check string) "title" "my circuit" (Netlist.title nl);
+  Alcotest.(check int) "devices" 2 (Netlist.device_count nl)
+
+let test_title_without_star () =
+  let nl = ok "plain title\nRr1 a 0 1k\nRr2 a 0 2k\n" in
+  Alcotest.(check string) "title" "plain title" (Netlist.title nl)
+
+let test_passives () =
+  let nl = ok "t\nRr1 a 0 10k\nCc1 a 0 2.5u\nLl1 a 0 1m\n" in
+  (match find nl "r1" with
+  | Device.Resistor { ohms; a; b; _ } ->
+      check_float "ohms" 10e3 ohms;
+      Alcotest.(check string) "a" "a" a;
+      Alcotest.(check string) "b" "0" b
+  | _ -> Alcotest.fail "r1 not a resistor");
+  (match find nl "c1" with
+  | Device.Capacitor { farads; _ } -> check_float "farads" 2.5e-6 farads
+  | _ -> Alcotest.fail "c1 not a capacitor");
+  match find nl "l1" with
+  | Device.Inductor { henries; _ } -> check_float "henries" 1e-3 henries
+  | _ -> Alcotest.fail "l1 not an inductor"
+
+let test_sources_and_waveforms () =
+  let nl =
+    ok
+      "t\n\
+       Vv1 p 0 5\n\
+       Vv2 p 0 dc(3.3)\n\
+       Ii1 0 p step(0, 25u, 100n, 10n)\n\
+       Ii2 0 p sine(20u, 10u, 10k)\n\
+       Vv3 p 0 pwl(0:0, 1m:5, 2m:5)\n"
+  in
+  (match find nl "v1" with
+  | Device.Vsource { wave = Waveform.Dc v; _ } -> check_float "bare dc" 5. v
+  | _ -> Alcotest.fail "v1");
+  (match find nl "v2" with
+  | Device.Vsource { wave = Waveform.Dc v; _ } -> check_float "dc()" 3.3 v
+  | _ -> Alcotest.fail "v2");
+  (match find nl "i1" with
+  | Device.Isource { wave = Waveform.Step { base; elev; delay; rise }; _ } ->
+      check_float "base" 0. base;
+      check_float "elev" 25e-6 elev;
+      check_float "delay" 100e-9 delay;
+      check_float "rise" 10e-9 rise
+  | _ -> Alcotest.fail "i1");
+  (match find nl "i2" with
+  | Device.Isource { wave = Waveform.Sine { offset; ampl; freq; phase }; _ } ->
+      check_float "offset" 20e-6 offset;
+      check_float "ampl" 10e-6 ampl;
+      check_float "freq" 10e3 freq;
+      check_float "default phase" 0. phase
+  | _ -> Alcotest.fail "i2");
+  match find nl "v3" with
+  | Device.Vsource { wave = Waveform.Pwl corners; _ } ->
+      Alcotest.(check int) "pwl corners" 3 (List.length corners)
+  | _ -> Alcotest.fail "v3"
+
+let test_named_waveform_args () =
+  (* our own printer emits named arguments *)
+  let nl = ok "t\nVv1 p 0 step(base=1, elev=2, delay=0, rise=0)\nRr p 0 1k\n" in
+  match find nl "v1" with
+  | Device.Vsource { wave = Waveform.Step { base; elev; _ }; _ } ->
+      check_float "base" 1. base;
+      check_float "elev" 2. elev
+  | _ -> Alcotest.fail "v1"
+
+let test_controlled_sources () =
+  let nl = ok "t\nEe1 o 0 a 0 10\nGg1 o 0 a 0 2m\nRr o a 1k\nRs a 0 1k\n" in
+  (match find nl "e1" with
+  | Device.Vcvs { gain; _ } -> check_float "gain" 10. gain
+  | _ -> Alcotest.fail "e1");
+  match find nl "g1" with
+  | Device.Vccs { gm; _ } -> check_float "gm" 2e-3 gm
+  | _ -> Alcotest.fail "g1"
+
+let test_mosfet_and_model () =
+  let nl =
+    ok
+      "t\n\
+       .model mynmos nmos vt0=0.6 kp=100u lambda=0.02\n\
+       Mm1 d g 0 mynmos W=20u L=2u\n\
+       Rr d g 1k\nRs g 0 1k\n"
+  in
+  match find nl "m1" with
+  | Device.Mosfet { model; w; l; _ } ->
+      check_float "vt0" 0.6 model.Mos_model.vt0;
+      check_float "kp" 100e-6 model.Mos_model.kp;
+      check_float "lambda" 0.02 model.Mos_model.lambda;
+      Alcotest.(check bool) "polarity" true
+        (model.Mos_model.polarity = Mos_model.Nmos);
+      check_float "w" 20e-6 w;
+      check_float "l" 2e-6 l
+  | _ -> Alcotest.fail "m1"
+
+let test_builtin_models () =
+  let nl = ok "t\nMm1 d g 0 nmos1 W=10u L=1u\nRr d g 1k\nRs g 0 1k\n" in
+  match find nl "m1" with
+  | Device.Mosfet { model; _ } ->
+      check_float "default vt0" 0.7 model.Mos_model.vt0
+  | _ -> Alcotest.fail "m1"
+
+let test_comments_and_continuation () =
+  let nl =
+    ok "t\n* a comment\nRr1 a\n+ 0\n+ 10k\n* another\nRr2 a 0 1k\n"
+  in
+  Alcotest.(check int) "two devices" 2 (Netlist.device_count nl);
+  match find nl "r1" with
+  | Device.Resistor { ohms; _ } -> check_float "joined card" 10e3 ohms
+  | _ -> Alcotest.fail "r1"
+
+(* ----------------------------------------------------------------- errors *)
+
+let test_error_reporting () =
+  let e = err "t\nRr1 a 0 1k\nXx1 a 0\n" in
+  Alcotest.(check int) "error line" 3 e.Spice_parser.line;
+  let e2 = err "t\nRr1 a 0 notanumber\n" in
+  Alcotest.(check int) "bad number line" 2 e2.Spice_parser.line;
+  let e3 = err "t\nMm1 d g 0 missingmodel W=1u L=1u\n" in
+  Alcotest.(check int) "unknown model" 3 (e3.Spice_parser.line + 1);
+  let e4 = err "t\nRr1 a 0 1k\n.weird\n" in
+  Alcotest.(check int) "unknown directive" 3 e4.Spice_parser.line
+
+let test_duplicate_detected () =
+  let e = err "t\nRr1 a 0 1k\nRr1 a 0 2k\n" in
+  Alcotest.(check int) "duplicate line" 3 e.Spice_parser.line
+
+let test_unbalanced_parens () =
+  let e = err "t\nVv1 a 0 sine(0, 1, 1k\n" in
+  Alcotest.(check int) "line" 2 e.Spice_parser.line
+
+(* -------------------------------------------------------------- roundtrip *)
+
+let test_roundtrip_fixpoint () =
+  List.iter
+    (fun macro ->
+      let nl = Macros.Macro.nominal_netlist macro in
+      let deck = Netlist.to_spice nl in
+      match Spice_parser.parse deck with
+      | Error e ->
+          Alcotest.fail
+            (Printf.sprintf "%s line %d: %s" macro.Macros.Macro.macro_name
+               e.Spice_parser.line e.Spice_parser.message)
+      | Ok nl2 ->
+          Alcotest.(check string)
+            (macro.Macros.Macro.macro_name ^ " print/parse fixpoint")
+            deck
+            (Netlist.to_spice nl2))
+    [ Macros.Iv_converter.macro; Macros.Ota.macro; Macros.Sallen_key.macro ]
+
+let test_parsed_deck_simulates () =
+  let nl = Macros.Macro.nominal_netlist Macros.Iv_converter.macro in
+  let nl2 = ok (Netlist.to_spice nl) in
+  let sys = Mna.build nl2 in
+  let x = Dc.operating_point sys ~time:`Dc in
+  check_float ~eps:1e-6 "same operating point" 2.49968
+    (Float.round (Mna.voltage sys x "vout" *. 1e5) /. 1e5)
+
+let prop_waveform_roundtrip =
+  QCheck.Test.make ~name:"waveform print/parse roundtrip" ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Numerics.Rng.create (Int64.of_int (seed + 13)) in
+      let u lo hi = Numerics.Rng.uniform rng ~lo ~hi in
+      let wave =
+        match Numerics.Rng.int rng ~bound:3 with
+        | 0 -> Waveform.Dc (u (-1e-3) 1e-3)
+        | 1 ->
+            Waveform.Step
+              { base = u 0. 1.; elev = u 0.1 2.; delay = u 0. 1e-6;
+                rise = u 1e-9 1e-7 }
+        | _ ->
+            Waveform.Sine
+              { offset = u (-1.) 1.; ampl = u 0.1 2.; freq = u 1e3 1e6;
+                phase = 0. }
+      in
+      let deck =
+        Printf.sprintf "t\nVv1 a 0 %s\nRr a 0 1k\n"
+          (Format.asprintf "%a" Waveform.pp wave)
+      in
+      match Spice_parser.parse deck with
+      | Error _ -> false
+      | Ok nl -> begin
+          match Netlist.find nl "v1" with
+          | Some (Device.Vsource { wave = parsed; _ }) ->
+              (* compare by sampling within the first period: the printer
+                 rounds to ~3 significant digits, so a sine's phase error
+                 grows linearly with time — late samples would compare the
+                 rounding, not the parser *)
+              List.for_all
+                (fun t ->
+                  let a = Waveform.value wave t
+                  and b = Waveform.value parsed t in
+                  Float.abs (a -. b) <= 0.03 *. (1. +. Float.abs a))
+                [ 0.; 1e-8; 1e-7; 3e-7; 1e-6 ]
+          | Some _ | None -> false
+        end)
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "cards",
+        [
+          Alcotest.test_case "title and .end" `Quick test_title_and_end;
+          Alcotest.test_case "bare title" `Quick test_title_without_star;
+          Alcotest.test_case "passives" `Quick test_passives;
+          Alcotest.test_case "sources and waveforms" `Quick test_sources_and_waveforms;
+          Alcotest.test_case "named waveform args" `Quick test_named_waveform_args;
+          Alcotest.test_case "controlled sources" `Quick test_controlled_sources;
+          Alcotest.test_case "mosfet and .model" `Quick test_mosfet_and_model;
+          Alcotest.test_case "builtin models" `Quick test_builtin_models;
+          Alcotest.test_case "comments and continuations" `Quick
+            test_comments_and_continuation;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "line numbers" `Quick test_error_reporting;
+          Alcotest.test_case "duplicates" `Quick test_duplicate_detected;
+          Alcotest.test_case "unbalanced parens" `Quick test_unbalanced_parens;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "fixpoint on the macros" `Quick test_roundtrip_fixpoint;
+          Alcotest.test_case "parsed deck simulates" `Quick test_parsed_deck_simulates;
+          QCheck_alcotest.to_alcotest prop_waveform_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,313 @@
+(* Tests for session persistence, the quality estimator and DC sweeps. *)
+
+open Testgen
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1. +. Float.abs b)
+
+let check_float ?eps msg a b =
+  Alcotest.(check bool) (Printf.sprintf "%s (%.9g vs %.9g)" msg a b) true
+    (feq ?eps a b)
+
+(* ---------------------------------------------------------------- session *)
+
+let sample_results =
+  [
+    {
+      Generate.fault_id = "bridge:a-b";
+      dictionary_fault = Faults.Fault.bridge "a" "b" ~resistance:10e3;
+      candidates =
+        [
+          {
+            Generate.cand_config_id = 1;
+            cand_params = [| 1.25e-5 |];
+            low_impact_sensitivity = -3.5;
+            optimizer_evaluations = 42;
+          };
+          {
+            Generate.cand_config_id = 2;
+            cand_params = [| -2e-6; 1e-5 |];
+            low_impact_sensitivity = 0.25;
+            optimizer_evaluations = 77;
+          };
+        ];
+      outcome =
+        Generate.Unique
+          {
+            config_id = 1;
+            params = [| 1.25e-5 |];
+            critical_impact = 123456.789;
+            dictionary_sensitivity = -12.5;
+          };
+      trace =
+        [
+          { Generate.impact = 10e3; detecting = [ 1; 2 ] };
+          { Generate.impact = 20e3; detecting = [ 1 ] };
+          { Generate.impact = 40e3; detecting = [] };
+        ];
+    };
+    {
+      Generate.fault_id = "pinhole:m3";
+      dictionary_fault = Faults.Fault.pinhole "m3" ~r_shunt:2e3;
+      candidates = [];
+      outcome =
+        Generate.Undetectable
+          {
+            most_sensitive_config = 2;
+            params = [| 0.; 5e-6 |];
+            best_sensitivity = 0.75;
+            strongest_impact = 10.;
+          };
+      trace = [];
+    };
+  ]
+
+let results_equal (a : Generate.result) (b : Generate.result) =
+  a.Generate.fault_id = b.Generate.fault_id
+  && a.Generate.dictionary_fault = b.Generate.dictionary_fault
+  && a.Generate.candidates = b.Generate.candidates
+  && a.Generate.outcome = b.Generate.outcome
+  && a.Generate.trace = b.Generate.trace
+
+let test_session_roundtrip () =
+  let text = Session.to_string sample_results in
+  match Session.of_string text with
+  | Error m -> Alcotest.fail m
+  | Ok loaded ->
+      Alcotest.(check int) "count" 2 (List.length loaded);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) (a.Generate.fault_id ^ " roundtrips") true
+            (results_equal a b))
+        sample_results loaded
+
+let test_session_file_roundtrip () =
+  let path = Filename.temp_file "atpg" ".session" in
+  (match Session.save ~path sample_results with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match Session.load ~path with
+  | Ok loaded -> Alcotest.(check int) "count" 2 (List.length loaded)
+  | Error m -> Alcotest.fail m);
+  Sys.remove path
+
+let test_session_errors () =
+  (match Session.of_string "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty accepted");
+  (match Session.of_string "atpg-session 99\n" with
+  | Error m ->
+      Alcotest.(check bool) "version message" true
+        (String.length m > 0)
+  | Ok _ -> Alcotest.fail "bad version accepted");
+  (match Session.of_string "atpg-session 1\ncandidate 1 2 3 | 4\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "orphan line accepted");
+  match Session.of_string "atpg-session 1\nresult x\nfault bridge a b 1\nend\n" with
+  | Error _ -> ()  (* missing outcome *)
+  | Ok _ -> Alcotest.fail "missing outcome accepted"
+
+let prop_session_roundtrip =
+  QCheck.Test.make ~name:"session roundtrip on random results" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Numerics.Rng.create (Int64.of_int (seed + 9)) in
+      let u lo hi = Numerics.Rng.uniform rng ~lo ~hi in
+      let vec n = Array.init n (fun _ -> u (-1e-3) 1e-3) in
+      let fault =
+        if Numerics.Rng.int rng ~bound:2 = 0 then
+          Faults.Fault.bridge "na" "nb" ~resistance:(u 1. 1e6)
+        else Faults.Fault.pinhole "mx" ~r_shunt:(u 1. 1e6)
+      in
+      let outcome =
+        if Numerics.Rng.int rng ~bound:2 = 0 then
+          Generate.Unique
+            {
+              config_id = 1 + Numerics.Rng.int rng ~bound:5;
+              params = vec (1 + Numerics.Rng.int rng ~bound:2);
+              critical_impact = u 1. 1e7;
+              dictionary_sensitivity = u (-1e3) 1.;
+            }
+        else
+          Generate.Undetectable
+            {
+              most_sensitive_config = 1 + Numerics.Rng.int rng ~bound:5;
+              params = vec (1 + Numerics.Rng.int rng ~bound:2);
+              best_sensitivity = u 0. 1.;
+              strongest_impact = u 1. 1e4;
+            }
+      in
+      let r =
+        {
+          Generate.fault_id = Faults.Fault.id fault;
+          dictionary_fault = fault;
+          candidates =
+            List.init (Numerics.Rng.int rng ~bound:3) (fun i ->
+                {
+                  Generate.cand_config_id = i + 1;
+                  cand_params = vec 2;
+                  low_impact_sensitivity = u (-10.) 1.;
+                  optimizer_evaluations = Numerics.Rng.int rng ~bound:500;
+                });
+          outcome;
+          trace =
+            List.init (Numerics.Rng.int rng ~bound:4) (fun _ ->
+                {
+                  Generate.impact = u 1. 1e6;
+                  detecting =
+                    List.init (Numerics.Rng.int rng ~bound:3) (fun i -> i + 1);
+                });
+        }
+      in
+      match Session.of_string (Session.to_string [ r ]) with
+      | Ok [ loaded ] -> results_equal r loaded
+      | Ok _ | Error _ -> false)
+
+(* ---------------------------------------------------------------- quality *)
+
+let iv_target =
+  Experiments.Setup.target_of_macro Macros.Iv_converter.macro
+    Macros.Process.nominal
+
+let corner_targets =
+  List.map
+    (Experiments.Setup.target_of_macro Macros.Iv_converter.macro)
+    [
+      { Macros.Process.nominal with Macros.Process.label = "res+"; dres = 0.15 };
+      { Macros.Process.nominal with Macros.Process.label = "res-"; dres = -0.15 };
+    ]
+
+let quality_evaluator =
+  lazy
+    (Evaluator.create Experiments.Iv_configs.config1 ~nominal:iv_target
+       ~box_model:
+         (Tolerance.calibrate Experiments.Iv_configs.config1
+            ~nominal:iv_target ~corners:corner_targets ~grid:2 ()))
+
+let quality_tests =
+  [
+    { Coverage.test_label = "t1"; test_config_id = 1; test_params = [| 25e-6 |] };
+  ]
+
+let test_quality_estimate () =
+  let rng = Numerics.Rng.create 77L in
+  let fault_free =
+    List.map
+      (Experiments.Setup.target_of_macro Macros.Iv_converter.macro)
+      (Macros.Process.monte_carlo rng ~n:20)
+  in
+  let dict =
+    Faults.Dictionary.of_faults
+      [
+        Faults.Fault.bridge "n1" "vout" ~resistance:10e3;  (* detected *)
+        Faults.Fault.bridge "0" "vdd" ~resistance:10e3;  (* escapes *)
+      ]
+  in
+  let e =
+    Quality.estimate
+      ~evaluators:[ Lazy.force quality_evaluator ]
+      ~tests:quality_tests ~fault_free ~dictionary:dict ()
+  in
+  Alcotest.(check int) "samples" 20 e.Quality.fault_free_samples;
+  (* the calibrated box contains 3-sigma MC samples almost surely *)
+  Alcotest.(check bool)
+    (Printf.sprintf "low overkill (%.2f)" e.Quality.overkill_rate)
+    true
+    (e.Quality.overkill_rate <= 0.15);
+  check_float "escape = half of uniform weight" 0.5 e.Quality.escape_rate;
+  Alcotest.(check bool) "margin positive" true (e.Quality.worst_sample_margin > 0.)
+
+let test_quality_weighted_escape () =
+  let dict =
+    Faults.Dictionary.of_faults
+      [
+        Faults.Fault.bridge "n1" "vout" ~resistance:10e3;
+        Faults.Fault.bridge "0" "vdd" ~resistance:10e3;
+      ]
+  in
+  let e =
+    Quality.estimate
+      ~evaluators:[ Lazy.force quality_evaluator ]
+      ~tests:quality_tests ~fault_free:[ iv_target ] ~dictionary:dict
+      ~weights:[ ("bridge:n1-vout", 9.); ("bridge:0-vdd", 1.) ]
+      ()
+  in
+  check_float ~eps:1e-6 "weighted escape" 0.1 e.Quality.escape_rate
+
+let test_quality_report_string () =
+  let e =
+    {
+      Quality.overkill_rate = 0.01;
+      escape_rate = 0.05;
+      fault_free_samples = 100;
+      worst_sample_margin = 0.8;
+    }
+  in
+  let s = Quality.report e in
+  Alcotest.(check bool) "mentions overkill" true
+    (String.length s > 0 && String.index_opt s '%' <> None)
+
+(* ------------------------------------------------------------------ sweep *)
+
+let test_linspace () =
+  let xs = Circuit.Sweep.linspace ~lo:0. ~hi:1. ~points:5 in
+  Alcotest.(check (array (float 1e-12))) "grid" [| 0.; 0.25; 0.5; 0.75; 1. |] xs
+
+let test_dc_transfer_iv () =
+  let nl = Macros.Macro.nominal_netlist Macros.Iv_converter.macro in
+  let result =
+    Circuit.Sweep.dc_transfer nl ~source:"iin_src"
+      ~sweep_values:(Circuit.Sweep.linspace ~lo:(-50e-6) ~hi:50e-6 ~points:21)
+      ~observe:[ "vout"; "iin" ]
+  in
+  let vout = Circuit.Sweep.trace result "vout" in
+  (* monotone decreasing transfer *)
+  let monotone = ref true in
+  for i = 0 to Array.length vout - 2 do
+    if vout.(i + 1) >= vout.(i) then monotone := false
+  done;
+  Alcotest.(check bool) "monotone decreasing" true !monotone;
+  (* slope at 0 = -Rf *)
+  let slope = Circuit.Sweep.slope_at result ~node:"vout" ~at:0. in
+  Alcotest.(check bool)
+    (Printf.sprintf "transimpedance %.0f ~ -20k" slope)
+    true
+    (Float.abs (slope +. 20e3) < 300.)
+
+let test_sweep_errors () =
+  let nl = Macros.Macro.nominal_netlist Macros.Iv_converter.macro in
+  (try
+     ignore
+       (Circuit.Sweep.dc_transfer nl ~source:"rf" ~sweep_values:[| 0. |]
+          ~observe:[]);
+     Alcotest.fail "non-source accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore
+       (Circuit.Sweep.dc_transfer nl ~source:"iin_src" ~sweep_values:[||]
+          ~observe:[]);
+     Alcotest.fail "empty sweep accepted"
+   with Invalid_argument _ -> ())
+
+let () =
+  Alcotest.run "persistence"
+    [
+      ( "session",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_session_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_session_file_roundtrip;
+          Alcotest.test_case "errors" `Quick test_session_errors;
+          QCheck_alcotest.to_alcotest prop_session_roundtrip;
+        ] );
+      ( "quality",
+        [
+          Alcotest.test_case "estimate" `Quick test_quality_estimate;
+          Alcotest.test_case "weighted escape" `Quick test_quality_weighted_escape;
+          Alcotest.test_case "report" `Quick test_quality_report_string;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "linspace" `Quick test_linspace;
+          Alcotest.test_case "iv transfer curve" `Quick test_dc_transfer_iv;
+          Alcotest.test_case "errors" `Quick test_sweep_errors;
+        ] );
+    ]

@@ -1,0 +1,307 @@
+(* Cross-cutting property tests: physical consistency between analyses,
+   structural invariants of the MNA system, clustering/collapse algebra. *)
+
+open Circuit
+
+(* -------------------------------------------------- tran vs ac consistency *)
+
+(* For a linear RC low-pass the transient steady-state sine amplitude must
+   match the AC transfer magnitude — two completely independent code paths
+   (nonlinear time stepping vs complex phasor solve). *)
+let prop_tran_matches_ac =
+  QCheck.Test.make ~name:"transient steady state matches AC transfer"
+    ~count:12
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Numerics.Rng.create (Int64.of_int (seed + 101)) in
+      let r = Numerics.Rng.uniform rng ~lo:100. ~hi:10e3 in
+      let c = Numerics.Rng.uniform rng ~lo:1e-9 ~hi:1e-6 in
+      let fc = 1. /. (2. *. Float.pi *. r *. c) in
+      (* pick a frequency around the cutoff where |H| varies the most *)
+      let freq = fc *. Numerics.Rng.uniform rng ~lo:0.3 ~hi:3. in
+      let nl =
+        Netlist.add_all (Netlist.empty ~title:"rc")
+          [
+            Device.Vsource
+              { name = "v"; plus = "in"; minus = "0";
+                wave = Waveform.Sine { offset = 0.; ampl = 1.; freq; phase = 0. } };
+            Device.Resistor { name = "r"; a = "in"; b = "out"; ohms = r };
+            Device.Capacitor { name = "c"; a = "out"; b = "0"; farads = c };
+          ]
+      in
+      let sys = Mna.build nl in
+      let op = Dc.operating_point sys ~time:`Dc in
+      let h =
+        match Ac.sweep sys ~op ~source:"v" ~freqs:[| freq |] ~observe:"out" with
+        | [ p ] -> Complex.norm p.Ac.value
+        | _ -> nan
+      in
+      let period = 1. /. freq in
+      let result =
+        Tran.simulate ~method_:Tran.Trapezoidal sys ~tstop:(10. *. period)
+          ~dt:(period /. 200.) ~observe:[ "out" ]
+      in
+      let v = Tran.probe_values result "out" in
+      let n = Array.length v in
+      let lo, hi = Numerics.Stats.min_max (Array.sub v (n - 200) 200) in
+      let amp = (hi -. lo) /. 2. in
+      Float.abs (amp -. h) <= 0.02 *. h)
+
+(* ---------------------------------------------------- resistive reduction *)
+
+(* A random resistor ladder driven by a DC source: MNA voltage at the load
+   equals the closed-form series/parallel reduction. *)
+let prop_ladder_reduction =
+  QCheck.Test.make ~name:"MNA matches series/parallel ladder reduction"
+    ~count:60
+    QCheck.(pair (int_range 1 6) (int_range 0 100_000))
+    (fun (stages, seed) ->
+      let rng = Numerics.Rng.create (Int64.of_int (seed + 41)) in
+      let resistor () = Numerics.Rng.uniform rng ~lo:100. ~hi:100e3 in
+      (* ladder: v -- Rs1 -- n1 -- Rs2 -- n2 ... each ni also has Rpi to 0.
+         Reduce from the far end: Req_k = Rp_k || (Rs_{k+1} + Req_{k+1}) *)
+      let series = Array.init stages (fun _ -> resistor ()) in
+      let shunt = Array.init stages (fun _ -> resistor ()) in
+      let nl = ref (Netlist.empty ~title:"ladder") in
+      let add d = nl := Netlist.add !nl d in
+      add (Device.Vsource { name = "v"; plus = "n0"; minus = "0"; wave = Waveform.Dc 10. });
+      for k = 0 to stages - 1 do
+        add
+          (Device.Resistor
+             { name = Printf.sprintf "rs%d" k; a = Printf.sprintf "n%d" k;
+               b = Printf.sprintf "n%d" (k + 1); ohms = series.(k) });
+        add
+          (Device.Resistor
+             { name = Printf.sprintf "rp%d" k; a = Printf.sprintf "n%d" (k + 1);
+               b = "0"; ohms = shunt.(k) })
+      done;
+      let sys = Mna.build !nl in
+      let x = Dc.operating_point sys ~time:`Dc in
+      (* closed form by backward reduction *)
+      let rec req k =
+        if k = stages - 1 then shunt.(k)
+        else
+          let downstream = series.(k + 1) +. req (k + 1) in
+          1. /. ((1. /. shunt.(k)) +. (1. /. downstream))
+      in
+      let rec volt k v_in =
+        (* voltage at node k+1 given voltage at node k *)
+        let z = req k in
+        let v = v_in *. z /. (series.(k) +. z) in
+        if k = stages - 1 then v else volt (k + 1) v
+      in
+      let expected = volt 0 10. in
+      let got = Mna.voltage sys x (Printf.sprintf "n%d" stages) in
+      Float.abs (got -. expected) <= 1e-6 *. (1. +. Float.abs expected))
+
+(* ------------------------------------------------------------ MNA algebra *)
+
+(* Circuits of resistors and current sources only produce a symmetric
+   conductance matrix. *)
+let prop_mna_symmetry =
+  QCheck.Test.make ~name:"resistive MNA matrix is symmetric" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Numerics.Rng.create (Int64.of_int (seed + 7)) in
+      let n_nodes = 2 + Numerics.Rng.int rng ~bound:5 in
+      let node i = if i = 0 then "0" else Printf.sprintf "n%d" i in
+      let nl = ref (Netlist.empty ~title:"mesh") in
+      (* spanning chain guarantees connectivity, then random extra edges *)
+      for i = 0 to n_nodes - 2 do
+        nl :=
+          Netlist.add !nl
+            (Device.Resistor
+               { name = Printf.sprintf "rc%d" i; a = node i; b = node (i + 1);
+                 ohms = Numerics.Rng.uniform rng ~lo:10. ~hi:1e4 })
+      done;
+      for e = 0 to n_nodes - 1 do
+        let i = Numerics.Rng.int rng ~bound:n_nodes in
+        let j = Numerics.Rng.int rng ~bound:n_nodes in
+        if i <> j then
+          nl :=
+            Netlist.add !nl
+              (Device.Resistor
+                 { name = Printf.sprintf "re%d" e; a = node i; b = node j;
+                   ohms = Numerics.Rng.uniform rng ~lo:10. ~hi:1e4 })
+      done;
+      nl :=
+        Netlist.add !nl
+          (Device.Isource
+             { name = "i"; from_node = "0"; to_node = node (n_nodes - 1);
+               wave = Waveform.Dc 1e-3 });
+      let sys = Mna.build !nl in
+      let x = Numerics.Vec.create (Mna.size sys) 0. in
+      let a, _ = Mna.assemble sys ~x ~time:`Dc ~gmin:1e-12 () in
+      let ok = ref true in
+      for i = 0 to Numerics.Mat.rows a - 1 do
+        for j = 0 to Numerics.Mat.cols a - 1 do
+          if
+            Float.abs (Numerics.Mat.get a i j -. Numerics.Mat.get a j i)
+            > 1e-12
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* superposition: doubling every independent source doubles every node
+   voltage of a linear circuit *)
+let prop_linearity =
+  QCheck.Test.make ~name:"linear circuits scale with source_scale" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Numerics.Rng.create (Int64.of_int (seed + 23)) in
+      let nl =
+        Netlist.add_all (Netlist.empty ~title:"lin")
+          [
+            Device.Vsource
+              { name = "v"; plus = "a"; minus = "0";
+                wave = Waveform.Dc (Numerics.Rng.uniform rng ~lo:1. ~hi:10.) };
+            Device.Resistor
+              { name = "r1"; a = "a"; b = "b";
+                ohms = Numerics.Rng.uniform rng ~lo:100. ~hi:1e4 };
+            Device.Resistor
+              { name = "r2"; a = "b"; b = "0";
+                ohms = Numerics.Rng.uniform rng ~lo:100. ~hi:1e4 };
+            Device.Isource
+              { name = "i"; from_node = "0"; to_node = "b";
+                wave = Waveform.Dc (Numerics.Rng.uniform rng ~lo:1e-4 ~hi:1e-2) };
+          ]
+      in
+      let sys = Mna.build nl in
+      let solve scale =
+        (Dc.solve ~source_scale:scale sys ~time:`Dc).Dc.solution
+      in
+      let x1 = solve 1. and x2 = solve 2. in
+      let vb1 = Mna.voltage sys x1 "b" and vb2 = Mna.voltage sys x2 "b" in
+      Float.abs (vb2 -. (2. *. vb1)) <= 1e-9 *. (1. +. Float.abs vb2))
+
+(* -------------------------------------------------------------- clustering *)
+
+let cluster_params =
+  [
+    Testgen.Test_param.create ~name:"x" ~units:"" ~lower:0. ~upper:1. ~seed:0.5;
+    Testgen.Test_param.create ~name:"y" ~units:"" ~lower:0. ~upper:1. ~seed:0.5;
+  ]
+
+let prop_cluster_complete_linkage =
+  QCheck.Test.make
+    ~name:"every pair inside a cluster is within the threshold" ~count:60
+    QCheck.(pair (int_range 2 25) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let rng = Numerics.Rng.create (Int64.of_int (seed + 3)) in
+      let items =
+        List.init n (fun i ->
+            {
+              Testgen.Cluster.item_id = Printf.sprintf "p%d" i;
+              location =
+                [|
+                  Numerics.Rng.uniform rng ~lo:0. ~hi:1.;
+                  Numerics.Rng.uniform rng ~lo:0. ~hi:1.;
+                |];
+            })
+      in
+      let threshold = 0.2 in
+      let groups =
+        Testgen.Cluster.group ~params:cluster_params ~threshold items
+      in
+      (* partition check *)
+      let count = List.fold_left (fun acc g -> acc + List.length g) 0 groups in
+      count = n
+      && List.for_all
+           (fun g ->
+             List.for_all
+               (fun (a : Testgen.Cluster.item) ->
+                 List.for_all
+                   (fun (b : Testgen.Cluster.item) ->
+                     (* locations are back in physical units = normalized
+                        here since bounds are [0,1] *)
+                     Testgen.Cluster.distance a.Testgen.Cluster.location
+                       b.Testgen.Cluster.location
+                     <= threshold +. 1e-9)
+                   g)
+               g)
+           groups)
+
+let prop_centroid_inside_hull =
+  QCheck.Test.make ~name:"centroid stays within the member bounding box"
+    ~count:60
+    QCheck.(pair (int_range 1 10) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let rng = Numerics.Rng.create (Int64.of_int (seed + 5)) in
+      let members =
+        List.init n (fun i ->
+            {
+              Testgen.Cluster.item_id = Printf.sprintf "m%d" i;
+              location =
+                [|
+                  Numerics.Rng.uniform rng ~lo:(-5.) ~hi:5.;
+                  Numerics.Rng.uniform rng ~lo:(-5.) ~hi:5.;
+                |];
+            })
+      in
+      let c = Testgen.Cluster.centroid members in
+      let coords d =
+        List.map (fun (m : Testgen.Cluster.item) -> m.Testgen.Cluster.location.(d)) members
+      in
+      List.for_all
+        (fun d ->
+          let cs = coords d in
+          let lo = List.fold_left Float.min infinity cs in
+          let hi = List.fold_left Float.max neg_infinity cs in
+          c.(d) >= lo -. 1e-12 && c.(d) <= hi +. 1e-12)
+        [ 0; 1 ])
+
+(* ----------------------------------------------------------- collapse math *)
+
+let prop_acceptance_monotone_in_delta =
+  QCheck.Test.make
+    ~name:"collapse acceptance bound is monotone in delta" ~count:200
+    QCheck.(pair (float_range (-10.) 1.) (pair (float_range 0. 0.5) (float_range 0.5 1.)))
+    (fun (s_opt, (d1, d2)) ->
+      (* bound(delta) = s_opt + delta (1 - s_opt); 1 - s_opt >= 0 *)
+      let bound d = s_opt +. (d *. (1. -. s_opt)) in
+      bound d1 <= bound d2 +. 1e-12)
+
+(* ------------------------------------------------------------- sensitivity *)
+
+let prop_sensitivity_min =
+  QCheck.Test.make ~name:"combined sensitivity is the component minimum"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 6) (float_range (-100.) 1.))
+    (fun components ->
+      let arr = Array.of_list components in
+      let s = Testgen.Sensitivity.combine arr in
+      Array.for_all (fun c -> s <= c +. 1e-12) arr
+      && Array.exists (fun c -> Float.abs (c -. s) < 1e-12) arr)
+
+let prop_sensitivity_scaling =
+  QCheck.Test.make ~name:"sensitivity is linear in the deviation" ~count:100
+    QCheck.(pair (float_range 0.01 10.) (float_range 0.1 10.))
+    (fun (dev, box) ->
+      let s1 = Testgen.Sensitivity.of_deviation ~deviation:dev ~box in
+      let s2 = Testgen.Sensitivity.of_deviation ~deviation:(2. *. dev) ~box in
+      (* 1 - 2d/b = 2(1 - d/b) - 1 *)
+      Float.abs (s2 -. ((2. *. s1) -. 1.)) <= 1e-9)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "physics",
+        [
+          QCheck_alcotest.to_alcotest prop_tran_matches_ac;
+          QCheck_alcotest.to_alcotest prop_ladder_reduction;
+          QCheck_alcotest.to_alcotest prop_mna_symmetry;
+          QCheck_alcotest.to_alcotest prop_linearity;
+        ] );
+      ( "clustering",
+        [
+          QCheck_alcotest.to_alcotest prop_cluster_complete_linkage;
+          QCheck_alcotest.to_alcotest prop_centroid_inside_hull;
+        ] );
+      ( "algebra",
+        [
+          QCheck_alcotest.to_alcotest prop_acceptance_monotone_in_delta;
+          QCheck_alcotest.to_alcotest prop_sensitivity_min;
+          QCheck_alcotest.to_alcotest prop_sensitivity_scaling;
+        ] );
+    ]

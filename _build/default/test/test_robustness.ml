@@ -1,0 +1,203 @@
+(* Robustness tests: graceful failure modes, tight budgets, hostile
+   inputs. *)
+
+open Testgen
+
+(* ------------------------------------------------------ parser resilience *)
+
+let prop_parser_never_raises =
+  QCheck.Test.make ~name:"parser returns Ok/Error on arbitrary input, never raises"
+    ~count:300
+    QCheck.(string_of_size (Gen.int_range 0 200))
+    (fun junk ->
+      match Circuit.Spice_parser.parse junk with
+      | Ok _ | Error _ -> true)
+
+let prop_parser_structured_junk =
+  QCheck.Test.make
+    ~name:"parser survives structured junk cards" ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Numerics.Rng.create (Int64.of_int (seed + 1)) in
+      let pick l = List.nth l (Numerics.Rng.int rng ~bound:(List.length l)) in
+      let card () =
+        String.concat " "
+          (List.init
+             (1 + Numerics.Rng.int rng ~bound:5)
+             (fun _ ->
+               pick [ "Rx"; "a"; "0"; "10k"; "sine(1,"; ")"; "W=";
+                      "=1"; "M1"; ".model"; "+"; "nan"; "-"; "1e999" ]))
+      in
+      let deck =
+        "title\n" ^ String.concat "\n" (List.init 6 (fun _ -> card ()))
+      in
+      match Circuit.Spice_parser.parse deck with
+      | Ok _ | Error _ -> true)
+
+(* --------------------------------------------------------- AC error paths *)
+
+let iv_target =
+  Experiments.Setup.target_of_macro Macros.Iv_converter.macro
+    Macros.Process.nominal
+
+let test_ac_nonpositive_frequency () =
+  let config =
+    Test_config.create ~id:90 ~name:"bad-ac" ~macro_type:"IV-converter"
+      ~control_node:"Iin"
+      ~params:
+        [ Test_param.create ~name:"x" ~units:"" ~lower:0. ~upper:1. ~seed:0.5 ]
+      ~analysis:
+        (Test_config.Ac_gain
+           { bias = (fun _ -> Circuit.Waveform.Dc 0.); freq = (fun _ -> 0.) })
+      ~returns:Test_config.Per_component
+      ~return_names:[ "g"; "p" ]
+      ~accuracy_floor:[ 0.1; 1. ]
+      ~summary:""
+  in
+  (try
+     ignore (Execute.observables config iv_target [| 0.5 |]);
+     Alcotest.fail "zero frequency accepted"
+   with Execute.Execution_failure _ -> ())
+
+let test_imd_nyquist_guard () =
+  (* products above Nyquist for the chosen profile must fail loudly *)
+  let config =
+    Test_config.create ~id:91 ~name:"bad-imd" ~macro_type:"IV-converter"
+      ~control_node:"Iin"
+      ~params:
+        [ Test_param.create ~name:"f0" ~units:"Hz" ~lower:1e3 ~upper:1e4 ~seed:2e3 ]
+      ~analysis:
+        (Test_config.Tran_imd
+           {
+             stimulus =
+               (fun v ->
+                 Circuit.Waveform.Multi_sine
+                   { offset = 0.; tones = [ (1e-6, 40. *. v.(0)); (1e-6, 41. *. v.(0)) ] });
+             base_freq = (fun v -> v.(0));
+             k1 = 40;
+             k2 = 41;
+           })
+      ~returns:Test_config.Per_component
+      ~return_names:[ "imd" ]
+      ~accuracy_floor:[ 0.05 ]
+      ~summary:""
+  in
+  (* fast profile: 64 samples per base period -> Nyquist bin 32 < 42 *)
+  (try
+     ignore
+       (Execute.observables ~profile:Execute.fast_profile config iv_target
+          [| 2e3 |]);
+     Alcotest.fail "above-Nyquist products accepted"
+   with Execute.Execution_failure _ -> ())
+
+(* ----------------------------------------------------- generation budgets *)
+
+let dc_evaluator =
+  lazy
+    (let config = Experiments.Iv_configs.config1 in
+     Evaluator.create config ~nominal:iv_target
+       ~box_model:(Tolerance.floor_only config))
+
+let test_generate_tiny_budget () =
+  (* an exhausted impact budget must still return a well-formed outcome *)
+  let options =
+    { Generate.default_options with Generate.max_impact_steps = 2 }
+  in
+  let entry =
+    {
+      Faults.Dictionary.fault_id = "bridge:n1-vout";
+      fault = Faults.Fault.bridge "n1" "vout" ~resistance:10e3;
+    }
+  in
+  let r =
+    Generate.generate ~options ~evaluators:[ Lazy.force dc_evaluator ] entry
+  in
+  (match r.Generate.outcome with
+  | Generate.Unique { critical_impact; _ } ->
+      Alcotest.(check bool) "impact positive" true (critical_impact > 0.)
+  | Generate.Undetectable _ -> ());
+  Alcotest.(check bool) "trace bounded" true
+    (List.length r.Generate.trace <= 8)
+
+let test_generate_narrow_span () =
+  (* an impact span of ~1 pins the search at the dictionary value *)
+  let options = { Generate.default_options with Generate.impact_span = 1.01 } in
+  let entry =
+    {
+      Faults.Dictionary.fault_id = "bridge:0-vdd";
+      fault = Faults.Fault.bridge "0" "vdd" ~resistance:10e3;
+    }
+  in
+  let r =
+    Generate.generate ~options ~evaluators:[ Lazy.force dc_evaluator ] entry
+  in
+  match r.Generate.outcome with
+  | Generate.Undetectable { strongest_impact; _ } ->
+      Alcotest.(check bool) "stayed near the dictionary impact" true
+        (strongest_impact > 10e3 /. 2.)
+  | Generate.Unique _ -> Alcotest.fail "supply bridge cannot be seen at ~10k"
+
+(* -------------------------------------------------------- noise edge cases *)
+
+let test_noise_unknown_node () =
+  let nl = Macros.Macro.nominal_netlist Macros.Iv_converter.macro in
+  let sys = Circuit.Mna.build nl in
+  let op = Circuit.Dc.operating_point sys ~time:`Dc in
+  (try
+     ignore
+       (Circuit.Noise.output_noise sys ~op ~observe:"nonexistent"
+          ~freqs:[| 1e3 |]);
+     Alcotest.fail "unknown node accepted"
+   with Not_found -> ())
+
+let test_noise_iv_converter_scale () =
+  (* sanity scale: a transimpedance amp with 20k/50k/100k resistors sits in
+     the tens of nV/rtHz at the output in the flat band *)
+  let nl = Macros.Macro.nominal_netlist Macros.Iv_converter.macro in
+  let sys = Circuit.Mna.build nl in
+  let op = Circuit.Dc.operating_point sys ~time:`Dc in
+  match Circuit.Noise.output_noise sys ~op ~observe:"vout" ~freqs:[| 1e3 |] with
+  | [ p ] ->
+      let nv = 1e9 *. sqrt p.Circuit.Noise.total_psd in
+      Alcotest.(check bool)
+        (Printf.sprintf "%.1f nV/rtHz plausible" nv)
+        true
+        (nv > 5. && nv < 500.)
+  | _ -> Alcotest.fail "one point"
+
+(* -------------------------------------------------- session hostile input *)
+
+let prop_session_never_raises =
+  QCheck.Test.make
+    ~name:"session parser returns Ok/Error on arbitrary input" ~count:300
+    QCheck.(string_of_size (Gen.int_range 0 300))
+    (fun junk ->
+      match Session.of_string ("atpg-session 1\n" ^ junk) with
+      | Ok _ | Error _ -> true)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "parser",
+        [
+          QCheck_alcotest.to_alcotest prop_parser_never_raises;
+          QCheck_alcotest.to_alcotest prop_parser_structured_junk;
+        ] );
+      ( "execute",
+        [
+          Alcotest.test_case "ac zero frequency" `Quick test_ac_nonpositive_frequency;
+          Alcotest.test_case "imd nyquist guard" `Quick test_imd_nyquist_guard;
+        ] );
+      ( "generate",
+        [
+          Alcotest.test_case "tiny impact budget" `Quick test_generate_tiny_budget;
+          Alcotest.test_case "narrow impact span" `Quick test_generate_narrow_span;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "unknown node" `Quick test_noise_unknown_node;
+          Alcotest.test_case "output scale" `Quick test_noise_iv_converter_scale;
+        ] );
+      ( "session",
+        [ QCheck_alcotest.to_alcotest prop_session_never_raises ] );
+    ]

@@ -1,0 +1,183 @@
+(* Tests for the signal-processing library. *)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1. +. Float.abs b)
+
+let check_float ?eps msg a b =
+  Alcotest.(check bool) (Printf.sprintf "%s (%.9g vs %.9g)" msg a b) true
+    (feq ?eps a b)
+
+let sine ?(ampl = 1.) ?(phase = 0.) ~n ~cycles () =
+  Array.init n (fun i ->
+      ampl
+      *. sin ((2. *. Float.pi *. cycles *. float_of_int i /. float_of_int n) +. phase))
+
+(* --------------------------------------------------------------- Goertzel *)
+
+let test_goertzel_pure_bin () =
+  let n = 256 in
+  let s = sine ~n ~cycles:8. () in
+  check_float ~eps:1e-9 "amplitude at its bin" 1.
+    (Sigproc.Goertzel.amplitude ~samples:s ~k:8);
+  check_float ~eps:1e-6 "other bin empty" 0.
+    (Sigproc.Goertzel.amplitude ~samples:s ~k:12)
+
+let test_goertzel_dc_bin () =
+  let s = Array.make 100 3. in
+  check_float "dc bin" 3. (Sigproc.Goertzel.amplitude ~samples:s ~k:0)
+
+let test_goertzel_amplitude_scaling () =
+  let n = 512 in
+  let s = sine ~ampl:0.25 ~n ~cycles:4. () in
+  check_float ~eps:1e-9 "scaled amplitude" 0.25
+    (Sigproc.Goertzel.amplitude ~samples:s ~k:4)
+
+let test_goertzel_phase_invariance () =
+  let n = 512 in
+  let s = sine ~phase:1.1 ~n ~cycles:10. () in
+  check_float ~eps:1e-9 "phase does not change amplitude" 1.
+    (Sigproc.Goertzel.amplitude ~samples:s ~k:10)
+
+let test_goertzel_amplitude_at () =
+  let fs = 48_000. in
+  let n = 480 in
+  (* 1 kHz is bin 10 of a 10 ms window *)
+  let s = Array.init n (fun i ->
+      0.7 *. sin (2. *. Float.pi *. 1000. *. float_of_int i /. fs)) in
+  check_float ~eps:1e-9 "amplitude_at 1kHz" 0.7
+    (Sigproc.Goertzel.amplitude_at ~samples:s ~sample_rate:fs ~freq:1000.)
+
+let test_goertzel_errors () =
+  (try
+     ignore (Sigproc.Goertzel.bin ~samples:[||] ~k:0);
+     Alcotest.fail "empty accepted"
+   with Invalid_argument _ -> ());
+  let s = sine ~n:64 ~cycles:4. () in
+  (try
+     ignore (Sigproc.Goertzel.amplitude_at ~samples:s ~sample_rate:64. ~freq:40.);
+     Alcotest.fail "above nyquist accepted"
+   with Invalid_argument _ -> ())
+
+let prop_goertzel_matches_dft =
+  QCheck.Test.make ~name:"goertzel equals a direct DFT bin" ~count:50
+    QCheck.(pair (int_range 1 30) (int_range 0 10_000))
+    (fun (k, seed) ->
+      let n = 64 in
+      let rng = Numerics.Rng.create (Int64.of_int (seed + 3)) in
+      let s = Array.init n (fun _ -> Numerics.Rng.uniform rng ~lo:(-1.) ~hi:1.) in
+      let direct =
+        let re = ref 0. and im = ref 0. in
+        for i = 0 to n - 1 do
+          let w = 2. *. Float.pi *. float_of_int (k * i) /. float_of_int n in
+          re := !re +. (s.(i) *. cos w);
+          im := !im -. (s.(i) *. sin w)
+        done;
+        sqrt ((!re *. !re) +. (!im *. !im))
+      in
+      let g = Complex.norm (Sigproc.Goertzel.bin ~samples:s ~k) in
+      Float.abs (direct -. g) < 1e-8 *. (1. +. direct))
+
+(* -------------------------------------------------------------------- THD *)
+
+let test_thd_known_mix () =
+  let n = 1024 and fs = 102_400. and f0 = 1000. in
+  let s = Array.init n (fun i ->
+      let t = float_of_int i /. fs in
+      sin (2. *. Float.pi *. f0 *. t)
+      +. (0.03 *. sin (2. *. Float.pi *. 2. *. f0 *. t))
+      +. (0.04 *. sin (2. *. Float.pi *. 3. *. f0 *. t))) in
+  (* THD = sqrt(0.03^2 + 0.04^2) = 0.05 -> 5 % *)
+  check_float ~eps:1e-6 "thd of 3-4-5 mix" 5.
+    (Sigproc.Thd.thd_percent ~samples:s ~sample_rate:fs ~fundamental_hz:f0 ())
+
+let test_thd_pure_sine () =
+  let n = 512 and fs = 51_200. and f0 = 1000. in
+  let s = Array.init n (fun i ->
+      sin (2. *. Float.pi *. f0 *. float_of_int i /. fs)) in
+  Alcotest.(check bool) "pure sine thd tiny" true
+    (Sigproc.Thd.thd_percent ~samples:s ~sample_rate:fs ~fundamental_hz:f0 () < 1e-6)
+
+let test_thd_analysis_fields () =
+  let n = 1024 and fs = 102_400. and f0 = 1000. in
+  let s = Array.init n (fun i ->
+      let t = float_of_int i /. fs in
+      (2. *. sin (2. *. Float.pi *. f0 *. t))
+      +. (0.1 *. sin (2. *. Float.pi *. 5. *. f0 *. t))) in
+  let a = Sigproc.Thd.analyze ~harmonics:5 ~samples:s ~sample_rate:fs
+      ~fundamental_hz:f0 () in
+  check_float ~eps:1e-6 "fundamental" 2. a.Sigproc.Thd.fundamental;
+  Alcotest.(check int) "harmonic count" 4 (Array.length a.Sigproc.Thd.harmonics);
+  check_float ~eps:1e-6 "h5" 0.1 a.Sigproc.Thd.harmonics.(3);
+  check_float ~eps:1e-6 "thd" 5. a.Sigproc.Thd.thd_percent
+
+let test_thd_skips_above_nyquist () =
+  (* fs = 8 f0: harmonics 2 and 3 resolvable, 4 = nyquist and 5 skipped *)
+  let n = 256 and fs = 8000. and f0 = 1000. in
+  let s = Array.init n (fun i ->
+      sin (2. *. Float.pi *. f0 *. float_of_int i /. fs)) in
+  let a = Sigproc.Thd.analyze ~harmonics:5 ~samples:s ~sample_rate:fs
+      ~fundamental_hz:f0 () in
+  Alcotest.(check int) "only harmonics below nyquist" 2
+    (Array.length a.Sigproc.Thd.harmonics)
+
+(* ---------------------------------------------------------------- Metrics *)
+
+let test_max_abs_delta () =
+  check_float "max delta" 3.
+    (Sigproc.Metrics.max_abs_delta [| 1.; 5.; 2. |] [| 1.; 2.; 3. |]);
+  (try
+     ignore (Sigproc.Metrics.max_abs_delta [| 1. |] [| 1.; 2. |]);
+     Alcotest.fail "mismatch accepted"
+   with Invalid_argument _ -> ())
+
+let test_accumulate_rms_pp () =
+  check_float "accumulate" 6. (Sigproc.Metrics.accumulate [| 1.; 2.; 3. |]);
+  check_float "rms" (sqrt 2.) (Sigproc.Metrics.rms [| sqrt 2.; -.sqrt 2. |]);
+  check_float "peak to peak" 7. (Sigproc.Metrics.peak_to_peak [| -3.; 4.; 0. |])
+
+let test_settling_time () =
+  let times = Array.init 10 float_of_int in
+  let values = [| 0.; 0.5; 0.9; 1.2; 1.05; 0.99; 1.01; 1.0; 1.0; 1.0 |] in
+  (match Sigproc.Metrics.settling_time ~times ~values ~target:1. ~band:0.05 with
+  | Some t -> check_float "settles at t=5" 5. t
+  | None -> Alcotest.fail "should settle");
+  (match
+     Sigproc.Metrics.settling_time ~times ~values:(Array.make 10 5.) ~target:1.
+       ~band:0.05
+   with
+  | None -> ()
+  | Some _ -> Alcotest.fail "never settles")
+
+let test_decimate () =
+  Alcotest.(check (array (float 1e-12))) "every 2" [| 0.; 2.; 4. |]
+    (Sigproc.Metrics.decimate [| 0.; 1.; 2.; 3.; 4.; 5. |] ~every:2);
+  Alcotest.(check (array (float 1e-12))) "every 1 is copy" [| 1.; 2. |]
+    (Sigproc.Metrics.decimate [| 1.; 2. |] ~every:1)
+
+let () =
+  Alcotest.run "sigproc"
+    [
+      ( "goertzel",
+        [
+          Alcotest.test_case "pure bin" `Quick test_goertzel_pure_bin;
+          Alcotest.test_case "dc bin" `Quick test_goertzel_dc_bin;
+          Alcotest.test_case "amplitude scaling" `Quick test_goertzel_amplitude_scaling;
+          Alcotest.test_case "phase invariance" `Quick test_goertzel_phase_invariance;
+          Alcotest.test_case "amplitude_at" `Quick test_goertzel_amplitude_at;
+          Alcotest.test_case "errors" `Quick test_goertzel_errors;
+          QCheck_alcotest.to_alcotest prop_goertzel_matches_dft;
+        ] );
+      ( "thd",
+        [
+          Alcotest.test_case "known harmonic mix" `Quick test_thd_known_mix;
+          Alcotest.test_case "pure sine" `Quick test_thd_pure_sine;
+          Alcotest.test_case "analysis fields" `Quick test_thd_analysis_fields;
+          Alcotest.test_case "nyquist clipping" `Quick test_thd_skips_above_nyquist;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "max_abs_delta" `Quick test_max_abs_delta;
+          Alcotest.test_case "accumulate/rms/pp" `Quick test_accumulate_rms_pp;
+          Alcotest.test_case "settling time" `Quick test_settling_time;
+          Alcotest.test_case "decimate" `Quick test_decimate;
+        ] );
+    ]
