@@ -364,6 +364,96 @@ let tps_cmd =
        ~doc:"Render a test-parameter sensitivity graph (paper Figs. 2-4).")
     Term.(const run $ fast_arg $ fault_arg $ config_arg $ impact_arg $ grid_arg)
 
+(* -- resilience options ------------------------------------------------ *)
+
+let max_retries_arg =
+  let doc =
+    "Retry-ladder rungs attempted after a failed fault simulation before \
+     the fault is quarantined (0 disables retries)."
+  in
+  Arg.(
+    value
+    & opt int (List.length Resilience.default_ladder)
+    & info [ "max-retries" ] ~docv:"N" ~doc)
+
+let fail_fast_arg =
+  let doc =
+    "Abort the run on the first unrecoverable fault instead of \
+     quarantining it and continuing."
+  in
+  Arg.(value & flag & info [ "fail-fast" ] ~doc)
+
+let resume_arg =
+  let doc =
+    "Checkpoint file: results are appended after every fault, and an \
+     existing (possibly truncated) file is loaded so an interrupted run \
+     restarts where it left off."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
+let policy_of ~max_retries ~fail_fast =
+  {
+    Resilience.default_policy with
+    Resilience.max_retries = Int.max 0 max_retries;
+    fail_fast;
+  }
+
+(* NAME[=PROB][@MAX], e.g. dc.no_convergence=0.2@3 *)
+let parse_inject_spec s =
+  let split c str =
+    match String.index_opt str c with
+    | None -> (str, None)
+    | Some i ->
+        ( String.sub str 0 i,
+          Some (String.sub str (i + 1) (String.length str - i - 1)) )
+  in
+  let name_prob, max_s = split '@' s in
+  let name, prob_s = split '=' name_prob in
+  if String.equal name "" then Error (Printf.sprintf "bad inject spec %S" s)
+  else
+    match
+      ( (match prob_s with None -> Some 1. | Some p -> float_of_string_opt p),
+        match max_s with
+        | None -> Some None
+        | Some m -> Option.map Option.some (int_of_string_opt m) )
+    with
+    | Some p, Some mt when p >= 0. && p <= 1. ->
+        Ok { Numerics.Failpoint.point = name; probability = p; max_triggers = mt }
+    | _ -> Error (Printf.sprintf "bad inject spec %S" s)
+
+let inject_arg =
+  let doc =
+    "Failure-injection point $(docv) (testing hook), as NAME[=PROB][\\@MAX]: \
+     e.g. $(b,dc.no_convergence=0.3\\@5). Known points: \
+     dc.no_convergence, dc.singular, dc.nan_solution, tran.step_failure, \
+     execute.observables. Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "inject" ] ~docv:"SPEC" ~doc)
+
+let inject_seed_arg =
+  let doc = "Seed for the failure-injection random streams." in
+  Arg.(value & opt int 0 & info [ "inject-seed" ] ~docv:"SEED" ~doc)
+
+let print_resilience_summary (run : Engine.run) =
+  if run.Engine.resumed_count > 0 then
+    Printf.eprintf "resumed %d fault(s) from the checkpoint\n"
+      run.Engine.resumed_count;
+  if run.Engine.recovered_count > 0 then begin
+    Printf.eprintf "recovered %d fault(s) via the retry ladder:\n"
+      run.Engine.recovered_count;
+    List.iter
+      (fun (label, n) ->
+        if n > 0 && not (String.equal label Resilience.baseline_label) then
+          Printf.eprintf "  %-12s %d\n" label n)
+      run.Engine.rung_stats
+  end;
+  match run.Engine.failed_faults with
+  | [] -> ()
+  | fs ->
+      Printf.eprintf "%d fault(s) quarantined as unrecoverable:\n"
+        (List.length fs);
+      List.iter (fun d -> Format.eprintf "  %a@." Resilience.pp_diagnosis d) fs
+
 let save_arg =
   Arg.(
     value
@@ -388,7 +478,7 @@ let save_session path results =
       Printf.eprintf "cannot save session: %s\n" m;
       1
 
-let run_or_load ctx ~load ~take =
+let run_or_load ?policy ?resume ctx ~load ~take =
   match load with
   | Some path -> begin
       match Session.load ~path with
@@ -396,38 +486,78 @@ let run_or_load ctx ~load ~take =
           Printf.eprintf "cannot load session: %s\n" m;
           None
       | Ok results ->
-          Some
-            {
-              Engine.results;
-              evaluators = ctx.Experiments.Setup.evaluators;
-              wall_seconds = 0.;
-              total_fault_simulations = 0;
-            }
+          Some (Engine.of_results ~evaluators:ctx.Experiments.Setup.evaluators results)
     end
-  | None ->
+  | None -> begin
       let ctx =
         match take with
         | Some n -> Experiments.Setup.reduced ctx ~n_faults:n
         | None -> ctx
       in
-      Some (Experiments.Runs.engine_run ~progress ctx)
+      let finish run =
+        print_resilience_summary run;
+        Some run
+      in
+      match resume with
+      | None -> finish (Experiments.Runs.engine_run ~progress ?policy ctx)
+      | Some path -> begin
+          match Session.checkpoint_resume ~path with
+          | Error m ->
+              Printf.eprintf "cannot resume checkpoint: %s\n" m;
+              None
+          | Ok (ck, prior) ->
+              if prior <> [] then
+                Printf.eprintf "checkpoint %s: %d fault(s) already generated\n%!"
+                  path (List.length prior);
+              finish
+                (Fun.protect
+                   ~finally:(fun () -> Session.checkpoint_close ck)
+                   (fun () ->
+                     Experiments.Runs.engine_run ~progress ?policy ~resume:prior
+                       ~checkpoint:(Session.checkpoint_append ck) ctx))
+        end
+    end
 
 let generate_cmd =
-  let run fast fault_id take save =
-    let ctx = iv_context ~fast in
-    match fault_id with
-    | Some fid ->
-        print_string (Experiments.Runs.fig6 ~fault_id:fid ctx);
-        0
-    | None -> begin
-        match run_or_load ctx ~load:None ~take with
-        | None -> 1
-        | Some run_result ->
-            print_string (Experiments.Runs.tab2 ctx run_result);
-            (match save with
-            | Some path -> save_session path run_result.Engine.results
-            | None -> 0)
-      end
+  let run fast fault_id take save max_retries fail_fast resume inject
+      inject_seed =
+    let specs =
+      List.fold_left
+        (fun acc s ->
+          match (acc, parse_inject_spec s) with
+          | Error e, _ -> Error e
+          | Ok _, Error e -> Error e
+          | Ok l, Ok spec -> Ok (spec :: l))
+        (Ok []) inject
+    in
+    match specs with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok specs ->
+        (* calibrate the context first: injection targets the resilient
+           generation run, not the tolerance-box setup *)
+        let ctx = iv_context ~fast in
+        Numerics.Failpoint.configure ~seed:(Int64.of_int inject_seed)
+          (List.rev specs);
+        Fun.protect ~finally:Numerics.Failpoint.disable (fun () ->
+            let policy = policy_of ~max_retries ~fail_fast in
+            match fault_id with
+            | Some fid ->
+                print_string (Experiments.Runs.fig6 ~fault_id:fid ctx);
+                0
+            | None -> begin
+                match run_or_load ~policy ?resume ctx ~load:None ~take with
+                | None -> 1
+                | Some run_result ->
+                    print_string (Experiments.Runs.tab2 ctx run_result);
+                    (match save with
+                    | Some path -> save_session path run_result.Engine.results
+                    | None -> 0)
+                | exception Engine.Fault_failure d ->
+                    Format.eprintf "fail-fast: %a@." Resilience.pp_diagnosis d;
+                    1
+              end)
   in
   let fault_arg =
     Arg.(
@@ -439,12 +569,15 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate"
        ~doc:"Run fault-specific test generation (paper sec. 3).")
-    Term.(const run $ fast_arg $ fault_arg $ take_arg $ save_arg)
+    Term.(
+      const run $ fast_arg $ fault_arg $ take_arg $ save_arg $ max_retries_arg
+      $ fail_fast_arg $ resume_arg $ inject_arg $ inject_seed_arg)
 
 let compact_cmd =
-  let run fast take delta load save =
+  let run fast take delta load save max_retries fail_fast resume =
     let ctx = iv_context ~fast in
-    match run_or_load ctx ~load ~take with
+    let policy = policy_of ~max_retries ~fail_fast in
+    match run_or_load ~policy ?resume ctx ~load ~take with
     | None -> 1
     | Some run_result ->
         print_string (Experiments.Runs.tab2 ctx run_result);
@@ -453,6 +586,9 @@ let compact_cmd =
         (match save with
         | Some path -> save_session path run_result.Engine.results
         | None -> 0)
+    | exception Engine.Fault_failure d ->
+        Format.eprintf "fail-fast: %a@." Resilience.pp_diagnosis d;
+        1
   in
   let delta_arg =
     Arg.(
@@ -464,7 +600,9 @@ let compact_cmd =
     (Cmd.info "compact"
        ~doc:"Generate (or --load) and collapse the compact test set \
              (paper sec. 4).")
-    Term.(const run $ fast_arg $ take_arg $ delta_arg $ load_arg $ save_arg)
+    Term.(
+      const run $ fast_arg $ take_arg $ delta_arg $ load_arg $ save_arg
+      $ max_retries_arg $ fail_fast_arg $ resume_arg)
 
 let baseline_cmd =
   let run fast take =

@@ -37,14 +37,7 @@ let () =
     match Session.load ~path with Ok r -> r | Error m -> failwith m
   in
   Printf.printf "session reloaded: %d results\n\n" (List.length results);
-  let run =
-    {
-      Engine.results;
-      evaluators = ctx.Experiments.Setup.evaluators;
-      wall_seconds = 0.;
-      total_fault_simulations = 0;
-    }
-  in
+  let run = Engine.of_results ~evaluators:ctx.Experiments.Setup.evaluators results in
 
   (* 3. compact *)
   let compaction =

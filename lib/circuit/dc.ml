@@ -20,6 +20,19 @@ type report = {
   source_steps : int;
 }
 
+(* A solution containing NaN or infinite node voltages must never count
+   as converged: NaN compares false against every bound, so an unguarded
+   check would either spin the full Newton budget or accept the garbage
+   iterate silently. *)
+let finite_solution x ~n_nodes =
+  let ok = ref true in
+  for i = 0 to n_nodes - 1 do
+    if not (Float.is_finite x.(i)) then ok := false
+  done;
+  !ok
+
+exception Diverged
+
 (* One Newton attempt at fixed gmin and source scale.  Returns the
    solution and iteration count, or None on failure. *)
 let newton ~options ~companions ~source_scale ~gmin sys ~time ~start =
@@ -30,10 +43,17 @@ let newton ~options ~companions ~source_scale ~gmin sys ~time ~start =
   (try
      while (not !converged) && !iters < options.max_newton do
        incr iters;
+       if Failpoint.should_fail "dc.singular" then raise (Mat.Singular 0);
        let a, z =
          Mna.assemble sys ~x:!x ~time ?companions ~source_scale ~gmin ()
        in
        let x_new = Mat.solve a z in
+       let x_new =
+         if Failpoint.should_fail "dc.nan_solution" then
+           Vec.create (Vec.dim x_new) Float.nan
+         else x_new
+       in
+       if not (finite_solution x_new ~n_nodes) then raise Diverged;
        (* damping: bound the node-voltage update *)
        let dv_max = ref 0. in
        for i = 0 to n_nodes - 1 do
@@ -58,11 +78,16 @@ let newton ~options ~companions ~source_scale ~gmin sys ~time ~start =
        end;
        x := x_next
      done
-   with Mat.Singular _ -> converged := false);
+   with Mat.Singular _ | Diverged -> converged := false);
   if !converged then Some (!x, !iters) else None
 
 let solve ?(options = default_options) ?guess ?companions ?(source_scale = 1.)
     sys ~time =
+  if Failpoint.should_fail "dc.no_convergence" then
+    raise
+      (No_convergence
+         (Printf.sprintf "injected failure at dc.no_convergence (%S)"
+            (Netlist.title (Mna.netlist sys))));
   let start =
     match guess with
     | Some g ->

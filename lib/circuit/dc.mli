@@ -3,7 +3,15 @@
     Damped Newton–Raphson on the MNA system, with gmin stepping and
     source stepping as homotopy fallbacks — the standard SPICE recipe,
     which is robust enough to absorb the worst fault-injected circuits
-    (e.g. a low-ohmic bridge across the supply). *)
+    (e.g. a low-ohmic bridge across the supply).  Iterates with NaN or
+    infinite node voltages abort the attempt immediately (they can never
+    legitimately converge).
+
+    Failure-injection points (see {!Numerics.Failpoint}):
+    ["dc.no_convergence"] raises {!No_convergence} at [solve] entry,
+    ["dc.singular"] fails one Newton attempt as a singular matrix, and
+    ["dc.nan_solution"] corrupts one Newton iterate to NaN (exercising
+    the finiteness guard). *)
 
 exception No_convergence of string
 

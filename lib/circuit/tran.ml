@@ -120,6 +120,10 @@ let simulate ?(options = Dc.default_options) ?(method_ = Backward_euler) sys
     let t_prev = dt *. float_of_int (k - 1) in
     let t_next = dt *. float_of_int k in
     times.(k) <- t_next;
+    if Numerics.Failpoint.should_fail "tran.step_failure" then
+      raise
+        (Step_failure
+           { time = t_next; reason = "injected failure at tran.step_failure" });
     x := advance ~depth:0 ~t_prev ~t_next !x;
     List.iter (fun (n, arr) -> arr.(k) <- Mna.voltage sys !x n) records
   done;

@@ -30,5 +30,7 @@ val simulate :
   result
 (** Initial condition is the operating point with sources at [t = 0].
     A non-converging step is retried with up to 16x local step refinement
-    before {!Step_failure} is raised.
+    before {!Step_failure} is raised.  The failure-injection point
+    ["tran.step_failure"] (see {!Numerics.Failpoint}) raises
+    {!Step_failure} at the start of a step.
     @raise Invalid_argument on non-positive [tstop] or [dt]. *)

@@ -1,38 +1,168 @@
+type fault_report = {
+  report_fault_id : string;
+  report_outcome : Generate.result Resilience.outcome;
+}
+
+exception Fault_failure of Resilience.diagnosis
+
 type run = {
   results : Generate.result list;
+  reports : fault_report list;
+  failed_faults : Resilience.diagnosis list;
+  recovered_count : int;
+  resumed_count : int;
+  rung_stats : (string * int) list;
   evaluators : Evaluator.t list;
   wall_seconds : float;
   total_fault_simulations : int;
 }
 
-let run ?options ?progress ~evaluators dictionary =
+let run ?options ?(policy = Resilience.default_policy) ?(resume = []) ?checkpoint
+    ?progress ~evaluators dictionary =
   let entries = Faults.Dictionary.entries dictionary in
   let total = List.length entries in
-  let started = Sys.time () in
-  let before =
+  let started = Unix.gettimeofday () in
+  let count_evals () =
     List.fold_left (fun acc ev -> acc + Evaluator.evaluation_count ev) 0
       evaluators
   in
-  let results =
+  let before = count_evals () in
+  let resumed = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Generate.result) ->
+      Hashtbl.replace resumed r.Generate.fault_id r)
+    resume;
+  (* Escalated evaluator sets are built once per rung and shared across
+     faults, so their nominal-observable caches amortize the same way the
+     baseline evaluators' do. *)
+  let escalated = Hashtbl.create 4 in
+  let evaluators_for = function
+    | None -> evaluators
+    | Some (r : Resilience.rung) -> begin
+        match Hashtbl.find_opt escalated r.Resilience.rung_label with
+        | Some evs -> evs
+        | None ->
+            let evs =
+              List.map
+                (fun ev ->
+                  Evaluator.with_profile ev
+                    (Resilience.escalate r (Evaluator.profile ev)))
+                evaluators
+            in
+            Hashtbl.replace escalated r.Resilience.rung_label evs;
+            evs
+      end
+  in
+  let attempt entry rung =
+    let evs = evaluators_for rung in
+    (match policy.Resilience.attempt_budget with
+    | Some b ->
+        List.iter
+          (fun ev ->
+            Evaluator.set_budget ev (Some (Evaluator.evaluation_count ev + b)))
+          evs
+    | None -> ());
+    Fun.protect
+      ~finally:(fun () -> List.iter (fun ev -> Evaluator.set_budget ev None) evs)
+      (fun () -> Generate.generate ?options ~evaluators:evs entry)
+  in
+  let reports =
     List.mapi
       (fun i entry ->
-        let r = Generate.generate ?options ~evaluators entry in
+        let fid = entry.Faults.Dictionary.fault_id in
+        let outcome =
+          match Hashtbl.find_opt resumed fid with
+          | Some r -> Resilience.Ok r
+          | None ->
+              let o = Resilience.protect ~policy ~fault_id:fid (attempt entry) in
+              (match o with
+              | Resilience.Failed d when policy.Resilience.fail_fast ->
+                  raise (Fault_failure d)
+              | _ -> ());
+              (match (Resilience.succeeded o, checkpoint) with
+              | Some r, Some ck -> ck r
+              | _ -> ());
+              o
+        in
         (match progress with
-        | Some f ->
-            f ~done_:(i + 1) ~total ~fault_id:entry.Faults.Dictionary.fault_id
+        | Some f -> f ~done_:(i + 1) ~total ~fault_id:fid
         | None -> ());
-        r)
+        { report_fault_id = fid; report_outcome = outcome })
       entries
   in
-  let after =
-    List.fold_left (fun acc ev -> acc + Evaluator.evaluation_count ev) 0
-      evaluators
+  let results =
+    List.filter_map (fun r -> Resilience.succeeded r.report_outcome) reports
+  in
+  let failed_faults =
+    List.filter_map
+      (fun r ->
+        match r.report_outcome with
+        | Resilience.Failed d -> Some d
+        | Resilience.Ok _ | Resilience.Recovered _ -> None)
+      reports
+  in
+  let recovered_count =
+    List.length
+      (List.filter
+         (fun r ->
+           match r.report_outcome with
+           | Resilience.Recovered _ -> true
+           | Resilience.Ok _ | Resilience.Failed _ -> false)
+         reports)
+  in
+  let rung_stats =
+    let count label =
+      List.length
+        (List.filter
+           (fun r ->
+             match r.report_outcome with
+             | Resilience.Ok _ -> String.equal label Resilience.baseline_label
+             | Resilience.Recovered _ ->
+                 Resilience.recovery_rung r.report_outcome = Some label
+             | Resilience.Failed _ -> false)
+           reports)
+    in
+    let ladder_rungs =
+      List.filteri
+        (fun i _ -> i < policy.Resilience.max_retries)
+        policy.Resilience.ladder
+    in
+    (Resilience.baseline_label, count Resilience.baseline_label)
+    :: List.map
+         (fun (r : Resilience.rung) ->
+           (r.Resilience.rung_label, count r.Resilience.rung_label))
+         ladder_rungs
   in
   {
     results;
+    reports;
+    failed_faults;
+    recovered_count;
+    resumed_count = Hashtbl.length resumed;
+    rung_stats;
     evaluators;
-    wall_seconds = Sys.time () -. started;
-    total_fault_simulations = after - before;
+    wall_seconds = Unix.gettimeofday () -. started;
+    total_fault_simulations = count_evals () - before;
+  }
+
+let of_results ~evaluators results =
+  {
+    results;
+    reports =
+      List.map
+        (fun (r : Generate.result) ->
+          {
+            report_fault_id = r.Generate.fault_id;
+            report_outcome = Resilience.Ok r;
+          })
+        results;
+    failed_faults = [];
+    recovered_count = 0;
+    resumed_count = List.length results;
+    rung_stats = [];
+    evaluators;
+    wall_seconds = 0.;
+    total_fault_simulations = 0;
   }
 
 type distribution_row = {

@@ -1,21 +1,64 @@
 (** Whole-dictionary test generation (the producer of Table 2 and
-    Fig. 8). *)
+    Fig. 8), with per-fault failure quarantine.
+
+    A simulator failure while generating one fault's test no longer
+    aborts the run: the fault is re-attempted down the
+    {!Resilience.policy}'s retry ladder and, if every rung fails,
+    quarantined with a diagnosis while the remaining faults proceed. *)
+
+type fault_report = {
+  report_fault_id : string;
+  report_outcome : Generate.result Resilience.outcome;
+}
+
+exception Fault_failure of Resilience.diagnosis
+(** Raised (instead of quarantining) when the policy has
+    [fail_fast = true] and a fault exhausts its retry ladder. *)
 
 type run = {
-  results : Generate.result list;  (** one per dictionary entry, in order *)
+  results : Generate.result list;
+      (** one per successfully generated dictionary entry (including
+          recovered and resumed ones), in dictionary order — quarantined
+          faults are absent *)
+  reports : fault_report list;
+      (** one per dictionary entry, in order, successful or not *)
+  failed_faults : Resilience.diagnosis list;
+      (** quarantined faults, in dictionary order *)
+  recovered_count : int;  (** faults that needed [>= 1] ladder rung *)
+  resumed_count : int;  (** faults taken from the [resume] list, unsimulated *)
+  rung_stats : (string * int) list;
+      (** per-rung success counts, baseline first, zero rows included *)
   evaluators : Evaluator.t list;
-  wall_seconds : float;
+  wall_seconds : float;  (** monotonic wall-clock duration of the run *)
   total_fault_simulations : int;
 }
 
 val run :
   ?options:Generate.options ->
+  ?policy:Resilience.policy ->
+  ?resume:Generate.result list ->
+  ?checkpoint:(Generate.result -> unit) ->
   ?progress:(done_:int -> total:int -> fault_id:string -> unit) ->
   evaluators:Evaluator.t list ->
   Faults.Dictionary.t ->
   run
 (** Generate the optimal test for every fault of the dictionary.
-    [progress] is invoked after each fault (CLI feedback). *)
+
+    [policy] governs retries and quarantine (default
+    {!Resilience.default_policy}; use {!Resilience.abort_policy} for the
+    historical abort-on-first-failure behaviour).  Faults whose id
+    appears in [resume] are not re-simulated — the stored result is
+    reused, so an interrupted run restarts where it left off.
+    [checkpoint] is invoked with each freshly generated (non-resumed)
+    result as soon as it completes, before the next fault starts —
+    the hook {!Session.checkpoint_append} persists partial runs.
+    [progress] is invoked after each fault (CLI feedback).
+
+    @raise Fault_failure under a [fail_fast] policy. *)
+
+val of_results : evaluators:Evaluator.t list -> Generate.result list -> run
+(** Wrap results loaded from a {!Session} file as a run (no simulation
+    statistics; every result counts as resumed). *)
 
 type distribution_row = {
   dist_config_id : int;

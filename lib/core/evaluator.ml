@@ -5,8 +5,11 @@ type t = {
   nominal : Execute.target;
   box_model : Tolerance.t;
   nominal_cache : (string, float array) Hashtbl.t;
-  mutable evals : int;
+  evals : int ref;
+  budget : int option ref;
 }
+
+exception Budget_exhausted of { config_id : int; budget : int }
 
 let create ?(profile = Execute.default_profile) config ~nominal ~box_model =
   {
@@ -15,16 +18,38 @@ let create ?(profile = Execute.default_profile) config ~nominal ~box_model =
     nominal;
     box_model;
     nominal_cache = Hashtbl.create 64;
-    evals = 0;
+    evals = ref 0;
+    budget = ref None;
   }
+
+(* Same configuration, target and calibrated box, different execution
+   profile — the retry ladder's escalated view of an evaluator.  The
+   evaluation counter and budget cell are shared so accounting spans all
+   derived copies; the nominal cache is fresh because cached observables
+   are profile-dependent. *)
+let with_profile t profile = { t with profile; nominal_cache = Hashtbl.create 64 }
 
 let config t = t.config
 let config_id t = t.config.Test_config.config_id
 let nominal_target t = t.nominal
+let profile t = t.profile
 
+let set_budget t budget = t.budget := budget
+
+let charge t =
+  (match !(t.budget) with
+  | Some b when !(t.evals) >= b ->
+      raise (Budget_exhausted { config_id = config_id t; budget = b })
+  | Some _ | None -> ());
+  incr t.evals
+
+(* Exact (hex-float) keys: a rounded key would let parameter points that
+   differ only in the last bits share an entry, making the memoized
+   nominal depend on which point was evaluated first — and a resumed run
+   would then diverge from the uninterrupted one in the last digits. *)
 let cache_key values =
   String.concat ","
-    (Array.to_list (Array.map (Printf.sprintf "%.12g") values))
+    (Array.to_list (Array.map (Printf.sprintf "%h") values))
 
 let nominal_observables t values =
   let key = cache_key values in
@@ -46,7 +71,7 @@ let faulty_target t fault =
   }
 
 let faulty_observables t fault values =
-  t.evals <- t.evals + 1;
+  charge t;
   Execute.observables ~profile:t.profile t.config (faulty_target t fault) values
 
 let sensitivity_and_deviation t fault values =
@@ -64,11 +89,11 @@ let sensitivity t fault values = fst (sensitivity_and_deviation t fault values)
 
 let sensitivity_of_target t target values =
   let nominal = nominal_observables t values in
-  t.evals <- t.evals + 1;
+  charge t;
   match Execute.observables ~profile:t.profile t.config target values with
   | observed ->
       Sensitivity.compute t.config ~box:(box t values) ~nominal
         ~faulty:observed
   | exception Execute.Execution_failure _ -> detected_sentinel
 
-let evaluation_count t = t.evals
+let evaluation_count t = !(t.evals)

@@ -8,6 +8,13 @@
 
 type t
 
+exception Budget_exhausted of { config_id : int; budget : int }
+(** Raised by a faulty-circuit evaluation once the shared evaluation
+    counter reaches the budget installed with {!set_budget} — the retry
+    ladder's per-attempt cap.  Deliberately distinct from
+    {!Execute.Execution_failure} so it is never mistaken for a detected
+    fault. *)
+
 val create :
   ?profile:Execute.profile ->
   Test_config.t ->
@@ -15,9 +22,23 @@ val create :
   box_model:Tolerance.t ->
   t
 
+val with_profile : t -> Execute.profile -> t
+(** A derived evaluator with a different execution profile (used by the
+    resilience retry ladder).  Configuration, target, box model, the
+    evaluation counter and the budget cell are shared with the parent;
+    the nominal-observable cache is fresh (cached values depend on the
+    profile). *)
+
 val config : t -> Test_config.t
 val config_id : t -> int
 val nominal_target : t -> Execute.target
+val profile : t -> Execute.profile
+
+val set_budget : t -> int option -> unit
+(** Install (or clear, with [None]) an absolute evaluation-count budget:
+    once {!evaluation_count} reaches it, the next faulty evaluation
+    raises {!Budget_exhausted}.  Shared with evaluators derived via
+    {!with_profile}. *)
 
 val nominal_observables : t -> Numerics.Vec.t -> float array
 (** Memoized nominal measurement at the given parameter values. *)

@@ -12,6 +12,7 @@ type profile = {
   analyze_periods : int;
   thd_harmonics : int;
   dc_options : Dc.options;
+  dt_divisor : int;
 }
 
 let default_profile =
@@ -21,6 +22,7 @@ let default_profile =
     analyze_periods = 2;
     thd_harmonics = 5;
     dc_options = Dc.default_options;
+    dt_divisor = 1;
   }
 
 let fast_profile =
@@ -30,6 +32,7 @@ let fast_profile =
     analyze_periods = 1;
     thd_harmonics = 5;
     dc_options = Dc.default_options;
+    dt_divisor = 1;
   }
 
 exception Execution_failure of string
@@ -60,10 +63,23 @@ let dc_voltage ~options nl ~observe =
   | report -> Mna.voltage sys report.Dc.solution observe
   | exception Dc.No_convergence msg -> raise (Execution_failure msg)
 
-let transient ~options nl ~observe ~tstop ~dt =
+(* Integrate with the step subdivided by [dt_divisor] (a retry-ladder
+   escalation: a stiffer faulty circuit often converges with a finer
+   step), then decimate back onto the requested sample grid so callers
+   always see the same observable length and timing. *)
+let transient ~options ~dt_divisor nl ~observe ~tstop ~dt =
   let sys = Mna.build nl in
-  match Tran.simulate ~options sys ~tstop ~dt ~observe:[ observe ] with
-  | result -> Tran.probe_values result observe
+  let k = Int.max 1 dt_divisor in
+  let dt_fine = dt /. float_of_int k in
+  match Tran.simulate ~options sys ~tstop ~dt:dt_fine ~observe:[ observe ] with
+  | result ->
+      let fine = Tran.probe_values result observe in
+      if k = 1 then fine
+      else begin
+        let n_coarse = Int.max 1 (int_of_float (Float.round (tstop /. dt))) in
+        Array.init (n_coarse + 1) (fun i ->
+            fine.(Int.min (i * k) (Array.length fine - 1)))
+      end
   | exception Tran.Step_failure { time; reason } ->
       raise
         (Execution_failure
@@ -72,7 +88,10 @@ let transient ~options nl ~observe ~tstop ~dt =
 
 let observables ?(profile = default_profile) config target values =
   check_values config values;
+  if Numerics.Failpoint.should_fail "execute.observables" then
+    raise (Execution_failure "injected failure at execute.observables");
   let options = profile.dc_options in
+  let dt_divisor = profile.dt_divisor in
   match config.Test_config.analysis with
   | Test_config.Dc_levels waves ->
       waves values
@@ -94,7 +113,7 @@ let observables ?(profile = default_profile) config target values =
           (stimulus values)
       in
       let samples =
-        transient ~options nl ~observe:target.observe_node ~tstop ~dt
+        transient ~options ~dt_divisor nl ~observe:target.observe_node ~tstop ~dt
       in
       let keep = spp * profile.analyze_periods in
       let seg = Array.sub samples (Array.length samples - keep) keep in
@@ -109,7 +128,7 @@ let observables ?(profile = default_profile) config target values =
         with_stimulus target.netlist ~source:target.stimulus_source
           (stimulus values)
       in
-      transient ~options nl ~observe:target.observe_node ~tstop:test_time ~dt
+      transient ~options ~dt_divisor nl ~observe:target.observe_node ~tstop:test_time ~dt
   | Test_config.Tran_imd { stimulus; base_freq; k1; k2 } ->
       let f0 = base_freq values in
       if f0 <= 0. then raise (Execution_failure "IMD: non-positive base frequency");
@@ -126,7 +145,7 @@ let observables ?(profile = default_profile) config target values =
           (stimulus values)
       in
       let samples =
-        transient ~options nl ~observe:target.observe_node ~tstop ~dt
+        transient ~options ~dt_divisor nl ~observe:target.observe_node ~tstop ~dt
       in
       let keep = spp * profile.analyze_periods in
       let seg = Array.sub samples (Array.length samples - keep) keep in

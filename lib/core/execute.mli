@@ -18,6 +18,11 @@ type profile = {
   analyze_periods : int;  (** periods inside the THD window (2) *)
   thd_harmonics : int;  (** highest harmonic order (5) *)
   dc_options : Circuit.Dc.options;
+  dt_divisor : int;
+      (** transient integration-step subdivision (default 1).  Values > 1
+          integrate with [dt / dt_divisor] and decimate back onto the
+          requested sample grid — a retry-ladder escalation for stiff
+          faulty circuits that preserves observable length and timing. *)
 }
 
 val default_profile : profile
@@ -41,7 +46,9 @@ val observables :
   float array
 (** Run the configuration's analysis with the given parameter values.
     The result length depends on the analysis: one voltage per DC level,
-    one THD value, or the full sample train.
+    one THD value, or the full sample train.  The failure-injection point
+    ["execute.observables"] (see {!Numerics.Failpoint}) raises
+    {!Execution_failure} at entry.
     @raise Execution_failure on simulator failure.
     @raise Invalid_argument if the value vector length differs from the
     configuration's parameter count. *)

@@ -11,11 +11,10 @@ let fault_str = function
   | Faults.Fault.Pinhole { mosfet; r_shunt } ->
       Printf.sprintf "pinhole %s %s" mosfet (float_str r_shunt)
 
-let to_string results =
-  let b = Buffer.create 4096 in
-  Buffer.add_string b (Printf.sprintf "atpg-session %d\n" format_version);
-  List.iter
-    (fun (r : Generate.result) ->
+let header_line = Printf.sprintf "atpg-session %d\n" format_version
+
+let add_result b (r : Generate.result) =
+  begin
       Buffer.add_string b
         (Printf.sprintf "result %s\n" r.Generate.fault_id);
       Buffer.add_string b
@@ -50,8 +49,13 @@ let to_string results =
                (String.concat ""
                   (List.map (Printf.sprintf " %d") s.Generate.detecting))))
         r.Generate.trace;
-      Buffer.add_string b "end\n")
-    results;
+      Buffer.add_string b "end\n"
+  end
+
+let to_string results =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b header_line;
+  List.iter (add_result b) results;
   Buffer.contents b
 
 exception Bad of string
@@ -225,11 +229,84 @@ let save ~path results =
       close_out oc;
       Ok ()
 
-let load ~path =
+let read_file path =
   match open_in path with
   | exception Sys_error m -> Error m
   | ic ->
       let n = in_channel_length ic in
       let text = really_input_string ic n in
       close_in ic;
-      of_string text
+      Ok text
+
+let load ~path =
+  match read_file path with Error m -> Error m | Ok text -> of_string text
+
+(* -- incremental checkpointing ---------------------------------------- *)
+
+(* Keep the header plus every complete result block: everything up to and
+   including the last "end" line.  A checkpoint writer only appends whole
+   blocks, so an interrupted run leaves at most one torn block at the
+   tail — which this drops. *)
+let truncate_to_complete text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | [] -> text
+  | header :: rest ->
+      let kept =
+        let rec keep acc pending = function
+          | [] -> List.rev acc
+          | line :: tl ->
+              if String.equal (String.trim line) "end" then
+                keep (line :: (pending @ acc)) [] tl
+              else keep acc (line :: pending) tl
+        in
+        keep [] [] rest
+      in
+      String.concat "\n" ((header :: kept) @ [ "" ])
+
+let load_partial ~path =
+  match read_file path with
+  | Error m -> Error m
+  | Ok text -> of_string (truncate_to_complete text)
+
+type checkpoint = { ck_oc : out_channel }
+
+let checkpoint_create ~path =
+  match open_out path with
+  | exception Sys_error m -> Error m
+  | oc ->
+      output_string oc header_line;
+      flush oc;
+      Ok { ck_oc = oc }
+
+let checkpoint_resume ~path =
+  if not (Sys.file_exists path) then
+    match checkpoint_create ~path with
+    | Error m -> Error m
+    | Ok ck -> Ok (ck, [])
+  else
+    match read_file path with
+    | Error m -> Error m
+    | Ok text -> begin
+        let salvaged = truncate_to_complete text in
+        match of_string salvaged with
+        | Error m -> Error m
+        | Ok results -> begin
+            (* rewrite the salvaged prefix so the file never carries the
+               torn tail forward *)
+            match open_out path with
+            | exception Sys_error m -> Error m
+            | oc ->
+                output_string oc salvaged;
+                flush oc;
+                Ok ({ ck_oc = oc }, results)
+          end
+      end
+
+let checkpoint_append ck r =
+  let b = Buffer.create 1024 in
+  add_result b r;
+  output_string ck.ck_oc (Buffer.contents b);
+  flush ck.ck_oc
+
+let checkpoint_close ck = close_out ck.ck_oc

@@ -18,3 +18,36 @@ val of_string : string -> (Generate.result list, string) result
 val save : path:string -> Generate.result list -> (unit, string) result
 
 val load : path:string -> (Generate.result list, string) result
+
+(** {2 Incremental checkpointing}
+
+    A checkpoint is a session file grown one result block at a time (each
+    block flushed as soon as its fault completes), so a run killed
+    mid-dictionary leaves a loadable prefix.  Because per-fault
+    generation is deterministic and independent, resuming from the
+    prefix and finishing the dictionary reproduces the uninterrupted
+    run's session file byte for byte. *)
+
+type checkpoint
+
+val checkpoint_create : path:string -> (checkpoint, string) result
+(** Start a fresh checkpoint file (truncating any existing one) and
+    write the session header. *)
+
+val checkpoint_resume :
+  path:string -> (checkpoint * Generate.result list, string) result
+(** Reopen an interrupted checkpoint: salvage every complete result
+    block (a torn trailing block from a mid-write kill is dropped and
+    removed from the file), return the recovered results, and position
+    the checkpoint so subsequent appends continue the file.  A missing
+    file behaves like {!checkpoint_create}. *)
+
+val checkpoint_append : checkpoint -> Generate.result -> unit
+(** Append one result block and flush — the [?checkpoint] hook for
+    {!Engine.run}. *)
+
+val checkpoint_close : checkpoint -> unit
+
+val load_partial : path:string -> (Generate.result list, string) result
+(** Like {!load}, but tolerate a truncated tail: every complete result
+    block parses, an incomplete final block is dropped. *)

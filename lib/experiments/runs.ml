@@ -211,8 +211,9 @@ let fig7 () =
          expansion)
   ^ "\n"
 
-let engine_run ?progress ctx =
-  Engine.run ?progress ~evaluators:ctx.Setup.evaluators ctx.Setup.dictionary
+let engine_run ?progress ?policy ?resume ?checkpoint ctx =
+  Engine.run ?policy ?resume ?checkpoint ?progress
+    ~evaluators:ctx.Setup.evaluators ctx.Setup.dictionary
 
 let tab2 _ctx run =
   let dist = Engine.distribution run in
@@ -240,7 +241,7 @@ let tab2 _ctx run =
       (rows @ [ [ "total"; string_of_int total_b; string_of_int total_p ] ])
   ^ Printf.sprintf
       "\nundetectable faults at every tried impact: %d%s\n\
-       engine: %d fault simulations, %.1f s CPU\n"
+       engine: %d fault simulations, %.1f s wall clock\n"
       (List.length undet)
       (match undet with
       | [] -> ""

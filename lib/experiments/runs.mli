@@ -35,9 +35,14 @@ val fig7 : unit -> string
 
 val engine_run :
   ?progress:(done_:int -> total:int -> fault_id:string -> unit) ->
+  ?policy:Testgen.Resilience.policy ->
+  ?resume:Testgen.Generate.result list ->
+  ?checkpoint:(Testgen.Generate.result -> unit) ->
   Setup.t ->
   Testgen.Engine.run
-(** The 55-fault generation run feeding tab2/fig8/tab3/tab4/xbase. *)
+(** The 55-fault generation run feeding tab2/fig8/tab3/tab4/xbase.
+    [policy], [resume] and [checkpoint] are passed through to
+    {!Testgen.Engine.run}. *)
 
 val tab2 : Setup.t -> Testgen.Engine.run -> string
 (** Table 2: distribution of best tests over the configurations, split

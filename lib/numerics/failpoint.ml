@@ -1,0 +1,79 @@
+type spec = {
+  point : string;
+  probability : float;
+  max_triggers : int option;
+}
+
+let fail_always ?max_triggers point = { point; probability = 1.; max_triggers }
+
+type site = {
+  spec : spec;
+  rng : Rng.t;
+  mutable queries : int;
+  mutable triggers : int;
+}
+
+let sites : (string, site) Hashtbl.t = Hashtbl.create 8
+let enabled = ref false
+
+(* FNV-1a over the point name: distinct points get distinct Rng streams
+   for any seed, so query traffic at one point cannot shift the failure
+   pattern of another. *)
+let name_hash name =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    name;
+  !h
+
+let disable () =
+  Hashtbl.reset sites;
+  enabled := false
+
+let configure ?(seed = 0L) specs =
+  disable ();
+  List.iter
+    (fun spec ->
+      if spec.probability < 0. || spec.probability > 1. then
+        invalid_arg
+          (Printf.sprintf "Failpoint.configure: %s: probability %g outside [0, 1]"
+             spec.point spec.probability);
+      let rng = Rng.create (Int64.add seed (name_hash spec.point)) in
+      Hashtbl.replace sites spec.point { spec; rng; queries = 0; triggers = 0 })
+    specs;
+  enabled := Hashtbl.length sites > 0
+
+let active () = !enabled
+
+let should_fail point =
+  !enabled
+  &&
+  match Hashtbl.find_opt sites point with
+  | None -> false
+  | Some s ->
+      s.queries <- s.queries + 1;
+      (* always draw, so the decision at query [n] does not depend on how
+         many earlier queries were capped away *)
+      let draw = Rng.float s.rng in
+      let capped =
+        match s.spec.max_triggers with
+        | Some m -> s.triggers >= m
+        | None -> false
+      in
+      if (not capped) && draw < s.spec.probability then begin
+        s.triggers <- s.triggers + 1;
+        true
+      end
+      else false
+
+let query_count point =
+  match Hashtbl.find_opt sites point with Some s -> s.queries | None -> 0
+
+let trigger_count point =
+  match Hashtbl.find_opt sites point with Some s -> s.triggers | None -> 0
+
+let with_failpoints ?seed specs f =
+  configure ?seed specs;
+  Fun.protect ~finally:disable f

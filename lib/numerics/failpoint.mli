@@ -1,0 +1,48 @@
+(** Named failure-injection points.
+
+    The solver stack (DC Newton, transient stepping, test execution)
+    queries registered failure points by name; a test configures a set of
+    points with trigger probabilities and a seed, then drives the code
+    under test and asserts that the recovery layer absorbs the injected
+    failures.  In production nothing is configured and every query is a
+    single branch on a false flag.
+
+    Trigger decisions are drawn from per-point {!Rng} streams derived
+    from the configuration seed and the point name, so the pattern of
+    failures at one point is independent of how often any other point is
+    queried — and bit-reproducible for a fixed seed. *)
+
+type spec = {
+  point : string;  (** failure-point name, e.g. ["dc.no_convergence"] *)
+  probability : float;  (** chance each query trips, in [\[0, 1\]] *)
+  max_triggers : int option;
+      (** stop firing after this many trips ([None] = unlimited) *)
+}
+
+val fail_always : ?max_triggers:int -> string -> spec
+(** Probability-1 spec, the common unit-test shape. *)
+
+val configure : ?seed:int64 -> spec list -> unit
+(** Install the given failure points, replacing any previous
+    configuration.  An empty list is equivalent to {!disable}. *)
+
+val disable : unit -> unit
+(** Remove all failure points (the initial state). *)
+
+val active : unit -> bool
+(** [true] iff at least one failure point is configured. *)
+
+val should_fail : string -> bool
+(** Called by instrumented code.  [true] when the named point is
+    configured, its trigger cap is not exhausted, and this query's random
+    draw falls below the probability.  Unconfigured names never fail. *)
+
+val query_count : string -> int
+(** Queries seen by the named point since {!configure} (0 if unknown). *)
+
+val trigger_count : string -> int
+(** Failures injected at the named point since {!configure}. *)
+
+val with_failpoints : ?seed:int64 -> spec list -> (unit -> 'a) -> 'a
+(** [with_failpoints specs f] configures, runs [f], and always restores
+    the disabled state — the exception-safe shape for tests. *)
