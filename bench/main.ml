@@ -148,14 +148,84 @@ let run_benchmarks ctx =
       else Printf.printf "  %-42s %10.2f ms\n" name (ns /. 1e6))
     (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel scaling: the full generation run at several job counts      *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the whole-dictionary generation run sequentially and on worker
+   pools of increasing size, verifies every parallel run record against
+   the sequential one (the determinism contract, checked on real work,
+   not just unit fixtures), and writes the measurements to
+   BENCH_parallel.json.  No JSON library is baked into the image, so the
+   report is emitted by hand — the schema is flat. *)
+let run_parallel_bench ctx =
+  let host = Parallel.default_jobs () in
+  let job_counts = List.sort_uniq Int.compare [ 1; 2; 4; host ] in
+  let faults =
+    List.length (Faults.Dictionary.entries ctx.Experiments.Setup.dictionary)
+  in
+  let timed jobs =
+    let executor =
+      if jobs = 1 then Engine.sequential else Parallel.executor ~jobs
+    in
+    Printf.eprintf "parallel bench: generation run at --jobs %d...\n%!" jobs;
+    let t0 = Unix.gettimeofday () in
+    let run = Experiments.Runs.engine_run ~executor ctx in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.eprintf "parallel bench: --jobs %d done in %.2f s\n%!" jobs dt;
+    (jobs, run, dt)
+  in
+  let runs = List.map timed job_counts in
+  let _, seq_run, seq_dt =
+    List.find (fun (jobs, _, _) -> jobs = 1) runs
+  in
+  let fingerprint (run : Engine.run) =
+    (Session.to_string run.Engine.results, run.Engine.rung_stats,
+     run.Engine.recovered_count, List.length run.Engine.failed_faults)
+  in
+  let seq_fp = fingerprint seq_run in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_recommended_domains\": %d,\n" host);
+  Buffer.add_string buf (Printf.sprintf "  \"dictionary_faults\": %d,\n" faults);
+  Buffer.add_string buf "  \"runs\": [\n";
+  List.iteri
+    (fun i (jobs, run, dt) ->
+      let identical = fingerprint run = seq_fp in
+      if not identical then
+        Printf.eprintf
+          "parallel bench: WARNING --jobs %d diverged from sequential!\n%!"
+          jobs;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"jobs\": %d, \"wall_seconds\": %.6f, \"speedup\": %.3f, \
+            \"fault_simulations\": %d, \"identical_to_sequential\": %b}%s\n"
+           jobs dt (seq_dt /. Float.max 1e-9 dt)
+           run.Engine.total_fault_simulations identical
+           (if i = List.length runs - 1 then "" else ",")))
+    runs;
+  Buffer.add_string buf "  ]\n}\n";
+  let path = "BENCH_parallel.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.eprintf "parallel bench: wrote %s\n%!" path;
+  if List.exists (fun (_, run, _) -> fingerprint run <> seq_fp) runs then
+    exit 1
+
 let () =
   let fast = Array.exists (String.equal "--fast") Sys.argv in
   let reports_only = Array.exists (String.equal "--reports-only") Sys.argv in
   let bench_only = Array.exists (String.equal "--bench-only") Sys.argv in
+  let parallel = Array.exists (String.equal "--parallel") Sys.argv in
   let profile =
     if fast then Execute.fast_profile else Execute.default_profile
   in
   prerr_endline "calibrating tolerance boxes...";
   let ctx = Experiments.Setup.iv ~profile () in
-  if not bench_only then run_reports ctx;
-  if not reports_only then run_benchmarks ctx
+  if parallel then run_parallel_bench ctx
+  else begin
+    if not bench_only then run_reports ctx;
+    if not reports_only then run_benchmarks ctx
+  end

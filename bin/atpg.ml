@@ -391,6 +391,19 @@ let resume_arg =
   in
   Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the generation run: $(docv)=1 runs sequentially \
+     (the default), $(docv)=0 uses one worker per available core. Results, \
+     reports and checkpoint files are bit-for-bit identical at every job \
+     count, so a run checkpointed at one $(docv) can be resumed at another."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let executor_of jobs =
+  let jobs = if jobs <= 0 then Parallel.default_jobs () else jobs in
+  if jobs = 1 then Engine.sequential else Parallel.executor ~jobs
+
 let policy_of ~max_retries ~fail_fast =
   {
     Resilience.default_policy with
@@ -478,7 +491,7 @@ let save_session path results =
       Printf.eprintf "cannot save session: %s\n" m;
       1
 
-let run_or_load ?policy ?resume ctx ~load ~take =
+let run_or_load ?policy ?resume ?executor ctx ~load ~take =
   match load with
   | Some path -> begin
       match Session.load ~path with
@@ -499,7 +512,8 @@ let run_or_load ?policy ?resume ctx ~load ~take =
         Some run
       in
       match resume with
-      | None -> finish (Experiments.Runs.engine_run ~progress ?policy ctx)
+      | None ->
+          finish (Experiments.Runs.engine_run ~progress ?policy ?executor ctx)
       | Some path -> begin
           match Session.checkpoint_resume ~path with
           | Error m ->
@@ -513,14 +527,15 @@ let run_or_load ?policy ?resume ctx ~load ~take =
                 (Fun.protect
                    ~finally:(fun () -> Session.checkpoint_close ck)
                    (fun () ->
-                     Experiments.Runs.engine_run ~progress ?policy ~resume:prior
+                     Experiments.Runs.engine_run ~progress ?policy ?executor
+                       ~resume:prior
                        ~checkpoint:(Session.checkpoint_append ck) ctx))
         end
     end
 
 let generate_cmd =
   let run fast fault_id take save max_retries fail_fast resume inject
-      inject_seed =
+      inject_seed jobs =
     let specs =
       List.fold_left
         (fun acc s ->
@@ -547,7 +562,10 @@ let generate_cmd =
                 print_string (Experiments.Runs.fig6 ~fault_id:fid ctx);
                 0
             | None -> begin
-                match run_or_load ~policy ?resume ctx ~load:None ~take with
+                match
+                  run_or_load ~policy ?resume ~executor:(executor_of jobs) ctx
+                    ~load:None ~take
+                with
                 | None -> 1
                 | Some run_result ->
                     print_string (Experiments.Runs.tab2 ctx run_result);
@@ -571,13 +589,15 @@ let generate_cmd =
        ~doc:"Run fault-specific test generation (paper sec. 3).")
     Term.(
       const run $ fast_arg $ fault_arg $ take_arg $ save_arg $ max_retries_arg
-      $ fail_fast_arg $ resume_arg $ inject_arg $ inject_seed_arg)
+      $ fail_fast_arg $ resume_arg $ inject_arg $ inject_seed_arg $ jobs_arg)
 
 let compact_cmd =
-  let run fast take delta load save max_retries fail_fast resume =
+  let run fast take delta load save max_retries fail_fast resume jobs =
     let ctx = iv_context ~fast in
     let policy = policy_of ~max_retries ~fail_fast in
-    match run_or_load ~policy ?resume ctx ~load ~take with
+    match
+      run_or_load ~policy ?resume ~executor:(executor_of jobs) ctx ~load ~take
+    with
     | None -> 1
     | Some run_result ->
         print_string (Experiments.Runs.tab2 ctx run_result);
@@ -602,24 +622,26 @@ let compact_cmd =
              (paper sec. 4).")
     Term.(
       const run $ fast_arg $ take_arg $ delta_arg $ load_arg $ save_arg
-      $ max_retries_arg $ fail_fast_arg $ resume_arg)
+      $ max_retries_arg $ fail_fast_arg $ resume_arg $ jobs_arg)
 
 let baseline_cmd =
-  let run fast take =
+  let run fast take jobs =
     let ctx = iv_context ~fast in
     let ctx =
       match take with
       | Some n -> Experiments.Setup.reduced ctx ~n_faults:n
       | None -> ctx
     in
-    let run_result = Experiments.Runs.engine_run ~progress ctx in
+    let run_result =
+      Experiments.Runs.engine_run ~progress ~executor:(executor_of jobs) ctx
+    in
     print_string (Experiments.Runs.xbase ctx run_result);
     0
   in
   Cmd.v
     (Cmd.info "baseline"
        ~doc:"Compare optimized generation against fixed-seed selection.")
-    Term.(const run $ fast_arg $ take_arg)
+    Term.(const run $ fast_arg $ take_arg $ jobs_arg)
 
 let experiment_cmd =
   let run fast which =

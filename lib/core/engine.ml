@@ -17,10 +17,66 @@ type run = {
   total_fault_simulations : int;
 }
 
+(* -- pluggable execution ----------------------------------------------- *)
+
+(* A worker bundles everything one executing agent (the sequential loop,
+   or one domain of a pool) needs to simulate faults without sharing
+   mutable state with anyone else: forked evaluators (private caches and
+   counters) plus a private table of rung-escalated evaluator sets.
+   Escalated sets are built once per rung per worker, so their
+   nominal-observable caches amortize the same way the baseline
+   evaluators' do. *)
+type worker = {
+  w_evaluators : Evaluator.t list;
+  w_escalated : (string, Evaluator.t list) Hashtbl.t;
+}
+
+type executor = {
+  exec_run :
+    n:int ->
+    make_worker:(unit -> worker) ->
+    run_task:(worker -> int -> Generate.result Resilience.outcome) ->
+    emit:(int -> Generate.result Resilience.outcome -> unit) ->
+    unit;
+}
+
+let sequential =
+  {
+    exec_run =
+      (fun ~n ~make_worker ~run_task ~emit ->
+        let w = make_worker () in
+        for i = 0 to n - 1 do
+          emit i (run_task w i)
+        done);
+  }
+
+let rung_stats_of_reports ~policy reports =
+  let count label =
+    List.length
+      (List.filter
+         (fun r ->
+           match r.report_outcome with
+           | Resilience.Ok _ -> String.equal label Resilience.baseline_label
+           | Resilience.Recovered _ ->
+               Resilience.recovery_rung r.report_outcome = Some label
+           | Resilience.Failed _ -> false)
+         reports)
+  in
+  let ladder_rungs =
+    List.filteri
+      (fun i _ -> i < policy.Resilience.max_retries)
+      policy.Resilience.ladder
+  in
+  (Resilience.baseline_label, count Resilience.baseline_label)
+  :: List.map
+       (fun (r : Resilience.rung) ->
+         (r.Resilience.rung_label, count r.Resilience.rung_label))
+       ladder_rungs
+
 let run ?options ?(policy = Resilience.default_policy) ?(resume = []) ?checkpoint
-    ?progress ~evaluators dictionary =
-  let entries = Faults.Dictionary.entries dictionary in
-  let total = List.length entries in
+    ?progress ?(executor = sequential) ~evaluators dictionary =
+  let entries = Array.of_list (Faults.Dictionary.entries dictionary) in
+  let total = Array.length entries in
   let started = Unix.gettimeofday () in
   let count_evals () =
     List.fold_left (fun acc ev -> acc + Evaluator.evaluation_count ev) 0
@@ -32,14 +88,38 @@ let run ?options ?(policy = Resilience.default_policy) ?(resume = []) ?checkpoin
     (fun (r : Generate.result) ->
       Hashtbl.replace resumed r.Generate.fault_id r)
     resume;
-  (* Escalated evaluator sets are built once per rung and shared across
-     faults, so their nominal-observable caches amortize the same way the
-     baseline evaluators' do. *)
-  let escalated = Hashtbl.create 4 in
-  let evaluators_for = function
-    | None -> evaluators
+  (* Every worker gets forked evaluators — even the sequential one — so
+     the caller's evaluators are never mutated while the executor runs
+     (forking reads them concurrently) and every worker sees the same
+     starting cache state.  Forks are absorbed back afterwards, an
+     order-independent merge, so evaluation counts and cache warmth end
+     up exactly as a sequential run would leave them. *)
+  let workers_mutex = Mutex.create () in
+  let workers = ref [] in
+  let make_worker () =
+    let w =
+      {
+        w_evaluators = List.map Evaluator.fork evaluators;
+        w_escalated = Hashtbl.create 4;
+      }
+    in
+    Mutex.lock workers_mutex;
+    workers := w :: !workers;
+    Mutex.unlock workers_mutex;
+    w
+  in
+  let absorb_workers () =
+    List.iter
+      (fun w ->
+        List.iter2
+          (fun orig fork -> Evaluator.absorb ~into:orig fork)
+          evaluators w.w_evaluators)
+      !workers
+  in
+  let evaluators_for w = function
+    | None -> w.w_evaluators
     | Some (r : Resilience.rung) -> begin
-        match Hashtbl.find_opt escalated r.Resilience.rung_label with
+        match Hashtbl.find_opt w.w_escalated r.Resilience.rung_label with
         | Some evs -> evs
         | None ->
             let evs =
@@ -47,14 +127,14 @@ let run ?options ?(policy = Resilience.default_policy) ?(resume = []) ?checkpoin
                 (fun ev ->
                   Evaluator.with_profile ev
                     (Resilience.escalate r (Evaluator.profile ev)))
-                evaluators
+                w.w_evaluators
             in
-            Hashtbl.replace escalated r.Resilience.rung_label evs;
+            Hashtbl.replace w.w_escalated r.Resilience.rung_label evs;
             evs
       end
   in
-  let attempt entry rung =
-    let evs = evaluators_for rung in
+  let attempt w entry rung =
+    let evs = evaluators_for w rung in
     (match policy.Resilience.attempt_budget with
     | Some b ->
         List.iter
@@ -66,29 +146,72 @@ let run ?options ?(policy = Resilience.default_policy) ?(resume = []) ?checkpoin
       ~finally:(fun () -> List.iter (fun ev -> Evaluator.set_budget ev None) evs)
       (fun () -> Generate.generate ?options ~evaluators:evs entry)
   in
-  let reports =
-    List.mapi
-      (fun i entry ->
-        let fid = entry.Faults.Dictionary.fault_id in
-        let outcome =
-          match Hashtbl.find_opt resumed fid with
-          | Some r -> Resilience.Ok r
-          | None ->
-              let o = Resilience.protect ~policy ~fault_id:fid (attempt entry) in
-              (match o with
-              | Resilience.Failed d when policy.Resilience.fail_fast ->
-                  raise (Fault_failure d)
-              | _ -> ());
-              (match (Resilience.succeeded o, checkpoint) with
-              | Some r, Some ck -> ck r
-              | _ -> ());
-              o
+  (* Per-fault work is a pure function of the fault entry: evaluator
+     caches cannot change results (exact keys, deterministic values), the
+     attempt budget is a fixed per-attempt slack, and failure injection is
+     bracketed in a per-fault Failpoint scope so its draws depend only on
+     (seed, fault id, query index) — never on which worker runs the fault
+     or in what order.
+
+     With failure injection active, one extra isolation step is needed:
+     a nominal-cache hit skips a simulation and with it that simulation's
+     failpoint queries, so cache warmth — which depends on which faults
+     ran earlier, i.e. on scheduling — would shift every later draw in
+     the fault's scope.  So under injection every task runs on a fresh
+     fork of the run-start evaluators (cache state a pure function of the
+     fault), absorbed into its worker afterwards.  Injection is a testing
+     hook; production runs keep full cross-fault cache amortization. *)
+  let isolate_tasks = Numerics.Failpoint.active () in
+  let run_task w i =
+    let entry = entries.(i) in
+    let fid = entry.Faults.Dictionary.fault_id in
+    match Hashtbl.find_opt resumed fid with
+    | Some r -> Resilience.Ok r
+    | None ->
+        let tw =
+          if isolate_tasks then
+            {
+              w_evaluators = List.map Evaluator.fork evaluators;
+              w_escalated = Hashtbl.create 4;
+            }
+          else w
         in
-        (match progress with
-        | Some f -> f ~done_:(i + 1) ~total ~fault_id:fid
-        | None -> ());
-        { report_fault_id = fid; report_outcome = outcome })
-      entries
+        let outcome =
+          Numerics.Failpoint.with_scope ~key:fid (fun () ->
+              Resilience.protect ~policy ~fault_id:fid (attempt tw entry))
+        in
+        if isolate_tasks then
+          List.iter2
+            (fun wf tf -> Evaluator.absorb ~into:wf tf)
+            w.w_evaluators tw.w_evaluators;
+        outcome
+  in
+  (* The single-writer funnel: executors must emit outcomes with strictly
+     increasing task indices (a pool reorders completions before emitting),
+     so checkpoint blocks are appended — and progress reported — in
+     dictionary order from one thread, exactly like the sequential loop. *)
+  let report_slots = Array.make total None in
+  let emit i outcome =
+    (match outcome with
+    | Resilience.Failed d when policy.Resilience.fail_fast ->
+        raise (Fault_failure d)
+    | _ -> ());
+    let fid = entries.(i).Faults.Dictionary.fault_id in
+    (match (Resilience.succeeded outcome, checkpoint) with
+    | Some r, Some ck when not (Hashtbl.mem resumed fid) -> ck r
+    | _ -> ());
+    report_slots.(i) <- Some { report_fault_id = fid; report_outcome = outcome };
+    match progress with
+    | Some f -> f ~done_:(i + 1) ~total ~fault_id:fid
+    | None -> ()
+  in
+  Fun.protect ~finally:absorb_workers (fun () ->
+      executor.exec_run ~n:total ~make_worker ~run_task ~emit);
+  let reports =
+    Array.to_list report_slots
+    |> List.map (function
+         | Some r -> r
+         | None -> invalid_arg "Engine.run: executor did not emit every task")
   in
   let results =
     List.filter_map (fun r -> Resilience.succeeded r.report_outcome) reports
@@ -110,36 +233,13 @@ let run ?options ?(policy = Resilience.default_policy) ?(resume = []) ?checkpoin
            | Resilience.Ok _ | Resilience.Failed _ -> false)
          reports)
   in
-  let rung_stats =
-    let count label =
-      List.length
-        (List.filter
-           (fun r ->
-             match r.report_outcome with
-             | Resilience.Ok _ -> String.equal label Resilience.baseline_label
-             | Resilience.Recovered _ ->
-                 Resilience.recovery_rung r.report_outcome = Some label
-             | Resilience.Failed _ -> false)
-           reports)
-    in
-    let ladder_rungs =
-      List.filteri
-        (fun i _ -> i < policy.Resilience.max_retries)
-        policy.Resilience.ladder
-    in
-    (Resilience.baseline_label, count Resilience.baseline_label)
-    :: List.map
-         (fun (r : Resilience.rung) ->
-           (r.Resilience.rung_label, count r.Resilience.rung_label))
-         ladder_rungs
-  in
   {
     results;
     reports;
     failed_faults;
     recovered_count;
     resumed_count = Hashtbl.length resumed;
-    rung_stats;
+    rung_stats = rung_stats_of_reports ~policy reports;
     evaluators;
     wall_seconds = Unix.gettimeofday () -. started;
     total_fault_simulations = count_evals () - before;

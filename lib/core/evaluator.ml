@@ -7,6 +7,8 @@ type t = {
   nominal_cache : (string, float array) Hashtbl.t;
   evals : int ref;
   budget : int option ref;
+  cache_hits : int ref;
+  cache_misses : int ref;
 }
 
 exception Budget_exhausted of { config_id : int; budget : int }
@@ -20,6 +22,8 @@ let create ?(profile = Execute.default_profile) config ~nominal ~box_model =
     nominal_cache = Hashtbl.create 64;
     evals = ref 0;
     budget = ref None;
+    cache_hits = ref 0;
+    cache_misses = ref 0;
   }
 
 (* Same configuration, target and calibrated box, different execution
@@ -28,6 +32,38 @@ let create ?(profile = Execute.default_profile) config ~nominal ~box_model =
    derived copies; the nominal cache is fresh because cached observables
    are profile-dependent. *)
 let with_profile t profile = { t with profile; nominal_cache = Hashtbl.create 64 }
+
+(* A worker's private view of an evaluator: same (immutable)
+   configuration, target, box model and profile, but its own cache and
+   its own counters, so domains never contend on shared mutable state.
+   The parent's cached observables are copied in as a warm start — safe
+   because cache keys are exact and values are deterministic, so any
+   domain recomputing an entry would produce the same bits. *)
+let fork t =
+  {
+    t with
+    nominal_cache = Hashtbl.copy t.nominal_cache;
+    evals = ref 0;
+    budget = ref None;
+    cache_hits = ref 0;
+    cache_misses = ref 0;
+  }
+
+(* Deterministic merge of a fork back into its parent.  Counters are
+   summed (addition commutes, so the merged totals are independent of
+   worker scheduling and merge order); cache entries are unioned, which
+   is order-independent because equal keys always map to equal values. *)
+let absorb ~into child =
+  if into != child then begin
+    into.evals := !(into.evals) + !(child.evals);
+    into.cache_hits := !(into.cache_hits) + !(child.cache_hits);
+    into.cache_misses := !(into.cache_misses) + !(child.cache_misses);
+    Hashtbl.iter
+      (fun key obs ->
+        if not (Hashtbl.mem into.nominal_cache key) then
+          Hashtbl.replace into.nominal_cache key obs)
+      child.nominal_cache
+  end
 
 let config t = t.config
 let config_id t = t.config.Test_config.config_id
@@ -54,8 +90,11 @@ let cache_key values =
 let nominal_observables t values =
   let key = cache_key values in
   match Hashtbl.find_opt t.nominal_cache key with
-  | Some obs -> obs
+  | Some obs ->
+      incr t.cache_hits;
+      obs
   | None ->
+      incr t.cache_misses;
       let obs = Execute.observables ~profile:t.profile t.config t.nominal values in
       Hashtbl.replace t.nominal_cache key obs;
       obs
@@ -97,3 +136,12 @@ let sensitivity_of_target t target values =
   | exception Execute.Execution_failure _ -> detected_sentinel
 
 let evaluation_count t = !(t.evals)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+let cache_stats t =
+  {
+    hits = !(t.cache_hits);
+    misses = !(t.cache_misses);
+    entries = Hashtbl.length t.nominal_cache;
+  }

@@ -29,6 +29,22 @@ val with_profile : t -> Execute.profile -> t
     the nominal-observable cache is fresh (cached values depend on the
     profile). *)
 
+val fork : t -> t
+(** A worker-private copy for parallel execution: shares the immutable
+    configuration, target, box model and profile, but owns a private
+    nominal-observable cache (warm-started from the parent's entries)
+    and zeroed evaluation/budget/cache counters, so domains never touch
+    shared mutable state.  Determinism is unaffected: cache keys are
+    exact and cached values deterministic, so a cold and a warm cache
+    produce bit-identical results. *)
+
+val absorb : into:t -> t -> unit
+(** [absorb ~into:parent child] merges a fork back: counters are summed
+    and cache entries unioned.  Both operations commute, so the merged
+    statistics are independent of worker scheduling and of the order
+    forks are absorbed in — the deterministic merge of per-domain cache
+    statistics.  A no-op when [parent == child]. *)
+
 val config : t -> Test_config.t
 val config_id : t -> int
 val nominal_target : t -> Execute.target
@@ -76,3 +92,9 @@ val sensitivity_of_target : t -> Execute.target -> Numerics.Vec.t -> float
 
 val evaluation_count : t -> int
 (** Number of faulty-circuit simulations performed so far. *)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+val cache_stats : t -> cache_stats
+(** Nominal-observable cache statistics (memoization hits/misses and
+    live entries) — summed across absorbed forks by {!absorb}. *)

@@ -1,0 +1,98 @@
+(* Domain-based fan-out with deterministic, in-order collection.
+
+   Shape: [jobs] worker domains pull task indices from an atomic
+   counter and deposit results into a slot array; the calling thread is
+   the single collector, walking the slots in index order and handing
+   each result to [emit].  The atomic counter makes task *starts*
+   monotone — whenever any index has been fetched, every lower index has
+   also been fetched — so the collector can always make progress waiting
+   on the next slot: the worker that fetched it will fill it with a
+   value or an error.
+
+   Determinism: tasks must be independent (per the Engine contract they
+   are pure functions of their index), so the only scheduling freedom is
+   completion order, and the slot array erases it.  When several tasks
+   raise, the collector re-raises the one with the lowest index; when
+   [emit] itself raises (fail-fast), the bracket cancels outstanding
+   work, joins every domain and re-raises — so failures too are
+   independent of scheduling. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let fan_out ~jobs ~make_ctx ~f ~emit n =
+  let jobs = max 1 jobs in
+  if n = 0 then ()
+  else if jobs = 1 then begin
+    let ctx = make_ctx () in
+    for i = 0 to n - 1 do
+      emit i (f ctx i)
+    done
+  end
+  else begin
+    let jobs = min jobs n in
+    let next = Atomic.make 0 in
+    let cancelled = Atomic.make false in
+    let mutex = Mutex.create () in
+    let filled = Condition.create () in
+    let slots = Array.make n None in
+    let worker () =
+      let ctx = make_ctx () in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && not (Atomic.get cancelled) then begin
+          let cell =
+            match f ctx i with
+            | v -> Ok v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          Mutex.lock mutex;
+          slots.(i) <- Some cell;
+          Condition.broadcast filled;
+          Mutex.unlock mutex;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+    let join_all () = List.iter Domain.join domains in
+    let collect () =
+      for i = 0 to n - 1 do
+        Mutex.lock mutex;
+        while slots.(i) = None do
+          Condition.wait filled mutex
+        done;
+        let cell = Option.get slots.(i) in
+        slots.(i) <- None;
+        Mutex.unlock mutex;
+        match cell with
+        | Ok v -> emit i v
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+      done
+    in
+    match collect () with
+    | () -> join_all ()
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Atomic.set cancelled true;
+        join_all ();
+        Printexc.raise_with_backtrace e bt
+  end
+
+let map_ordered ~jobs f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let out = Array.make n None in
+  fan_out ~jobs
+    ~make_ctx:(fun () -> ())
+    ~f:(fun () i -> f i arr.(i))
+    ~emit:(fun i v -> out.(i) <- Some v)
+    n;
+  Array.to_list (Array.map Option.get out)
+
+let executor ~jobs =
+  {
+    Engine.exec_run =
+      (fun ~n ~make_worker ~run_task ~emit ->
+        fan_out ~jobs ~make_ctx:make_worker ~f:run_task ~emit n);
+  }

@@ -1,0 +1,45 @@
+(** Multicore fault simulation: a [Domain]-based worker pool whose
+    output is bit-for-bit identical to the sequential engine's.
+
+    Worker domains pull task indices from an atomic work queue (cheap
+    faults don't stall behind expensive ones) and deposit outcomes into
+    a slot array; the calling thread collects slots {e in index order}
+    and feeds them to the engine's single-writer funnel.  Combined with
+    the engine's worker-private evaluator forks, the deterministic
+    fork/absorb cache merge and per-fault failure-injection scopes, a
+    run at any [--jobs] value produces the same {!Engine.run} record —
+    same fault ordering, same [rung_stats], same {!Session} checkpoint
+    bytes — so sessions checkpoint and resume interchangeably across job
+    counts.
+
+    Error determinism: if several tasks raise, the exception from the
+    lowest task index propagates; a fail-fast {!Engine.Fault_failure}
+    raised by the funnel cancels outstanding work and propagates after
+    every domain is joined.  Either way no domain is leaked. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [--jobs] default. *)
+
+val fan_out :
+  jobs:int ->
+  make_ctx:(unit -> 'ctx) ->
+  f:('ctx -> int -> 'a) ->
+  emit:(int -> 'a -> unit) ->
+  int ->
+  unit
+(** [fan_out ~jobs ~make_ctx ~f ~emit n] evaluates [f ctx i] for every
+    [i] in [0 .. n-1] on a pool of [jobs] domains (each with its own
+    [make_ctx ()] context) and calls [emit i result] for increasing [i]
+    from the calling thread.  With [jobs <= 1] (or [n <= 1] worth of
+    work) it degenerates to a plain in-order loop with no domains
+    spawned.  [f] must not depend on shared mutable state; [emit] runs
+    only on the calling thread and may raise to abort the fan-out. *)
+
+val map_ordered : jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** [map_ordered ~jobs f l] is [List.mapi f l] computed on [jobs]
+    domains, order preserved. *)
+
+val executor : jobs:int -> Engine.executor
+(** An {!Engine.executor} running per-fault tasks on [jobs] domains.
+    [executor ~jobs:1] is behaviourally identical to
+    {!Engine.sequential}. *)

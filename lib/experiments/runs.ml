@@ -211,8 +211,8 @@ let fig7 () =
          expansion)
   ^ "\n"
 
-let engine_run ?progress ?policy ?resume ?checkpoint ctx =
-  Engine.run ?policy ?resume ?checkpoint ?progress
+let engine_run ?progress ?policy ?resume ?checkpoint ?executor ctx =
+  Engine.run ?policy ?resume ?checkpoint ?progress ?executor
     ~evaluators:ctx.Setup.evaluators ctx.Setup.dictionary
 
 let tab2 _ctx run =

@@ -38,10 +38,12 @@ val engine_run :
   ?policy:Testgen.Resilience.policy ->
   ?resume:Testgen.Generate.result list ->
   ?checkpoint:(Testgen.Generate.result -> unit) ->
+  ?executor:Testgen.Engine.executor ->
   Setup.t ->
   Testgen.Engine.run
 (** The 55-fault generation run feeding tab2/fig8/tab3/tab4/xbase.
-    [policy], [resume] and [checkpoint] are passed through to
+    [policy], [resume], [checkpoint] and [executor] (e.g.
+    [Testgen.Parallel.executor ~jobs]) are passed through to
     {!Testgen.Engine.run}. *)
 
 val tab2 : Setup.t -> Testgen.Engine.run -> string

@@ -6,6 +6,18 @@ type spec = {
 
 let fail_always ?max_triggers point = { point; probability = 1.; max_triggers }
 
+(* The installed configuration is an immutable value published through an
+   Atomic: domains never share mutable site state.  Each domain lazily
+   materializes its own site table (per-point Rng stream + counters) from
+   the configuration, so query traffic on one domain cannot perturb the
+   draws seen by another. *)
+type config = { seed : int64; specs : spec list; generation : int }
+
+let root_config = { seed = 0L; specs = []; generation = 0 }
+let current : config Atomic.t = Atomic.make root_config
+let enabled = Atomic.make false
+let generations = Atomic.make 1
+
 type site = {
   spec : spec;
   rng : Rng.t;
@@ -13,44 +25,63 @@ type site = {
   mutable triggers : int;
 }
 
-let sites : (string, site) Hashtbl.t = Hashtbl.create 8
-let enabled = ref false
+type state = {
+  mutable st_generation : int;
+  mutable st_scope : string option;
+  mutable st_sites : (string, site) Hashtbl.t;
+}
 
-(* FNV-1a over the point name: distinct points get distinct Rng streams
-   for any seed, so query traffic at one point cannot shift the failure
-   pattern of another. *)
-let name_hash name =
-  let h = ref 0xCBF29CE484222325L in
-  String.iter
-    (fun c ->
-      h := Int64.logxor !h (Int64.of_int (Char.code c));
-      h := Int64.mul !h 0x100000001B3L)
-    name;
-  !h
+let dls : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { st_generation = -1; st_scope = None; st_sites = Hashtbl.create 8 })
 
-let disable () =
-  Hashtbl.reset sites;
-  enabled := false
+(* Distinct points get distinct Rng streams for any seed; inside a scope
+   the stream additionally depends on the scope key, so the failure
+   pattern seen by one unit of work (one fault) is a pure function of
+   (seed, scope key, point, query index) — independent of every other
+   unit of work and of any scheduling. *)
+let stream_key ~scope point =
+  match scope with None -> point | Some key -> key ^ "\x00" ^ point
+
+let build_sites cfg scope =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun spec ->
+      let rng = Rng.of_key ~seed:cfg.seed ~key:(stream_key ~scope spec.point) in
+      Hashtbl.replace tbl spec.point { spec; rng; queries = 0; triggers = 0 })
+    cfg.specs;
+  tbl
+
+let refresh () =
+  let st = Domain.DLS.get dls in
+  let cfg = Atomic.get current in
+  if st.st_generation <> cfg.generation then begin
+    st.st_generation <- cfg.generation;
+    st.st_sites <- build_sites cfg st.st_scope
+  end;
+  st
 
 let configure ?(seed = 0L) specs =
-  disable ();
   List.iter
     (fun spec ->
       if spec.probability < 0. || spec.probability > 1. then
         invalid_arg
           (Printf.sprintf "Failpoint.configure: %s: probability %g outside [0, 1]"
-             spec.point spec.probability);
-      let rng = Rng.create (Int64.add seed (name_hash spec.point)) in
-      Hashtbl.replace sites spec.point { spec; rng; queries = 0; triggers = 0 })
+             spec.point spec.probability))
     specs;
-  enabled := Hashtbl.length sites > 0
+  let generation = Atomic.fetch_and_add generations 1 in
+  Atomic.set current { seed; specs; generation };
+  Atomic.set enabled (specs <> [])
 
-let active () = !enabled
+let disable () = configure []
+
+let active () = Atomic.get enabled
 
 let should_fail point =
-  !enabled
+  Atomic.get enabled
   &&
-  match Hashtbl.find_opt sites point with
+  let st = refresh () in
+  match Hashtbl.find_opt st.st_sites point with
   | None -> false
   | Some s ->
       s.queries <- s.queries + 1;
@@ -68,11 +99,29 @@ let should_fail point =
       end
       else false
 
+let with_scope ~key f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let st = refresh () in
+    let saved_scope = st.st_scope and saved_sites = st.st_sites in
+    st.st_scope <- Some key;
+    st.st_sites <- build_sites (Atomic.get current) (Some key);
+    Fun.protect
+      ~finally:(fun () ->
+        st.st_scope <- saved_scope;
+        st.st_sites <- saved_sites)
+      f
+  end
+
+let find_site point =
+  let st = refresh () in
+  Hashtbl.find_opt st.st_sites point
+
 let query_count point =
-  match Hashtbl.find_opt sites point with Some s -> s.queries | None -> 0
+  match find_site point with Some s -> s.queries | None -> 0
 
 let trigger_count point =
-  match Hashtbl.find_opt sites point with Some s -> s.triggers | None -> 0
+  match find_site point with Some s -> s.triggers | None -> 0
 
 let with_failpoints ?seed specs f =
   configure ?seed specs;

@@ -7,10 +7,23 @@
     failures.  In production nothing is configured and every query is a
     single branch on a false flag.
 
-    Trigger decisions are drawn from per-point {!Rng} streams derived
-    from the configuration seed and the point name, so the pattern of
-    failures at one point is independent of how often any other point is
-    queried — and bit-reproducible for a fixed seed. *)
+    {b Domain safety.}  The installed configuration is an immutable value
+    published through an [Atomic]; every domain materializes its own site
+    table (per-point {!Rng} stream plus query/trigger counters) from it on
+    first use.  There is no shared mutable state, so concurrent queries
+    from different domains are safe, and the draw sequence one domain sees
+    is never perturbed by another domain's query traffic.  Counters
+    reported by {!query_count} / {!trigger_count} are those of the calling
+    domain (and, inside {!with_scope}, of the active scope).
+
+    {b Determinism.}  Trigger decisions are drawn from per-point {!Rng}
+    streams derived from the configuration seed and the point name —
+    bit-reproducible for a fixed seed, and independent across points.
+    Inside a {!with_scope} bracket the streams (and trigger caps) are
+    additionally keyed by the scope, so the failure pattern seen by one
+    unit of work (e.g. one fault's generation) is a pure function of
+    [(seed, scope key, point, query index)] — the same under sequential
+    and parallel execution, whatever the scheduling. *)
 
 type spec = {
   point : string;  (** failure-point name, e.g. ["dc.no_convergence"] *)
@@ -24,7 +37,8 @@ val fail_always : ?max_triggers:int -> string -> spec
 
 val configure : ?seed:int64 -> spec list -> unit
 (** Install the given failure points, replacing any previous
-    configuration.  An empty list is equivalent to {!disable}. *)
+    configuration (on every domain).  An empty list is equivalent to
+    {!disable}. *)
 
 val disable : unit -> unit
 (** Remove all failure points (the initial state). *)
@@ -37,11 +51,23 @@ val should_fail : string -> bool
     configured, its trigger cap is not exhausted, and this query's random
     draw falls below the probability.  Unconfigured names never fail. *)
 
+val with_scope : key:string -> (unit -> 'a) -> 'a
+(** [with_scope ~key f] runs [f] with fresh per-point streams and trigger
+    caps derived from the configuration seed {e and} [key].  Decisions
+    inside the bracket depend only on [(seed, key, point, query index)],
+    never on work done outside it — the seam that keeps failure injection
+    per-fault-deterministic under any execution order.  The previous
+    streams and counters are restored on exit.  A no-op when nothing is
+    configured.  Scopes are per-domain; brackets on different domains do
+    not interact. *)
+
 val query_count : string -> int
-(** Queries seen by the named point since {!configure} (0 if unknown). *)
+(** Queries seen by the named point since {!configure}, on the calling
+    domain and in the active scope (0 if unknown). *)
 
 val trigger_count : string -> int
-(** Failures injected at the named point since {!configure}. *)
+(** Failures injected at the named point since {!configure}, on the
+    calling domain and in the active scope. *)
 
 val with_failpoints : ?seed:int64 -> spec list -> (unit -> 'a) -> 'a
 (** [with_failpoints specs f] configures, runs [f], and always restores

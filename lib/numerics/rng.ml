@@ -17,6 +17,22 @@ let int64 t =
 
 let split t = create (int64 t)
 
+(* FNV-1a: a stable, platform-independent string hash used to derive
+   named streams.  Distinct keys land on distinct splitmix64 seeds for
+   any base seed, and the derivation is pure — no generator state is
+   consumed, so two domains deriving streams from the same base seed
+   cannot perturb each other. *)
+let hash_key name =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    name;
+  !h
+
+let of_key ~seed ~key = create (mix (Int64.add seed (hash_key key)))
+
 let float t =
   (* 53 high bits -> [0, 1) *)
   let bits = Int64.shift_right_logical (int64 t) 11 in

@@ -12,6 +12,18 @@ val create : int64 -> t
 val split : t -> t
 (** Derive an independent generator; advances the parent. *)
 
+val hash_key : string -> int64
+(** Stable FNV-1a hash of a stream name.  Pure (no generator state is
+    read or advanced), so it is safe to call from any domain. *)
+
+val of_key : seed:int64 -> key:string -> t
+(** Named stream derivation: a generator seeded from [seed] and the
+    hashed [key].  Distinct keys yield independent streams for any
+    seed; equal [(seed, key)] pairs yield equal streams.  Because the
+    derivation is pure, per-item streams (one per fault, one per
+    failure point) are reproducible under any evaluation order and any
+    number of domains. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

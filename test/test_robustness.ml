@@ -313,8 +313,10 @@ let resilience_run =
   lazy (Engine.run ~evaluators:[ fresh_dc_evaluator () ] resilience_dictionary)
 
 let test_engine_recovers_injected_failures () =
-  (* three injected DC failures hit the first fault's first three attempts;
-     the fourth rung completes it and every later fault runs clean *)
+  (* the engine scopes injection per fault, so the trigger cap is a
+     per-fault budget: each fault's first three attempts absorb three
+     injected DC failures and the fourth rung completes it — every fault
+     recovers on the same rung, whatever the execution order *)
   Fp.with_failpoints [ Fp.fail_always ~max_triggers:3 "dc.no_convergence" ]
     (fun () ->
       let run =
@@ -326,9 +328,9 @@ let test_engine_recovers_injected_failures () =
         (List.length run.Engine.failed_faults);
       Alcotest.(check int) "every fault produced a result" dict_size
         (List.length run.Engine.results);
-      Alcotest.(check int) "one fault needed the ladder" 1
+      Alcotest.(check int) "every fault needed the ladder" dict_size
         run.Engine.recovered_count;
-      Alcotest.(check int) "recovered on the third rung" 1
+      Alcotest.(check int) "all recovered on the third rung" dict_size
         (List.assoc "relax-reltol" run.Engine.rung_stats))
 
 let test_engine_quarantines_unrecoverable_faults () =
