@@ -214,18 +214,237 @@ let run_parallel_bench ctx =
   if List.exists (fun (_, run, _) -> fingerprint run <> seq_fp) runs then
     exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Hot path: compiled restamp vs legacy build-per-probe                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Measures the compile-once/restamp-many execution path against the
+   legacy rebuild-everything path at three levels — the raw DC Newton
+   solve, a whole DC observable probe, and the end-to-end generation
+   run — plus allocation pressure per solve, and writes the figures to
+   BENCH_hotpath.json.  [--smoke] shrinks the measurement windows and
+   the end-to-end dictionary so CI can run it on every push. *)
+let run_hotpath_bench ~fast ~smoke =
+  let profile =
+    if fast then Execute.fast_profile else Execute.default_profile
+  in
+  let rate ~seconds f =
+    ignore (f ());
+    (* warm-up: plan compilation, caches *)
+    let t0 = Unix.gettimeofday () in
+    let n = ref 0 in
+    while Unix.gettimeofday () -. t0 < seconds do
+      ignore (f ());
+      incr n
+    done;
+    float_of_int !n /. (Unix.gettimeofday () -. t0)
+  in
+  let minor_words_per f =
+    ignore (f ());
+    let reps = 100 in
+    let w0 = Gc.minor_words () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int reps
+  in
+  let window = if smoke then 0.2 else 1.0 in
+  let target =
+    Experiments.Setup.target_of_macro Macros.Iv_converter.macro
+      Macros.Process.nominal
+  in
+  (* level 1: the bare Newton solve on the nominal MNA system *)
+  let sys = Circuit.Mna.build target.Execute.netlist in
+  let ws = Circuit.Mna.workspace sys in
+  let solve_alloc () = Circuit.Dc.solve sys ~time:`Dc in
+  let solve_ws () = Circuit.Dc.solve ~workspace:ws sys ~time:`Dc in
+  prerr_endline "hotpath bench: DC Newton kernel...";
+  let kernel_legacy = rate ~seconds:window solve_alloc in
+  let kernel_compiled = rate ~seconds:window solve_ws in
+  let kernel_legacy_words = minor_words_per solve_alloc in
+  let kernel_compiled_words = minor_words_per solve_ws in
+  (* level 2: the restamp-many DC Newton microbenchmark — a
+     guess-chained stimulus sweep, the kernel inside Sweep.dc_transfer
+     and every optimizer probe.  The legacy path rewrites the netlist,
+     re-indexes it and reallocates the solver at every level; the
+     compiled path restamps one prebuilt plan into one workspace. *)
+  let source = target.Execute.stimulus_source in
+  let n_levels = 128 in
+  (* the DC-level configuration's parameter range: -50..50 uA *)
+  let levels =
+    Array.init n_levels (fun i ->
+        -50e-6 +. (100e-6 *. float_of_int i /. float_of_int (n_levels - 1)))
+  in
+  let sweep_legacy () =
+    let guess = ref None in
+    Array.iter
+      (fun v ->
+        let nl =
+          Execute.with_stimulus target.Execute.netlist ~source
+            (Circuit.Waveform.Dc v)
+        in
+        let sys = Circuit.Mna.build nl in
+        let report = Circuit.Dc.solve ?guess:!guess sys ~time:`Dc in
+        guess := Some report.Circuit.Dc.solution)
+      levels;
+    !guess
+  in
+  let sweep_sys =
+    Circuit.Mna.build
+      (Execute.with_stimulus target.Execute.netlist ~source
+         (Circuit.Waveform.Dc levels.(0)))
+  in
+  let sweep_ws = Circuit.Mna.workspace sweep_sys in
+  let sweep_compiled () =
+    let guess = ref None in
+    Array.iter
+      (fun v ->
+        let restamp =
+          {
+            Circuit.Mna.stimulus = Some (source, Circuit.Waveform.Dc v);
+            impact = None;
+          }
+        in
+        let report =
+          Circuit.Dc.solve ?guess:!guess ~workspace:sweep_ws ~restamp
+            sweep_sys ~time:`Dc
+        in
+        guess := Some report.Circuit.Dc.solution)
+      levels;
+    !guess
+  in
+  let bitwise_equal a b =
+    Array.length a = Array.length b
+    && Array.for_all2
+         (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
+         a b
+  in
+  let sweep_identical =
+    match (sweep_legacy (), sweep_compiled ()) with
+    | Some a, Some b -> bitwise_equal a b
+    | _ -> false
+  in
+  if not sweep_identical then
+    prerr_endline "hotpath bench: WARNING restamp sweep diverged from legacy!";
+  prerr_endline "hotpath bench: DC Newton sweep kernel...";
+  let per_solve x = x *. float_of_int n_levels in
+  let dc_legacy = per_solve (rate ~seconds:window sweep_legacy) in
+  let dc_compiled = per_solve (rate ~seconds:window sweep_compiled) in
+  let dc_legacy_words =
+    minor_words_per sweep_legacy /. float_of_int n_levels
+  in
+  let dc_compiled_words =
+    minor_words_per sweep_compiled /. float_of_int n_levels
+  in
+  (* informational: one whole optimizer probe of the DC-levels
+     configuration, cold solves included *)
+  let config = Experiments.Iv_configs.config1 in
+  let values = Test_param.seeds_of config.Test_config.params in
+  let probe_legacy () = Execute.observables ~profile config target values in
+  let plan = Execute.compile config target in
+  let probe_compiled () =
+    Execute.compiled_observables ~profile plan values
+  in
+  prerr_endline "hotpath bench: DC observable probe...";
+  let probe_legacy_rate = rate ~seconds:window probe_legacy in
+  let probe_compiled_rate = rate ~seconds:window probe_compiled in
+  (* level 3: the generation run, legacy vs compiled evaluators *)
+  let end_to_end mode =
+    let ctx = Experiments.Setup.iv ~profile ~mode () in
+    let ctx = if smoke then Experiments.Setup.reduced ctx ~n_faults:4 else ctx in
+    let t0 = Unix.gettimeofday () in
+    let run = Experiments.Runs.engine_run ctx in
+    (Unix.gettimeofday () -. t0, run)
+  in
+  prerr_endline "hotpath bench: end-to-end generation (legacy)...";
+  let legacy_dt, legacy_run = end_to_end `Legacy in
+  prerr_endline "hotpath bench: end-to-end generation (compiled)...";
+  let compiled_dt, compiled_run = end_to_end `Compiled in
+  let identical =
+    Session.to_string legacy_run.Engine.results
+    = Session.to_string compiled_run.Engine.results
+  in
+  if not identical then
+    prerr_endline "hotpath bench: WARNING compiled run diverged from legacy!";
+  let dc_speedup = dc_compiled /. Float.max 1e-9 dc_legacy in
+  let probe_speedup =
+    probe_compiled_rate /. Float.max 1e-9 probe_legacy_rate
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"profile\": \"%s\",\n"
+       (if fast then "fast" else "default"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"newton_kernel\": {\"legacy_solves_per_sec\": %.1f, \
+        \"compiled_solves_per_sec\": %.1f, \"speedup\": %.3f, \
+        \"legacy_minor_words_per_solve\": %.1f, \
+        \"compiled_minor_words_per_solve\": %.1f},\n"
+       kernel_legacy kernel_compiled
+       (kernel_compiled /. Float.max 1e-9 kernel_legacy)
+       kernel_legacy_words kernel_compiled_words);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"dc_sweep\": {\"levels\": %d, \"legacy_solves_per_sec\": %.1f, \
+        \"compiled_solves_per_sec\": %.1f, \"speedup\": %.3f, \
+        \"legacy_minor_words_per_solve\": %.1f, \
+        \"compiled_minor_words_per_solve\": %.1f, \
+        \"identical_solutions\": %b},\n"
+       n_levels dc_legacy dc_compiled dc_speedup dc_legacy_words
+       dc_compiled_words sweep_identical);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"dc_probe\": {\"legacy_probes_per_sec\": %.1f, \
+        \"compiled_probes_per_sec\": %.1f, \"speedup\": %.3f},\n"
+       probe_legacy_rate probe_compiled_rate probe_speedup);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"end_to_end\": {\"faults\": %d, \"legacy_wall_seconds\": %.3f, \
+        \"compiled_wall_seconds\": %.3f, \"speedup\": %.3f, \
+        \"identical_results\": %b}\n"
+       (List.length compiled_run.Engine.results)
+       legacy_dt compiled_dt
+       (legacy_dt /. Float.max 1e-9 compiled_dt)
+       identical);
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_hotpath.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.eprintf "hotpath bench: wrote %s\n%!" path;
+  Printf.eprintf
+    "hotpath bench: DC sweep %.0f -> %.0f solves/s (%.2fx), probe %.2fx, \
+     end-to-end %.2fs -> %.2fs (%.2fx)\n%!"
+    dc_legacy dc_compiled dc_speedup probe_speedup legacy_dt compiled_dt
+    (legacy_dt /. Float.max 1e-9 compiled_dt);
+  if not (identical && sweep_identical) then exit 1;
+  (* the acceptance bar for the full (non-smoke) benchmark *)
+  if (not smoke) && dc_speedup < 3. then begin
+    Printf.eprintf
+      "hotpath bench: FAIL DC sweep speedup %.2fx below the 3x bar\n%!"
+      dc_speedup;
+    exit 1
+  end
+
 let () =
   let fast = Array.exists (String.equal "--fast") Sys.argv in
   let reports_only = Array.exists (String.equal "--reports-only") Sys.argv in
   let bench_only = Array.exists (String.equal "--bench-only") Sys.argv in
   let parallel = Array.exists (String.equal "--parallel") Sys.argv in
-  let profile =
-    if fast then Execute.fast_profile else Execute.default_profile
-  in
-  prerr_endline "calibrating tolerance boxes...";
-  let ctx = Experiments.Setup.iv ~profile () in
-  if parallel then run_parallel_bench ctx
+  let hotpath = Array.exists (String.equal "--hotpath") Sys.argv in
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
+  if hotpath then run_hotpath_bench ~fast ~smoke
   else begin
-    if not bench_only then run_reports ctx;
-    if not reports_only then run_benchmarks ctx
+    let profile =
+      if fast then Execute.fast_profile else Execute.default_profile
+    in
+    prerr_endline "calibrating tolerance boxes...";
+    let ctx = Experiments.Setup.iv ~profile () in
+    if parallel then run_parallel_bench ctx
+    else begin
+      if not bench_only then run_reports ctx;
+      if not reports_only then run_benchmarks ctx
+    end
   end

@@ -296,16 +296,18 @@ let noise_cmd =
 
 (* -- context-backed commands ------------------------------------------ *)
 
-let iv_context ~fast =
+let iv_context ?(legacy = false) ~fast () =
   prerr_endline "calibrating tolerance boxes...";
-  Experiments.Setup.iv ~profile:(profile_of fast) ()
+  Experiments.Setup.iv ~profile:(profile_of fast)
+    ~mode:(if legacy then `Legacy else `Compiled)
+    ()
 
 let progress ~done_ ~total ~fault_id =
   Printf.eprintf "  [%2d/%2d] %s\n%!" done_ total fault_id
 
 let tps_cmd =
   let run fast fault_id config_id impact grid =
-    let ctx = iv_context ~fast in
+    let ctx = iv_context ~fast () in
     match
       Faults.Dictionary.find ctx.Experiments.Setup.dictionary fault_id
     with
@@ -533,9 +535,18 @@ let run_or_load ?policy ?resume ?executor ctx ~load ~take =
         end
     end
 
+let legacy_eval_arg =
+  let doc =
+    "Evaluate with the legacy rebuild-per-probe simulation path instead \
+     of the compiled restamp hot path. Results, reports and checkpoint \
+     files are bit-for-bit identical either way; this flag keeps the \
+     reference implementation reachable for verifying that claim."
+  in
+  Arg.(value & flag & info [ "legacy-eval" ] ~doc)
+
 let generate_cmd =
   let run fast fault_id take save max_retries fail_fast resume inject
-      inject_seed jobs =
+      inject_seed jobs legacy =
     let specs =
       List.fold_left
         (fun acc s ->
@@ -552,7 +563,7 @@ let generate_cmd =
     | Ok specs ->
         (* calibrate the context first: injection targets the resilient
            generation run, not the tolerance-box setup *)
-        let ctx = iv_context ~fast in
+        let ctx = iv_context ~legacy ~fast () in
         Numerics.Failpoint.configure ~seed:(Int64.of_int inject_seed)
           (List.rev specs);
         Fun.protect ~finally:Numerics.Failpoint.disable (fun () ->
@@ -589,11 +600,12 @@ let generate_cmd =
        ~doc:"Run fault-specific test generation (paper sec. 3).")
     Term.(
       const run $ fast_arg $ fault_arg $ take_arg $ save_arg $ max_retries_arg
-      $ fail_fast_arg $ resume_arg $ inject_arg $ inject_seed_arg $ jobs_arg)
+      $ fail_fast_arg $ resume_arg $ inject_arg $ inject_seed_arg $ jobs_arg
+      $ legacy_eval_arg)
 
 let compact_cmd =
   let run fast take delta load save max_retries fail_fast resume jobs =
-    let ctx = iv_context ~fast in
+    let ctx = iv_context ~fast () in
     let policy = policy_of ~max_retries ~fail_fast in
     match
       run_or_load ~policy ?resume ~executor:(executor_of jobs) ctx ~load ~take
@@ -626,7 +638,7 @@ let compact_cmd =
 
 let baseline_cmd =
   let run fast take jobs =
-    let ctx = iv_context ~fast in
+    let ctx = iv_context ~fast () in
     let ctx =
       match take with
       | Some n -> Experiments.Setup.reduced ctx ~n_faults:n
@@ -645,7 +657,7 @@ let baseline_cmd =
 
 let experiment_cmd =
   let run fast which =
-    let ctx = iv_context ~fast in
+    let ctx = iv_context ~fast () in
     let static_reports =
       [
         ("fig1", fun () -> Experiments.Runs.fig1 ());

@@ -32,11 +32,12 @@ let branch_table sys =
 let node_idx sys n =
   if Device.is_ground n then -1 else Option.get (Mna.node_index sys n)
 
-(* the small-signal system matrix at one frequency, sources nulled *)
-let assemble ?(gmin = 1e-12) sys ~op ~freq_hz ~branch_tbl =
+(* the small-signal system matrix at one frequency, sources nulled;
+   stamps into caller-provided [a] (zeroed here, so a reused workspace
+   matrix assembles bit-identically to a fresh one) *)
+let assemble_into a ?(gmin = 1e-12) ?restamp sys ~op ~freq_hz ~branch_tbl =
   let w = 2. *. Float.pi *. freq_hz in
-  let size = Mna.size sys in
-  let a = Cmat.create size size in
+  Cmat.fill a Complex.zero;
   for i = 0 to Mna.n_nodes sys - 1 do
     Cmat.add_to a i i (re gmin)
   done;
@@ -52,7 +53,8 @@ let assemble ?(gmin = 1e-12) sys ~op ~freq_hz ~branch_tbl =
   List.iter
     (fun d ->
       match d with
-      | Device.Resistor { a = na; b = nb; ohms; _ } ->
+      | Device.Resistor { name; a = na; b = nb; ohms } ->
+          let ohms = Mna.restamp_ohms restamp name ohms in
           stamp_adm (idx na) (idx nb) (re (1. /. ohms))
       | Device.Capacitor { a = na; b = nb; farads; _ } ->
           stamp_adm (idx na) (idx nb) { Complex.re = 0.; im = w *. farads }
@@ -102,17 +104,63 @@ let assemble ?(gmin = 1e-12) sys ~op ~freq_hz ~branch_tbl =
     (Netlist.devices (Mna.netlist sys));
   a
 
-let system_matrix ?gmin sys ~op ~freq_hz =
-  assemble ?gmin sys ~op ~freq_hz ~branch_tbl:(branch_table sys)
+(* Per-analysis small-signal workspace: branch indexing is computed once
+   per compiled topology and the system matrix / excitation vector are
+   restamped per frequency instead of reallocated. *)
+type workspace = {
+  ws_size : int;
+  ws_a : Cmat.t;
+  ws_z : Complex.t array;
+  ws_branch : (string, int) Hashtbl.t;
+}
 
-let sweep ?(gmin = 1e-12) sys ~op ~source ~freqs ~observe =
+let workspace sys =
+  {
+    ws_size = Mna.size sys;
+    ws_a = Cmat.create (Mna.size sys) (Mna.size sys);
+    ws_z = Array.make (Mna.size sys) Complex.zero;
+    ws_branch = branch_table sys;
+  }
+
+let check_workspace sys = function
+  | None -> ()
+  | Some ws ->
+      if ws.ws_size <> Mna.size sys then
+        invalid_arg "Ac: workspace size mismatch"
+
+let assemble ?gmin ?restamp sys ~op ~freq_hz ~branch_tbl =
+  assemble_into (Cmat.create (Mna.size sys) (Mna.size sys)) ?gmin ?restamp sys
+    ~op ~freq_hz ~branch_tbl
+
+let system_matrix ?gmin ?workspace:ws ?restamp sys ~op ~freq_hz =
+  check_workspace sys ws;
+  match ws with
+  | Some w -> assemble_into w.ws_a ?gmin ?restamp sys ~op ~freq_hz ~branch_tbl:w.ws_branch
+  | None -> assemble ?gmin ?restamp sys ~op ~freq_hz ~branch_tbl:(branch_table sys)
+
+let sweep ?(gmin = 1e-12) ?workspace:ws ?restamp sys ~op ~source ~freqs
+    ~observe =
+  check_workspace sys ws;
   let nl = Mna.netlist sys in
   if not (Netlist.mem nl source) then raise Not_found;
   let obs_index = Mna.node_index sys observe in
-  let branch_tbl = branch_table sys in
+  let branch_tbl =
+    match ws with Some w -> w.ws_branch | None -> branch_table sys
+  in
   let solve_at freq =
-    let a = assemble ~gmin sys ~op ~freq_hz:freq ~branch_tbl in
-    let z = Array.make (Mna.size sys) Complex.zero in
+    let a =
+      match ws with
+      | Some w ->
+          assemble_into w.ws_a ~gmin ?restamp sys ~op ~freq_hz:freq ~branch_tbl
+      | None -> assemble ~gmin ?restamp sys ~op ~freq_hz:freq ~branch_tbl
+    in
+    let z =
+      match ws with
+      | Some w ->
+          Array.fill w.ws_z 0 (Array.length w.ws_z) Complex.zero;
+          w.ws_z
+      | None -> Array.make (Mna.size sys) Complex.zero
+    in
     (match Netlist.find nl source with
     | Some (Device.Vsource { name; _ }) ->
         let br = Hashtbl.find branch_tbl name in

@@ -17,15 +17,29 @@ val gain_db : Complex.t -> float
 
 val phase_deg : Complex.t -> float
 
+type workspace
+(** Per-analysis small-signal state: branch indexing computed once per
+    compiled topology, plus a system matrix and excitation vector that
+    are restamped per frequency instead of reallocated.  Owned by one
+    running analysis at a time. *)
+
+val workspace : Mna.t -> workspace
+
 val system_matrix :
-  ?gmin:float -> Mna.t -> op:Numerics.Vec.t -> freq_hz:float ->
+  ?gmin:float -> ?workspace:workspace -> ?restamp:Mna.restamp ->
+  Mna.t -> op:Numerics.Vec.t -> freq_hz:float ->
   Numerics.Cmat.t
 (** The small-signal complex MNA matrix at one frequency with every
     independent source nulled — the left-hand side shared by {!sweep}
-    and the adjoint noise analysis ({!Noise}). *)
+    and the adjoint noise analysis ({!Noise}).  With [workspace] the
+    returned matrix is the workspace's own (zeroed and restamped, not
+    reallocated); [restamp] substitutes a fault-impact resistance at
+    stamp time. *)
 
 val sweep :
   ?gmin:float ->
+  ?workspace:workspace ->
+  ?restamp:Mna.restamp ->
   Mna.t ->
   op:Numerics.Vec.t ->
   source:string ->

@@ -33,9 +33,12 @@ let finite_solution x ~n_nodes =
 
 exception Diverged
 
-(* One Newton attempt at fixed gmin and source scale.  Returns the
+(* One Newton attempt at fixed gmin and source scale, allocating a fresh
+   system per iteration — the legacy build-per-solve arithmetic, kept as
+   the reference implementation for the compiled hot path.  Returns the
    solution and iteration count, or None on failure. *)
-let newton ~options ~companions ~source_scale ~gmin sys ~time ~start =
+let newton_alloc ~options ~companions ~source_scale ~restamp ~gmin sys ~time
+    ~start =
   let n_nodes = Mna.n_nodes sys in
   let x = ref (Vec.copy start) in
   let converged = ref false in
@@ -45,7 +48,8 @@ let newton ~options ~companions ~source_scale ~gmin sys ~time ~start =
        incr iters;
        if Failpoint.should_fail "dc.singular" then raise (Mat.Singular 0);
        let a, z =
-         Mna.assemble sys ~x:!x ~time ?companions ~source_scale ~gmin ()
+         Mna.assemble sys ~x:!x ~time ?companions ~source_scale ?restamp ~gmin
+           ()
        in
        let x_new = Mat.solve a z in
        let x_new =
@@ -81,8 +85,59 @@ let newton ~options ~companions ~source_scale ~gmin sys ~time ~start =
    with Mat.Singular _ | Diverged -> converged := false);
   if !converged then Some (!x, !iters) else None
 
+(* The same Newton iteration restamping a caller-owned workspace: the
+   system is assembled into the preallocated matrix, factored in place,
+   solved into the swap buffer, and the damped update overwrites it — no
+   per-iteration allocation.  Every arithmetic expression matches
+   [newton_alloc] term for term (the [x +. alpha *. (x_new -. x)] form is
+   kept even at [alpha = 1.], where it is not a bitwise no-op), so both
+   paths converge along identical trajectories. *)
+let newton_ws ~options ~companions ~source_scale ~restamp ~gmin sys ws ~time
+    ~start =
+  let n_nodes = Mna.n_nodes sys in
+  let size = Vec.dim start in
+  Array.blit start 0 ws.Mna.w_x 0 size;
+  let converged = ref false in
+  let iters = ref 0 in
+  (try
+     while (not !converged) && !iters < options.max_newton do
+       incr iters;
+       if Failpoint.should_fail "dc.singular" then raise (Mat.Singular 0);
+       Mna.assemble_into sys ws ~x:ws.Mna.w_x ~time ?companions ~source_scale
+         ?restamp ~gmin ();
+       Mat.factor_in_place ws.Mna.w_a ws.Mna.w_lu;
+       Mat.solve_into ws.Mna.w_lu ws.Mna.w_z ws.Mna.w_x_new;
+       let x = ws.Mna.w_x and x_new = ws.Mna.w_x_new in
+       if Failpoint.should_fail "dc.nan_solution" then
+         Array.fill x_new 0 size Float.nan;
+       if not (finite_solution x_new ~n_nodes) then raise Diverged;
+       let dv_max = ref 0. in
+       for i = 0 to n_nodes - 1 do
+         dv_max := Float.max !dv_max (Float.abs (x_new.(i) -. x.(i)))
+       done;
+       let alpha =
+         if !dv_max > options.vlimit then options.vlimit /. !dv_max else 1.
+       in
+       for i = 0 to size - 1 do
+         x_new.(i) <- x.(i) +. (alpha *. (x_new.(i) -. x.(i)))
+       done;
+       if alpha = 1. then begin
+         let ok = ref true in
+         for i = 0 to n_nodes - 1 do
+           let dx = Float.abs (x_new.(i) -. x.(i)) in
+           if dx > options.abstol +. (options.reltol *. Float.abs x_new.(i))
+           then ok := false
+         done;
+         converged := !ok
+       end;
+       ws.Mna.w_x <- x_new;
+       ws.Mna.w_x_new <- x
+     done
+   with Mat.Singular _ | Diverged -> converged := false);
+  if !converged then Some (Vec.copy ws.Mna.w_x, !iters) else None
+
 let solve ?(options = default_options) ?guess ?companions ?(source_scale = 1.)
-    sys ~time =
+    ?workspace ?restamp sys ~time =
   if Failpoint.should_fail "dc.no_convergence" then
     raise
       (No_convergence
@@ -96,9 +151,19 @@ let solve ?(options = default_options) ?guess ?companions ?(source_scale = 1.)
         g
     | None -> Vec.create (Mna.size sys) 0.
   in
+  (match workspace with
+  | Some ws when ws.Mna.w_size <> Mna.size sys ->
+      invalid_arg "Dc.solve: workspace size mismatch"
+  | Some _ | None -> ());
   let attempt ~gmin ~scale ~start =
-    newton ~options ~companions ~source_scale:(scale *. source_scale) ~gmin sys
-      ~time ~start
+    let source_scale = scale *. source_scale in
+    match workspace with
+    | Some ws ->
+        newton_ws ~options ~companions ~source_scale ~restamp ~gmin sys ws
+          ~time ~start
+    | None ->
+        newton_alloc ~options ~companions ~source_scale ~restamp ~gmin sys
+          ~time ~start
   in
   match attempt ~gmin:options.gmin ~scale:1. ~start with
   | Some (x, it) ->

@@ -37,6 +37,8 @@ val solve :
   ?guess:Numerics.Vec.t ->
   ?companions:(string, Mna.companion) Hashtbl.t ->
   ?source_scale:float ->
+  ?workspace:Mna.workspace ->
+  ?restamp:Mna.restamp ->
   Mna.t ->
   time:Mna.source_time ->
   report
@@ -44,8 +46,18 @@ val solve :
     [companions] and [source_scale] are threaded through to
     {!Mna.assemble} so the transient integrator can reuse this solver for
     its per-step nonlinear systems.
+
+    With [workspace], every Newton iteration restamps and refactors the
+    caller's preallocated system in place instead of allocating — the
+    compiled hot path.  Without it, each iteration builds a fresh system
+    (the legacy build-per-solve path).  Both produce bit-identical
+    reports: same arithmetic, same pivot order, same iteration counts.
+    [restamp] substitutes stimulus/fault-impact values at stamp time on
+    either path.
     @raise No_convergence when Newton, gmin stepping and source stepping
-    all fail. *)
+    all fail.
+    @raise Invalid_argument if the workspace size does not match the
+    system. *)
 
 val operating_point :
   ?options:options -> ?guess:Numerics.Vec.t -> Mna.t ->

@@ -1,5 +1,27 @@
 open Numerics
 
+(* A device with its matrix indices resolved at build time (-1 encodes
+   ground).  Assembly over this "stamp plan" performs the same float
+   operations in the same order as stamping straight off the device
+   list, but without any per-iteration name hashing — the compile phase
+   of the compile-once/restamp-many hot path. *)
+type rstamp =
+  | R_resistor of { name : string; i : int; j : int; ohms : float }
+  | R_capacitor of { name : string; i : int; j : int }
+  | R_inductor of { name : string; i : int; j : int; br : int }
+  | R_vsource of { name : string; i : int; j : int; br : int; wave : Waveform.t }
+  | R_isource of { name : string; i : int; j : int; wave : Waveform.t }
+  | R_vcvs of { i : int; j : int; cp : int; cn : int; br : int; gain : float }
+  | R_vccs of { i : int; j : int; cp : int; cn : int; gm : float }
+  | R_mosfet of {
+      di : int;
+      gi : int;
+      si : int;
+      model : Mos_model.t;
+      w : float;
+      l : float;
+    }
+
 type t = {
   netlist : Netlist.t;
   node_tbl : (string, int) Hashtbl.t;  (* non-ground nodes -> 0..n-1 *)
@@ -7,6 +29,7 @@ type t = {
   n_nodes : int;
   size : int;
   device_array : Device.t array;
+  stamp_plan : rstamp array;
 }
 
 let build nl =
@@ -25,13 +48,47 @@ let build nl =
         incr next
       end)
     (Netlist.devices nl);
+  let node n =
+    if Device.is_ground n then -1
+    else
+      match Hashtbl.find_opt node_tbl n with
+      | Some i -> i
+      | None -> raise Not_found
+  in
+  let resolve d =
+    match d with
+    | Device.Resistor { name; a; b; ohms } ->
+        R_resistor { name; i = node a; j = node b; ohms }
+    | Device.Capacitor { name; a; b; _ } ->
+        R_capacitor { name; i = node a; j = node b }
+    | Device.Inductor { name; a; b; _ } ->
+        R_inductor { name; i = node a; j = node b; br = Hashtbl.find branch_tbl name }
+    | Device.Vsource { name; plus; minus; wave } ->
+        R_vsource
+          { name; i = node plus; j = node minus;
+            br = Hashtbl.find branch_tbl name; wave }
+    | Device.Isource { name; from_node; to_node; wave } ->
+        R_isource { name; i = node from_node; j = node to_node; wave }
+    | Device.Vcvs { name; plus; minus; ctrl_plus; ctrl_minus; gain } ->
+        R_vcvs
+          { i = node plus; j = node minus; cp = node ctrl_plus;
+            cn = node ctrl_minus; br = Hashtbl.find branch_tbl name; gain }
+    | Device.Vccs { plus; minus; ctrl_plus; ctrl_minus; gm; _ } ->
+        R_vccs
+          { i = node plus; j = node minus; cp = node ctrl_plus;
+            cn = node ctrl_minus; gm }
+    | Device.Mosfet { drain; gate; source; model; w; l; _ } ->
+        R_mosfet { di = node drain; gi = node gate; si = node source; model; w; l }
+  in
+  let device_array = Array.of_list (Netlist.devices nl) in
   {
     netlist = nl;
     node_tbl;
     branch_tbl;
     n_nodes;
     size = !next;
-    device_array = Array.of_list (Netlist.devices nl);
+    device_array;
+    stamp_plan = Array.map resolve device_array;
   }
 
 let netlist t = t.netlist
@@ -59,6 +116,28 @@ type companion =
 
 type source_time = [ `Dc | `Time of float ]
 
+(* Value-phase overrides: a compiled topology is assembled with the
+   probe's stimulus wave and fault-impact resistance substituted at stamp
+   time, instead of rewriting the netlist and re-indexing it.  The stamp
+   sequence is unchanged, so the assembled system is bit-identical to
+   one built from a netlist that carries the overridden values. *)
+type restamp = {
+  stimulus : (string * Waveform.t) option;
+  impact : (string * float) option;
+}
+
+let no_restamp = { stimulus = None; impact = None }
+
+let restamp_wave restamp name wave =
+  match restamp with
+  | Some { stimulus = Some (s, w); _ } when String.equal s name -> w
+  | Some _ | None -> wave
+
+let restamp_ohms restamp name ohms =
+  match restamp with
+  | Some { impact = Some (d, r); _ } when String.equal d name -> r
+  | Some _ | None -> ohms
+
 let wave_value time w =
   match time with
   | `Dc -> Waveform.dc_value w
@@ -83,10 +162,11 @@ let stamp_conductance a i j g =
 
 let volt x i = if i < 0 then 0. else x.(i)
 
-let assemble t ~x ~time ?companions ?(source_scale = 1.) ~gmin () =
-  if Vec.dim x <> t.size then invalid_arg "Mna.assemble: bad iterate size";
-  let a = Mat.create t.size t.size in
-  let z = Vec.create t.size 0. in
+(* Stamping walks the resolved plan in device order — the same float
+   operations, in the same order, as stamping straight off the device
+   records, so the assembled system is bit-identical whichever value
+   overrides are active. *)
+let assemble_core t ~a ~z ~x ~time ~companions ~source_scale ~restamp ~gmin =
   for i = 0 to t.n_nodes - 1 do
     Mat.add_to a i i gmin
   done;
@@ -96,14 +176,14 @@ let assemble t ~x ~time ?companions ?(source_scale = 1.) ~gmin () =
     | Some tbl -> Hashtbl.find_opt tbl name
   in
   Array.iter
-    (fun d ->
-      match d with
-      | Device.Resistor { a = na; b = nb; ohms; _ } ->
-          stamp_conductance a (idx t na) (idx t nb) (1. /. ohms)
-      | Device.Capacitor { name; a = na; b = nb; _ } -> begin
+    (fun r ->
+      match r with
+      | R_resistor { name; i; j; ohms } ->
+          let ohms = restamp_ohms restamp name ohms in
+          stamp_conductance a i j (1. /. ohms)
+      | R_capacitor { name; i; j } -> begin
           match companion_of name with
           | Some (Cap_companion { geq; ieq }) ->
-              let i = idx t na and j = idx t nb in
               stamp_conductance a i j geq;
               inject z i ieq;
               inject z j (-.ieq)
@@ -111,9 +191,7 @@ let assemble t ~x ~time ?companions ?(source_scale = 1.) ~gmin () =
               invalid_arg "Mna.assemble: inductor companion on a capacitor"
           | None -> ()  (* open in DC *)
         end
-      | Device.Inductor { name; a = na; b = nb; _ } -> begin
-          let i = idx t na and j = idx t nb in
-          let br = Hashtbl.find t.branch_tbl name in
+      | R_inductor { name; i; j; br } -> begin
           (* branch current contribution to KCL *)
           stamp a i br 1.;
           stamp a j br (-1.);
@@ -128,38 +206,31 @@ let assemble t ~x ~time ?companions ?(source_scale = 1.) ~gmin () =
               invalid_arg "Mna.assemble: capacitor companion on an inductor"
           | None -> ()
         end
-      | Device.Vsource { name; plus; minus; wave } ->
-          let i = idx t plus and j = idx t minus in
-          let br = Hashtbl.find t.branch_tbl name in
+      | R_vsource { name; i; j; br; wave } ->
+          let wave = restamp_wave restamp name wave in
           stamp a i br 1.;
           stamp a j br (-1.);
           stamp a br i 1.;
           stamp a br j (-1.);
           z.(br) <- z.(br) +. (source_scale *. wave_value time wave)
-      | Device.Isource { from_node; to_node; wave; _ } ->
-          let i = idx t from_node and j = idx t to_node in
+      | R_isource { name; i; j; wave } ->
+          let wave = restamp_wave restamp name wave in
           let value = source_scale *. wave_value time wave in
           inject z i (-.value);
           inject z j value
-      | Device.Vcvs { name; plus; minus; ctrl_plus; ctrl_minus; gain } ->
-          let i = idx t plus and j = idx t minus in
-          let cp = idx t ctrl_plus and cn = idx t ctrl_minus in
-          let br = Hashtbl.find t.branch_tbl name in
+      | R_vcvs { i; j; cp; cn; br; gain } ->
           stamp a i br 1.;
           stamp a j br (-1.);
           stamp a br i 1.;
           stamp a br j (-1.);
           stamp a br cp (-.gain);
           stamp a br cn gain
-      | Device.Vccs { plus; minus; ctrl_plus; ctrl_minus; gm; _ } ->
-          let i = idx t plus and j = idx t minus in
-          let cp = idx t ctrl_plus and cn = idx t ctrl_minus in
+      | R_vccs { i; j; cp; cn; gm } ->
           stamp a i cp gm;
           stamp a i cn (-.gm);
           stamp a j cp (-.gm);
           stamp a j cn gm
-      | Device.Mosfet { drain; gate; source; model; w; l; _ } ->
-          let di = idx t drain and gi = idx t gate and si = idx t source in
+      | R_mosfet { di; gi; si; model; w; l } ->
           let vd = volt x di and vg = volt x gi and vs = volt x si in
           let op = Mos_model.eval model ~w ~l ~vg ~vd ~vs in
           (* Newton companion: ids ~ i0 + dG*vg + dD*vd + dS*vs *)
@@ -175,8 +246,46 @@ let assemble t ~x ~time ?companions ?(source_scale = 1.) ~gmin () =
           stamp a si si (-.op.d_source);
           inject z di (-.i0);
           inject z si i0)
-    t.device_array;
+    t.stamp_plan
+
+(* Preallocated per-analysis solve state: system matrix, right-hand
+   side, LU workspace, and the two Newton iterate buffers.  One
+   workspace is owned by exactly one running analysis at a time — under
+   parallel execution each domain compiles (or forks) its own. *)
+type workspace = {
+  w_size : int;
+  w_a : Mat.t;
+  w_z : Vec.t;
+  w_lu : Mat.lu;
+  mutable w_x : Vec.t;
+  mutable w_x_new : Vec.t;
+}
+
+let workspace t =
+  {
+    w_size = t.size;
+    w_a = Mat.create t.size t.size;
+    w_z = Vec.create t.size 0.;
+    w_lu = Mat.lu_workspace t.size;
+    w_x = Vec.create t.size 0.;
+    w_x_new = Vec.create t.size 0.;
+  }
+
+let assemble t ~x ~time ?companions ?(source_scale = 1.) ?restamp ~gmin () =
+  if Vec.dim x <> t.size then invalid_arg "Mna.assemble: bad iterate size";
+  let a = Mat.create t.size t.size in
+  let z = Vec.create t.size 0. in
+  assemble_core t ~a ~z ~x ~time ~companions ~source_scale ~restamp ~gmin;
   (a, z)
+
+let assemble_into t ws ~x ~time ?companions ?(source_scale = 1.) ?restamp ~gmin
+    () =
+  if Vec.dim x <> t.size then invalid_arg "Mna.assemble_into: bad iterate size";
+  if ws.w_size <> t.size then invalid_arg "Mna.assemble_into: workspace size";
+  Mat.fill ws.w_a 0.;
+  Array.fill ws.w_z 0 (Vec.dim ws.w_z) 0.;
+  assemble_core t ~a:ws.w_a ~z:ws.w_z ~x ~time ~companions ~source_scale
+    ~restamp ~gmin
 
 let mosfet_operating_points t ~x =
   Array.to_list t.device_array

@@ -40,12 +40,52 @@ type source_time = [ `Dc | `Time of float ]
 (** [`Dc] evaluates waveforms with {!Waveform.dc_value}; [`Time t] with
     {!Waveform.value}. *)
 
+type restamp = {
+  stimulus : (string * Waveform.t) option;
+      (** substitute this wave for the named independent source *)
+  impact : (string * float) option;
+      (** substitute this resistance for the named resistor (the
+          fault-impact knob of the convergence loop) *)
+}
+(** Value-phase overrides for a compiled topology: assembly substitutes
+    the probe's stimulus wave and fault-impact resistance at stamp time
+    instead of rewriting the netlist and re-indexing it.  The stamp
+    sequence is unchanged, so the assembled system is bit-identical to
+    one built from a netlist carrying the overridden values. *)
+
+val no_restamp : restamp
+
+val restamp_wave : restamp option -> string -> Waveform.t -> Waveform.t
+(** The wave a named source stamps under an override set (identity
+    without a matching override). *)
+
+val restamp_ohms : restamp option -> string -> float -> float
+(** The resistance a named resistor stamps under an override set —
+    shared with the small-signal and noise stampers so every analysis
+    sees the same fault impact. *)
+
+type workspace = {
+  w_size : int;
+  w_a : Numerics.Mat.t;  (** system matrix, zeroed and restamped per solve *)
+  w_z : Numerics.Vec.t;  (** right-hand side *)
+  w_lu : Numerics.Mat.lu;  (** in-place factorization workspace *)
+  mutable w_x : Numerics.Vec.t;  (** Newton iterate *)
+  mutable w_x_new : Numerics.Vec.t;  (** Newton solve output / next iterate *)
+}
+(** Preallocated solve state sized for one compiled topology.  The two
+    iterate buffers are swapped (never reallocated) by the Newton loop.
+    A workspace is owned by exactly one running analysis at a time;
+    under parallel execution each domain creates its own. *)
+
+val workspace : t -> workspace
+
 val assemble :
   t ->
   x:Numerics.Vec.t ->
   time:source_time ->
   ?companions:(string, companion) Hashtbl.t ->
   ?source_scale:float ->
+  ?restamp:restamp ->
   gmin:float ->
   unit ->
   Numerics.Mat.t * Numerics.Vec.t
@@ -54,6 +94,22 @@ val assemble :
     independent source values — the knob used by source stepping.
     Without [companions], capacitors are open and inductors are shorts
     (DC treatment). *)
+
+val assemble_into :
+  t ->
+  workspace ->
+  x:Numerics.Vec.t ->
+  time:source_time ->
+  ?companions:(string, companion) Hashtbl.t ->
+  ?source_scale:float ->
+  ?restamp:restamp ->
+  gmin:float ->
+  unit ->
+  unit
+(** {!assemble} into the workspace's preallocated system — the zero
+    allocation restamp path.  The workspace matrix and right-hand side
+    are zeroed first, so the result is bit-identical to {!assemble}.
+    @raise Invalid_argument on a size mismatch. *)
 
 val mosfet_operating_points :
   t -> x:Numerics.Vec.t -> (string * Mos_model.operating_point) list

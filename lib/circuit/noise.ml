@@ -10,8 +10,8 @@ type point = {
   contributions : contribution list;
 }
 
-let output_noise ?(gmin = 1e-12) ?(temperature = 300.) sys ~op ~observe
-    ~freqs =
+let output_noise ?(gmin = 1e-12) ?(temperature = 300.) ?workspace ?restamp sys
+    ~op ~observe ~freqs =
   let obs =
     match Mna.node_index sys observe with
     | Some i -> i
@@ -26,6 +26,9 @@ let output_noise ?(gmin = 1e-12) ?(temperature = 300.) sys ~op ~observe
       (fun d ->
         match d with
         | Device.Resistor { name; a; b; ohms } ->
+            (* the fault-impact override must reach the thermal-noise PSD,
+               not only the system matrix *)
+            let ohms = Mna.restamp_ohms restamp name ohms in
             Some (name, a, b, four_kt /. ohms)
         | Device.Mosfet { name; drain; source; _ } ->
             let p = List.assoc name mos_params in
@@ -40,7 +43,7 @@ let output_noise ?(gmin = 1e-12) ?(temperature = 300.) sys ~op ~observe
     if Device.is_ground n then -1 else Option.get (Mna.node_index sys n)
   in
   let at_freq freq =
-    let a = Ac.system_matrix ~gmin sys ~op ~freq_hz:freq in
+    let a = Ac.system_matrix ~gmin ?workspace ?restamp sys ~op ~freq_hz:freq in
     let at = Cmat.transpose a in
     let e = Array.make (Mna.size sys) Complex.zero in
     e.(obs) <- Complex.one;

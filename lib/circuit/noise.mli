@@ -28,13 +28,18 @@ type point = {
 val output_noise :
   ?gmin:float ->
   ?temperature:float ->
+  ?workspace:Ac.workspace ->
+  ?restamp:Mna.restamp ->
   Mna.t ->
   op:Numerics.Vec.t ->
   observe:string ->
   freqs:float array ->
   point list
 (** Output noise at the observed node over the frequency grid
-    ([temperature] defaults to 300 K).
+    ([temperature] defaults to 300 K).  [workspace] reuses a compiled
+    small-signal system across frequencies; [restamp] applies the
+    fault-impact resistance both to the system matrix and to the
+    overridden resistor's thermal-noise PSD.
     @raise Not_found if the node is unknown (or is ground, where the
     noise is zero by definition — also rejected). *)
 

@@ -25,11 +25,21 @@ let dc_transfer ?options nl ~source ~sweep_values ~observe =
   if Array.length sweep_values = 0 then
     invalid_arg "Sweep.dc_transfer: empty sweep";
   let traces = List.map (fun n -> (n, Array.make (Array.length sweep_values) 0.)) observe in
+  (* compile once: every sweep point shares one topology (the source
+     replacement is order-stable), so the per-point work is a restamp of
+     the compiled workspace with the point's DC level, not a netlist
+     rewrite plus re-indexing *)
+  let sys = Mna.build (with_dc_value nl ~source sweep_values.(0)) in
+  let workspace = Mna.workspace sys in
   let guess = ref None in
   Array.iteri
     (fun i v ->
-      let sys = Mna.build (with_dc_value nl ~source v) in
-      let report = Dc.solve ?options ?guess:!guess sys ~time:`Dc in
+      let restamp =
+        { Mna.stimulus = Some (source, Waveform.Dc v); impact = None }
+      in
+      let report =
+        Dc.solve ?options ?guess:!guess ~workspace ~restamp sys ~time:`Dc
+      in
       guess := Some report.Dc.solution;
       List.iter
         (fun (n, arr) -> arr.(i) <- Mna.voltage sys report.Dc.solution n)

@@ -29,8 +29,12 @@ let reactives sys =
 (* Voltage across (a, b) in a solution. *)
 let vab sys x a b = Mna.voltage sys x a -. Mna.voltage sys x b
 
-let build_companions sys ~method_ ~h ~x_prev ~cap_currents reactive_list =
-  let tbl = Hashtbl.create 8 in
+(* With [into], the companion table is refilled in place — every key is
+   overwritten on every call (the reactive list is fixed), so reuse is
+   indistinguishable from a fresh table. *)
+let build_companions ?into sys ~method_ ~h ~x_prev ~cap_currents reactive_list
+    =
+  let tbl = match into with Some t -> t | None -> Hashtbl.create 8 in
   List.iter
     (fun r ->
       match r with
@@ -79,8 +83,8 @@ let update_cap_currents sys ~cap_currents ~companions ~x reactive_list =
       | Ind _ -> ())
     reactive_list
 
-let simulate ?(options = Dc.default_options) ?(method_ = Backward_euler) sys
-    ~tstop ~dt ~observe =
+let simulate ?(options = Dc.default_options) ?(method_ = Backward_euler)
+    ?workspace ?restamp sys ~tstop ~dt ~observe =
   if tstop <= 0. then invalid_arg "Tran.simulate: tstop must be > 0";
   if dt <= 0. then invalid_arg "Tran.simulate: dt must be > 0";
   let reactive_list = reactives sys in
@@ -89,8 +93,13 @@ let simulate ?(options = Dc.default_options) ?(method_ = Backward_euler) sys
   let observe_idx = List.map (fun n -> n) observe in
   let records = List.map (fun n -> (n, Array.make (n_steps + 1) 0.)) observe_idx in
   let cap_currents = Hashtbl.create 8 in
+  (* on the compiled path one companion table is refilled per step
+     instead of allocated per step *)
+  let companion_tbl =
+    match workspace with Some _ -> Some (Hashtbl.create 8) | None -> None
+  in
   let x0 =
-    (Dc.solve ~options sys ~time:(`Time 0.)).Dc.solution
+    (Dc.solve ~options ?workspace ?restamp sys ~time:(`Time 0.)).Dc.solution
   in
   List.iter (fun (n, arr) -> arr.(0) <- Mna.voltage sys x0 n) records;
   let x = ref x0 in
@@ -98,10 +107,12 @@ let simulate ?(options = Dc.default_options) ?(method_ = Backward_euler) sys
   let rec advance ~depth ~t_prev ~t_next x_prev =
     let h = t_next -. t_prev in
     let companions =
-      build_companions sys ~method_ ~h ~x_prev ~cap_currents reactive_list
+      build_companions ?into:companion_tbl sys ~method_ ~h ~x_prev
+        ~cap_currents reactive_list
     in
     match
-      Dc.solve ~options ~guess:x_prev ~companions sys ~time:(`Time t_next)
+      Dc.solve ~options ~guess:x_prev ~companions ?workspace ?restamp sys
+        ~time:(`Time t_next)
     with
     | report ->
         update_cap_currents sys ~cap_currents ~companions

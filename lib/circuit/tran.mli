@@ -23,6 +23,8 @@ exception Step_failure of { time : float; reason : string }
 val simulate :
   ?options:Dc.options ->
   ?method_:method_ ->
+  ?workspace:Mna.workspace ->
+  ?restamp:Mna.restamp ->
   Mna.t ->
   tstop:float ->
   dt:float ->
@@ -33,4 +35,10 @@ val simulate :
     before {!Step_failure} is raised.  The failure-injection point
     ["tran.step_failure"] (see {!Numerics.Failpoint}) raises
     {!Step_failure} at the start of a step.
+
+    With [workspace], every Newton solve of every step restamps the
+    caller's preallocated system in place and one companion table is
+    refilled per step — the compiled hot path, bit-identical to the
+    allocating default (see {!Dc.solve}).  [restamp] substitutes
+    stimulus/fault-impact values at stamp time.
     @raise Invalid_argument on non-positive [tstop] or [dt]. *)

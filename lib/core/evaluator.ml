@@ -1,10 +1,14 @@
 
+type mode = [ `Legacy | `Compiled ]
+
 type t = {
   config : Test_config.t;
   profile : Execute.profile;
   nominal : Execute.target;
   box_model : Tolerance.t;
+  mode : mode;
   nominal_cache : (string, float array) Hashtbl.t;
+  compiled_cache : (string, Execute.compiled) Hashtbl.t;
   evals : int ref;
   budget : int option ref;
   cache_hits : int ref;
@@ -13,13 +17,16 @@ type t = {
 
 exception Budget_exhausted of { config_id : int; budget : int }
 
-let create ?(profile = Execute.default_profile) config ~nominal ~box_model =
+let create ?(profile = Execute.default_profile) ?(mode = `Compiled) config
+    ~nominal ~box_model =
   {
     config;
     profile;
     nominal;
     box_model;
+    mode;
     nominal_cache = Hashtbl.create 64;
+    compiled_cache = Hashtbl.create 16;
     evals = ref 0;
     budget = ref None;
     cache_hits = ref 0;
@@ -30,7 +37,9 @@ let create ?(profile = Execute.default_profile) config ~nominal ~box_model =
    profile — the retry ladder's escalated view of an evaluator.  The
    evaluation counter and budget cell are shared so accounting spans all
    derived copies; the nominal cache is fresh because cached observables
-   are profile-dependent. *)
+   are profile-dependent.  The compiled-plan cache is shared: plans
+   capture topology only, not profile, and the derived evaluator runs in
+   the same domain as its parent (the retry ladder is sequential). *)
 let with_profile t profile = { t with profile; nominal_cache = Hashtbl.create 64 }
 
 (* A worker's private view of an evaluator: same (immutable)
@@ -38,11 +47,14 @@ let with_profile t profile = { t with profile; nominal_cache = Hashtbl.create 64
    its own counters, so domains never contend on shared mutable state.
    The parent's cached observables are copied in as a warm start — safe
    because cache keys are exact and values are deterministic, so any
-   domain recomputing an entry would produce the same bits. *)
+   domain recomputing an entry would produce the same bits.  The
+   compiled-plan cache is NOT warm-started: plans own mutable solver
+   workspaces, so each domain must compile its own. *)
 let fork t =
   {
     t with
     nominal_cache = Hashtbl.copy t.nominal_cache;
+    compiled_cache = Hashtbl.create 16;
     evals = ref 0;
     budget = ref None;
     cache_hits = ref 0;
@@ -52,7 +64,9 @@ let fork t =
 (* Deterministic merge of a fork back into its parent.  Counters are
    summed (addition commutes, so the merged totals are independent of
    worker scheduling and merge order); cache entries are unioned, which
-   is order-independent because equal keys always map to equal values. *)
+   is order-independent because equal keys always map to equal values.
+   Compiled plans are deliberately not merged: their workspaces were
+   mutated by the child's domain and stay with it. *)
 let absorb ~into child =
   if into != child then begin
     into.evals := !(into.evals) + !(child.evals);
@@ -67,6 +81,7 @@ let absorb ~into child =
 
 let config t = t.config
 let config_id t = t.config.Test_config.config_id
+let mode t = t.mode
 let nominal_target t = t.nominal
 let profile t = t.profile
 
@@ -87,6 +102,22 @@ let cache_key values =
   String.concat ","
     (Array.to_list (Array.map (Printf.sprintf "%h") values))
 
+(* Compiled plans are cached per topology.  Faults at the same site
+   share a topology (the injected device names and node numbering do not
+   depend on the impact resistance), so [Fault.id] — which excludes the
+   resistance — is exactly the right key; the resistance itself is a
+   value-phase override applied at stamp time.  The nominal topology
+   lives under a key no fault id can collide with. *)
+let nominal_plan_key = "@nominal"
+
+let compiled_plan t ~key target =
+  match Hashtbl.find_opt t.compiled_cache key with
+  | Some plan -> plan
+  | None ->
+      let plan = Execute.compile t.config (target ()) in
+      Hashtbl.replace t.compiled_cache key plan;
+      plan
+
 let nominal_observables t values =
   let key = cache_key values in
   match Hashtbl.find_opt t.nominal_cache key with
@@ -95,7 +126,15 @@ let nominal_observables t values =
       obs
   | None ->
       incr t.cache_misses;
-      let obs = Execute.observables ~profile:t.profile t.config t.nominal values in
+      let obs =
+        match t.mode with
+        | `Legacy ->
+            Execute.observables ~profile:t.profile t.config t.nominal values
+        | `Compiled ->
+            Execute.compiled_observables ~profile:t.profile
+              (compiled_plan t ~key:nominal_plan_key (fun () -> t.nominal))
+              values
+      in
       Hashtbl.replace t.nominal_cache key obs;
       obs
 
@@ -111,7 +150,17 @@ let faulty_target t fault =
 
 let faulty_observables t fault values =
   charge t;
-  Execute.observables ~profile:t.profile t.config (faulty_target t fault) values
+  match t.mode with
+  | `Legacy ->
+      Execute.observables ~profile:t.profile t.config (faulty_target t fault)
+        values
+  | `Compiled ->
+      let plan =
+        compiled_plan t ~key:(Faults.Fault.id fault) (fun () ->
+            faulty_target t fault)
+      in
+      Execute.compiled_observables ~profile:t.profile
+        ~impact:(Faults.Inject.impact_override fault) plan values
 
 let sensitivity_and_deviation t fault values =
   let nominal = nominal_observables t values in

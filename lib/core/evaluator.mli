@@ -8,6 +8,16 @@
 
 type t
 
+type mode = [ `Legacy | `Compiled ]
+(** How measurements reach the simulator.  [`Compiled] (the default)
+    caches one compiled execution plan per topology — the nominal
+    netlist, and one per fault {e site} ({!Faults.Fault.id} excludes the
+    impact resistance, which restamps as a value) — so each optimizer
+    probe restamps a preallocated workspace instead of rewriting and
+    re-indexing the netlist.  [`Legacy] rebuilds per probe; it exists as
+    the reference implementation for parity tests and benchmarks.  Both
+    modes produce bit-identical observables. *)
+
 exception Budget_exhausted of { config_id : int; budget : int }
 (** Raised by a faulty-circuit evaluation once the shared evaluation
     counter reaches the budget installed with {!set_budget} — the retry
@@ -17,6 +27,7 @@ exception Budget_exhausted of { config_id : int; budget : int }
 
 val create :
   ?profile:Execute.profile ->
+  ?mode:mode ->
   Test_config.t ->
   nominal:Execute.target ->
   box_model:Tolerance.t ->
@@ -27,16 +38,19 @@ val with_profile : t -> Execute.profile -> t
     resilience retry ladder).  Configuration, target, box model, the
     evaluation counter and the budget cell are shared with the parent;
     the nominal-observable cache is fresh (cached values depend on the
-    profile). *)
+    profile).  Compiled plans are shared — they capture topology, not
+    profile, and the retry ladder runs sequentially in one domain. *)
 
 val fork : t -> t
 (** A worker-private copy for parallel execution: shares the immutable
     configuration, target, box model and profile, but owns a private
     nominal-observable cache (warm-started from the parent's entries)
     and zeroed evaluation/budget/cache counters, so domains never touch
-    shared mutable state.  Determinism is unaffected: cache keys are
-    exact and cached values deterministic, so a cold and a warm cache
-    produce bit-identical results. *)
+    shared mutable state.  The compiled-plan cache starts empty: plans
+    own mutable solver workspaces and must never cross domains.
+    Determinism is unaffected: cache keys are exact and cached values
+    deterministic, so a cold and a warm cache produce bit-identical
+    results. *)
 
 val absorb : into:t -> t -> unit
 (** [absorb ~into:parent child] merges a fork back: counters are summed
@@ -49,6 +63,7 @@ val config : t -> Test_config.t
 val config_id : t -> int
 val nominal_target : t -> Execute.target
 val profile : t -> Execute.profile
+val mode : t -> mode
 
 val set_budget : t -> int option -> unit
 (** Install (or clear, with [None]) an absolute evaluation-count budget:

@@ -57,21 +57,115 @@ let check_values config values =
   if Numerics.Vec.dim values <> Test_config.n_params config then
     invalid_arg "Execute: parameter value count mismatch"
 
-let dc_voltage ~options nl ~observe =
-  let sys = Mna.build nl in
-  match Dc.solve ~options sys ~time:`Dc with
-  | report -> Mna.voltage sys report.Dc.solution observe
+(* ------------------------------------------------------------------ *)
+(* Compiled plans: the compile-once / restamp-many hot path             *)
+(* ------------------------------------------------------------------ *)
+
+(* Replacing a device in a netlist moves it to the end of the device
+   list, which shifts its unknown index — so the per-probe legacy path
+   ([with_stimulus] then [Mna.build]) always sees the stimulus source
+   last.  A compiled plan must index the same topology, so compilation
+   normalizes the netlist by replacing the stimulus with its own current
+   wave: same devices, same order, same unknown numbering as every probe
+   of the legacy path. *)
+let normalize_stimulus nl ~source =
+  match Netlist.find nl source with
+  | Some (Device.Isource { wave; _ }) | Some (Device.Vsource { wave; _ }) ->
+      with_stimulus nl ~source wave
+  | Some _ | None ->
+      (* not an independent source / missing: raise with_stimulus's
+         canonical error *)
+      with_stimulus nl ~source (Waveform.Dc 0.)
+
+type compiled = {
+  c_config : Test_config.t;
+  c_target : target;
+  c_plan : Mna.t;
+  c_ws : Mna.workspace;
+  c_ac : Ac.workspace option;
+}
+
+let compile config target =
+  let nl = normalize_stimulus target.netlist ~source:target.stimulus_source in
+  let plan = Mna.build nl in
+  let c_ac =
+    match config.Test_config.analysis with
+    | Test_config.Noise_psd _ | Test_config.Ac_gain _ ->
+        Some (Ac.workspace plan)
+    | Test_config.Dc_levels _ | Test_config.Tran_thd _
+    | Test_config.Tran_samples _ | Test_config.Tran_imd _ -> None
+  in
+  {
+    c_config = config;
+    c_target = target;
+    c_plan = plan;
+    c_ws = Mna.workspace plan;
+    c_ac;
+  }
+
+let compiled_target c = c.c_target
+let compiled_config c = c.c_config
+
+(* How an analysis obtains a simulatable system for one probe wave:
+   the legacy path rewrites the netlist and re-indexes it per probe; the
+   compiled path restamps the precompiled plan's workspace. *)
+type engine =
+  | Direct of target
+  | Restamp of { c : compiled; impact : (string * float) option }
+
+let engine_target = function Direct t -> t | Restamp { c; _ } -> c.c_target
+
+type inst = {
+  i_sys : Mna.t;
+  i_ws : Mna.workspace option;
+  i_restamp : Mna.restamp option;
+  i_ac : Ac.workspace option;
+}
+
+let instantiate engine wave =
+  match engine with
+  | Direct target ->
+      let nl =
+        with_stimulus target.netlist ~source:target.stimulus_source wave
+      in
+      { i_sys = Mna.build nl; i_ws = None; i_restamp = None; i_ac = None }
+  | Restamp { c; impact } ->
+      let source = c.c_target.stimulus_source in
+      (* the legacy path validates each probe wave when it is inserted
+         into the netlist; keep the same rejection (and message shape) *)
+      (match Waveform.validate wave with
+      | Ok () -> ()
+      | Error e ->
+          invalid_arg (Printf.sprintf "Netlist.add: %s: %s" source e));
+      {
+        i_sys = c.c_plan;
+        i_ws = Some c.c_ws;
+        i_restamp = Some { Mna.stimulus = Some (source, wave); impact };
+        i_ac = c.c_ac;
+      }
+
+(* The one operating-point helper shared by the DC, noise and AC arms:
+   solve at the DC time point and map non-convergence to the uniform
+   execution failure. *)
+let operating_point ~options inst =
+  match
+    Dc.solve ~options ?workspace:inst.i_ws ?restamp:inst.i_restamp inst.i_sys
+      ~time:`Dc
+  with
+  | report -> report.Dc.solution
   | exception Dc.No_convergence msg -> raise (Execution_failure msg)
 
 (* Integrate with the step subdivided by [dt_divisor] (a retry-ladder
    escalation: a stiffer faulty circuit often converges with a finer
    step), then decimate back onto the requested sample grid so callers
    always see the same observable length and timing. *)
-let transient ~options ~dt_divisor nl ~observe ~tstop ~dt =
-  let sys = Mna.build nl in
+let transient ~options ~dt_divisor inst ~observe ~tstop ~dt =
   let k = Int.max 1 dt_divisor in
   let dt_fine = dt /. float_of_int k in
-  match Tran.simulate ~options sys ~tstop ~dt:dt_fine ~observe:[ observe ] with
+  match
+    Tran.simulate ~options ?workspace:inst.i_ws ?restamp:inst.i_restamp
+      inst.i_sys ~tstop ~dt:dt_fine ~observe:[ observe ]
+  with
   | result ->
       let fine = Tran.probe_values result observe in
       if k = 1 then fine
@@ -86,20 +180,20 @@ let transient ~options ~dt_divisor nl ~observe ~tstop ~dt =
            (Printf.sprintf "transient step failed at t=%g: %s" time reason))
   | exception Dc.No_convergence msg -> raise (Execution_failure msg)
 
-let observables ?(profile = default_profile) config target values =
+let observables_of engine ~profile config values =
   check_values config values;
   if Numerics.Failpoint.should_fail "execute.observables" then
     raise (Execution_failure "injected failure at execute.observables");
   let options = profile.dc_options in
   let dt_divisor = profile.dt_divisor in
+  let target = engine_target engine in
+  let observe = target.observe_node in
   match config.Test_config.analysis with
   | Test_config.Dc_levels waves ->
       waves values
       |> List.map (fun w ->
-             let nl =
-               with_stimulus target.netlist ~source:target.stimulus_source w
-             in
-             dc_voltage ~options nl ~observe:target.observe_node)
+             let inst = instantiate engine w in
+             Mna.voltage inst.i_sys (operating_point ~options inst) observe)
       |> Array.of_list
   | Test_config.Tran_thd { stimulus; fundamental } ->
       let f0 = fundamental values in
@@ -108,13 +202,8 @@ let observables ?(profile = default_profile) config target values =
       let dt = 1. /. (f0 *. float_of_int spp) in
       let total = profile.settle_periods + profile.analyze_periods in
       let tstop = float_of_int total /. f0 in
-      let nl =
-        with_stimulus target.netlist ~source:target.stimulus_source
-          (stimulus values)
-      in
-      let samples =
-        transient ~options ~dt_divisor nl ~observe:target.observe_node ~tstop ~dt
-      in
+      let inst = instantiate engine (stimulus values) in
+      let samples = transient ~options ~dt_divisor inst ~observe ~tstop ~dt in
       let keep = spp * profile.analyze_periods in
       let seg = Array.sub samples (Array.length samples - keep) keep in
       let thd =
@@ -124,11 +213,8 @@ let observables ?(profile = default_profile) config target values =
       [| thd |]
   | Test_config.Tran_samples { stimulus; sample_rate; test_time } ->
       let dt = 1. /. sample_rate in
-      let nl =
-        with_stimulus target.netlist ~source:target.stimulus_source
-          (stimulus values)
-      in
-      transient ~options ~dt_divisor nl ~observe:target.observe_node ~tstop:test_time ~dt
+      let inst = instantiate engine (stimulus values) in
+      transient ~options ~dt_divisor inst ~observe ~tstop:test_time ~dt
   | Test_config.Tran_imd { stimulus; base_freq; k1; k2 } ->
       let f0 = base_freq values in
       if f0 <= 0. then raise (Execution_failure "IMD: non-positive base frequency");
@@ -140,13 +226,8 @@ let observables ?(profile = default_profile) config target values =
       let dt = 1. /. (f0 *. float_of_int spp) in
       let total = profile.settle_periods + profile.analyze_periods in
       let tstop = float_of_int total /. f0 in
-      let nl =
-        with_stimulus target.netlist ~source:target.stimulus_source
-          (stimulus values)
-      in
-      let samples =
-        transient ~options ~dt_divisor nl ~observe:target.observe_node ~tstop ~dt
-      in
+      let inst = instantiate engine (stimulus values) in
+      let samples = transient ~options ~dt_divisor inst ~observe ~tstop ~dt in
       let keep = spp * profile.analyze_periods in
       let seg = Array.sub samples (Array.length samples - keep) keep in
       let imd3 =
@@ -157,19 +238,11 @@ let observables ?(profile = default_profile) config target values =
   | Test_config.Noise_psd { bias; freq } ->
       let f = freq values in
       if f <= 0. then raise (Execution_failure "noise: non-positive frequency");
-      let nl =
-        with_stimulus target.netlist ~source:target.stimulus_source
-          (bias values)
-      in
-      let sys = Mna.build nl in
-      let op =
-        match Dc.solve ~options sys ~time:`Dc with
-        | report -> report.Dc.solution
-        | exception Dc.No_convergence msg -> raise (Execution_failure msg)
-      in
+      let inst = instantiate engine (bias values) in
+      let op = operating_point ~options inst in
       (match
-         Noise.output_noise sys ~op ~observe:target.observe_node
-           ~freqs:[| f |]
+         Noise.output_noise ?workspace:inst.i_ac ?restamp:inst.i_restamp
+           inst.i_sys ~op ~observe ~freqs:[| f |]
        with
       | [ point ] -> [| 1e9 *. sqrt point.Noise.total_psd |]
       | _ -> raise (Execution_failure "noise: unexpected result")
@@ -180,25 +253,23 @@ let observables ?(profile = default_profile) config target values =
   | Test_config.Ac_gain { bias; freq } ->
       let f = freq values in
       if f <= 0. then raise (Execution_failure "AC: non-positive frequency");
-      let nl =
-        with_stimulus target.netlist ~source:target.stimulus_source
-          (bias values)
-      in
-      let sys = Mna.build nl in
-      let op =
-        match Dc.solve ~options sys ~time:`Dc with
-        | report -> report.Dc.solution
-        | exception Dc.No_convergence msg -> raise (Execution_failure msg)
-      in
+      let inst = instantiate engine (bias values) in
+      let op = operating_point ~options inst in
       (match
-         Ac.sweep sys ~op ~source:target.stimulus_source ~freqs:[| f |]
-           ~observe:target.observe_node
+         Ac.sweep ?workspace:inst.i_ac ?restamp:inst.i_restamp inst.i_sys ~op
+           ~source:target.stimulus_source ~freqs:[| f |] ~observe
        with
       | [ point ] ->
           [| Ac.gain_db point.Ac.value; Ac.phase_deg point.Ac.value |]
       | _ -> raise (Execution_failure "AC: unexpected sweep result")
       | exception Numerics.Cmat.Singular _ ->
           raise (Execution_failure "AC: singular small-signal system"))
+
+let observables ?(profile = default_profile) config target values =
+  observables_of (Direct target) ~profile config values
+
+let compiled_observables ?(profile = default_profile) ?impact c values =
+  observables_of (Restamp { c; impact }) ~profile c.c_config values
 
 let deviations config ~nominal ~faulty =
   if Array.length nominal <> Array.length faulty then

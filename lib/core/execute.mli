@@ -53,6 +53,43 @@ val observables :
     @raise Invalid_argument if the value vector length differs from the
     configuration's parameter count. *)
 
+type compiled
+(** A compiled execution plan: the target's topology indexed once
+    ({!Circuit.Mna.build}) with a preallocated solver workspace (and a
+    small-signal workspace for AC/noise analyses).  Every probe of the
+    optimizer then restamps stimulus values into the same workspace
+    instead of rewriting and re-indexing the netlist.
+
+    A plan owns mutable buffers: share it freely across sequential
+    probes, never across domains. *)
+
+val compile : Test_config.t -> target -> compiled
+(** Compile the target's topology for the configuration's analysis.
+    The plan is built from the stimulus-normalized netlist (the stimulus
+    source moved to the end of device order, exactly where every
+    per-probe {!with_stimulus} rewrite puts it), so unknown numbering —
+    and therefore pivoting and arithmetic — matches the legacy path
+    bit for bit.
+    @raise Invalid_argument if the stimulus source is missing or not an
+    independent source. *)
+
+val compiled_target : compiled -> target
+val compiled_config : compiled -> Test_config.t
+
+val compiled_observables :
+  ?profile:profile -> ?impact:string * float -> compiled -> Numerics.Vec.t ->
+  float array
+(** {!observables} over a compiled plan: bit-identical results, no
+    per-probe netlist rewrite, matrix allocation or LU allocation.
+    [impact] overrides one resistor's value during stamping — the
+    value phase of a fault whose injected topology the plan was compiled
+    from (see [Faults.Inject.impact_override]).  The same failpoint
+    ["execute.observables"] fires at entry, after the same number of
+    draws as the legacy path.
+    @raise Execution_failure on simulator failure.
+    @raise Invalid_argument on value-count mismatch or an invalid probe
+    waveform (same rejection as netlist insertion on the legacy path). *)
+
 val deviations :
   Test_config.t -> nominal:float array -> faulty:float array -> float array
 (** Per-return-value deviations [delta r_i] between two observable

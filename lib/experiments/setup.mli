@@ -16,6 +16,7 @@ val target_of_macro :
 
 val create :
   ?profile:Testgen.Execute.profile ->
+  ?mode:Testgen.Evaluator.mode ->
   ?grid:int ->
   ?guardband:float ->
   ?corners:Macros.Process.point list ->
@@ -25,9 +26,16 @@ val create :
   t
 (** Calibrate a box model per configuration over the process [corners]
     (default {!Macros.Process.corners}) and bundle evaluators plus the
-    macro's exhaustive fault dictionary. *)
+    macro's exhaustive fault dictionary.  [mode] selects the evaluators'
+    execution path (default [`Compiled]; [`Legacy] rebuilds the netlist
+    per probe — the benchmark baseline). *)
 
-val iv : ?profile:Testgen.Execute.profile -> ?grid:int -> unit -> t
+val iv :
+  ?profile:Testgen.Execute.profile ->
+  ?mode:Testgen.Evaluator.mode ->
+  ?grid:int ->
+  unit ->
+  t
 (** The paper's experiment: IV-converter macro with configurations
     #1..#5 and the 55-fault dictionary. *)
 

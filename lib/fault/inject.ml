@@ -35,6 +35,13 @@ let pinhole_subcircuit dev ~r_shunt ~internal_node =
   | Device.Vsource _ | Device.Isource _ | Device.Vcvs _ | Device.Vccs _ ->
       invalid_arg "Inject.pinhole_subcircuit: device is not a MOSFET"
 
+let impact_device = function
+  | Fault.Bridge _ -> bridge_device_name
+  | Fault.Pinhole { mosfet; _ } -> mosfet ^ "_pinhole"
+
+let impact_override fault =
+  (impact_device fault, Fault.impact_resistance fault)
+
 let apply nl fault =
   match fault with
   | Fault.Bridge { node_a; node_b; resistance } ->

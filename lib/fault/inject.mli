@@ -13,6 +13,18 @@ val drain_fraction : float
 val bridge_device_name : string
 (** Name given to the injected bridge resistor (["FAULT_bridge"]). *)
 
+val impact_device : Fault.t -> string
+(** Name of the injected resistor that carries the fault's impact
+    resistance: the bridge resistor for bridges, the gate-to-channel
+    shunt for pinholes. *)
+
+val impact_override : Fault.t -> string * float
+(** [(impact_device f, Fault.impact_resistance f)] — the value-phase
+    override for a compiled faulty topology: two faults at the same site
+    share one topology (same nodes, same injected device names), so
+    changing the impact resistance restamps a value instead of
+    re-injecting and re-indexing the netlist. *)
+
 val apply : Circuit.Netlist.t -> Fault.t -> Circuit.Netlist.t
 (** Produce the faulty netlist.
     @raise Invalid_argument if a bridge references an unknown node, if a

@@ -11,6 +11,7 @@ let cols m = m.c
 let get m i j = m.a.((i * m.c) + j)
 let set m i j x = m.a.((i * m.c) + j) <- x
 let add_to m i j x = m.a.((i * m.c) + j) <- Complex.add m.a.((i * m.c) + j) x
+let fill m x = Array.fill m.a 0 (Array.length m.a) x
 
 let mul_vec m v =
   if Array.length v <> m.c then invalid_arg "Cmat.mul_vec";

@@ -15,6 +15,10 @@ val set : t -> int -> int -> Complex.t -> unit
 val add_to : t -> int -> int -> Complex.t -> unit
 (** Stamp primitive: increment element [(i,j)]. *)
 
+val fill : t -> Complex.t -> unit
+(** Overwrite every element — [fill m Complex.zero] resets a reused
+    small-signal workspace before restamping. *)
+
 val mul_vec : t -> Complex.t array -> Complex.t array
 
 val transpose : t -> t

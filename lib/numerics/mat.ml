@@ -67,7 +67,13 @@ let transpose m =
 
 exception Singular of int
 
-type lu = { n : int; lu : float array; piv : int array; sign : float }
+type lu = {
+  n : int;
+  lu : float array;
+  piv : int array;
+  mutable sign : float;
+  mutable factored : bool;
+}
 
 (* Crout-style in-place LU with partial pivoting. *)
 let lu_factor m =
@@ -109,7 +115,101 @@ let lu_factor m =
         done
     done
   done;
-  { n; lu = a; piv; sign = !sign }
+  { n; lu = a; piv; sign = !sign; factored = true }
+
+(* Caller-owned factorization workspace for the restamp-many hot path:
+   [factor_in_place] overwrites it without allocating, so one workspace
+   serves every Newton iteration of an analysis.  The elimination is the
+   same partial-pivoting Crout sweep as {!lu_factor} — identical
+   arithmetic, identical pivot choices, identical [Singular] payloads —
+   a contract pinned by the QCheck parity properties in the test suite. *)
+let lu_workspace n =
+  if n < 0 then invalid_arg "Mat.lu_workspace";
+  {
+    n;
+    lu = Array.make (n * n) 0.;
+    piv = Array.init n (fun i -> i);
+    sign = 1.;
+    factored = false;
+  }
+
+let lu_size ws = ws.n
+
+let lu_pivots ws =
+  if not ws.factored then invalid_arg "Mat.lu_pivots: workspace not factored";
+  Array.copy ws.piv
+
+let factor_in_place m ws =
+  if m.r <> m.c then invalid_arg "Mat.factor_in_place: not square";
+  if m.r <> ws.n then invalid_arg "Mat.factor_in_place: size mismatch";
+  let n = ws.n in
+  let a = ws.lu in
+  Array.blit m.a 0 a 0 (n * n);
+  let piv = ws.piv in
+  for i = 0 to n - 1 do
+    piv.(i) <- i
+  done;
+  ws.sign <- 1.;
+  ws.factored <- false;
+  for k = 0 to n - 1 do
+    let p = ref k in
+    let best = ref (Float.abs a.((k * n) + k)) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs a.((i * n) + k) in
+      if v > !best then begin
+        best := v;
+        p := i
+      end
+    done;
+    if !best < 1e-300 then raise (Singular k);
+    if !p <> k then begin
+      for j = 0 to n - 1 do
+        let t = a.((k * n) + j) in
+        a.((k * n) + j) <- a.((!p * n) + j);
+        a.((!p * n) + j) <- t
+      done;
+      let t = piv.(k) in
+      piv.(k) <- piv.(!p);
+      piv.(!p) <- t;
+      ws.sign <- -.ws.sign
+    end;
+    let akk = a.((k * n) + k) in
+    for i = k + 1 to n - 1 do
+      let lik = a.((i * n) + k) /. akk in
+      a.((i * n) + k) <- lik;
+      if lik <> 0. then
+        for j = k + 1 to n - 1 do
+          a.((i * n) + j) <- a.((i * n) + j) -. (lik *. a.((k * n) + j))
+        done
+    done
+  done;
+  ws.factored <- true
+
+let solve_into ws b x =
+  if not ws.factored then invalid_arg "Mat.solve_into: workspace not factored";
+  let { n; lu = a; piv; _ } = ws in
+  if Vec.dim b <> n then invalid_arg "Mat.solve_into: dimension mismatch";
+  if Vec.dim x <> n then invalid_arg "Mat.solve_into: bad output dimension";
+  if b == x then invalid_arg "Mat.solve_into: aliased input and output";
+  for i = 0 to n - 1 do
+    x.(i) <- b.(piv.(i))
+  done;
+  (* forward substitution, unit lower triangle *)
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (a.((i * n) + j) *. x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  (* backward substitution *)
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (a.((i * n) + j) *. x.(j))
+    done;
+    x.(i) <- !s /. a.((i * n) + i)
+  done
 
 let lu_solve { n; lu = a; piv; _ } b =
   if Vec.dim b <> n then invalid_arg "Mat.lu_solve: dimension mismatch";

@@ -50,6 +50,34 @@ val lu_factor : t -> lu
 val lu_solve : lu -> Vec.t -> Vec.t
 (** Solve [A x = b] using a previous factorization of [A]. *)
 
+val lu_workspace : int -> lu
+(** [lu_workspace n] preallocates a factorization workspace for [n*n]
+    systems.  The hot-path pattern is one workspace per analysis,
+    refactored in place on every Newton iteration.  The workspace starts
+    unfactored; {!solve_into} and {!lu_pivots} reject it until
+    {!factor_in_place} succeeds. *)
+
+val factor_in_place : t -> lu -> unit
+(** [factor_in_place a ws] factors [a] into [ws] without allocating.
+    The input matrix is not modified.  Arithmetic, pivot order and
+    {!Singular} payloads are bit-identical to {!lu_factor}.  After a
+    {!Singular} raise the workspace is left unfactored.
+    @raise Singular if the matrix is numerically singular.
+    @raise Invalid_argument on a non-square matrix or size mismatch. *)
+
+val solve_into : lu -> Vec.t -> Vec.t -> unit
+(** [solve_into ws b x] solves [A x = b] writing into caller-owned [x]
+    ([b] is untouched; [b] and [x] must not alias).  Bit-identical to
+    {!lu_solve}.
+    @raise Invalid_argument on dimension mismatch, aliasing, or an
+    unfactored workspace. *)
+
+val lu_size : lu -> int
+
+val lu_pivots : lu -> int array
+(** The pivot permutation of a factorization (copied) — row [i] of the
+    permuted system came from row [lu_pivots.(i)] of the input. *)
+
 val solve : t -> Vec.t -> Vec.t
 (** [solve a b] factors and solves in one step. *)
 

@@ -1,0 +1,329 @@
+(* Compiled hot-path parity: the compile-once/restamp-many execution
+   path must reproduce the legacy build-per-probe path bit for bit —
+   per-arm observables, whole [Engine.run] records and session
+   checkpoint bytes, with and without fault-impact overrides and
+   failure injection — plus the dt_divisor decimation contract. *)
+
+open Testgen
+module Fp = Numerics.Failpoint
+
+let iv_target =
+  Experiments.Setup.target_of_macro Macros.Iv_converter.macro
+    Macros.Process.nominal
+
+let bits = Array.map Int64.bits_of_float
+
+let check_bitwise msg expected got =
+  Alcotest.(check (array int64)) msg (bits expected) (bits got)
+
+let bridge = Faults.Fault.bridge "n1" "vout" ~resistance:10e3
+let pinhole = Faults.Fault.pinhole "m6" ~r_shunt:2e3
+
+let injected fault =
+  {
+    iv_target with
+    Execute.netlist = Faults.Inject.apply iv_target.Execute.netlist fault;
+  }
+
+(* ------------------------------------------------- observables parity *)
+
+(* Every analysis arm (DC levels, THD, step train, IMD, noise, AC), on
+   the nominal topology and on a bridge and a pinhole topology: the
+   compiled plan must reproduce the legacy per-probe rebuild bitwise. *)
+let test_observables_parity () =
+  let profile = Execute.fast_profile in
+  List.iter
+    (fun config ->
+      let values = Test_param.seeds_of config.Test_config.params in
+      let check_target label target impact =
+        let legacy = Execute.observables ~profile config target values in
+        let compiled =
+          Execute.compiled_observables ~profile ?impact
+            (Execute.compile config target)
+            values
+        in
+        check_bitwise
+          (Printf.sprintf "config %d %s" config.Test_config.config_id label)
+          legacy compiled
+      in
+      check_target "nominal" iv_target None;
+      check_target "bridge" (injected bridge)
+        (Some (Faults.Inject.impact_override bridge));
+      check_target "pinhole" (injected pinhole)
+        (Some (Faults.Inject.impact_override pinhole)))
+    Experiments.Iv_configs.all
+
+(* One plan per fault site, restamped per impact: a plan compiled from
+   the 10k bridge answers queries for the 3k bridge through the impact
+   override alone, still matching a legacy run that injects 3k afresh. *)
+let test_impact_restamp_parity () =
+  let config = Experiments.Iv_configs.config1 in
+  let values = Test_param.seeds_of config.Test_config.params in
+  let plan = Execute.compile config (injected bridge) in
+  List.iter
+    (fun ohms ->
+      let variant = Faults.Fault.with_impact bridge ohms in
+      let legacy = Execute.observables config (injected variant) values in
+      let compiled =
+        Execute.compiled_observables
+          ~impact:(Faults.Inject.impact_override variant)
+          plan values
+      in
+      check_bitwise (Printf.sprintf "bridge at %g ohm" ohms) legacy compiled)
+    [ 10e3; 3e3; 330.; 1e6 ]
+
+(* The impact override must also reach the small-signal and noise
+   stamps, where the resistor appears both in the system matrix and as a
+   thermal-noise source. *)
+let test_impact_reaches_noise_and_ac () =
+  let values fault config =
+    let v = Test_param.seeds_of config.Test_config.params in
+    let legacy = Execute.observables config (injected fault) v in
+    let compiled =
+      Execute.compiled_observables
+        ~impact:(Faults.Inject.impact_override fault)
+        (Execute.compile config (injected fault))
+        v
+    in
+    (legacy, compiled)
+  in
+  List.iter
+    (fun config ->
+      List.iter
+        (fun fault ->
+          let legacy, compiled = values fault config in
+          check_bitwise
+            (Printf.sprintf "config %d, fault %s" config.Test_config.config_id
+               (Faults.Fault.id fault))
+            legacy compiled)
+        [ bridge; Faults.Fault.with_impact bridge 470.; pinhole ])
+    [ Experiments.Iv_configs.config1 ]
+
+(* ------------------------------------------------------ engine parity *)
+
+let full_dictionary = Macros.Macro.dictionary Macros.Iv_converter.macro
+
+let small_dictionary =
+  Faults.Dictionary.of_faults
+    [
+      Faults.Fault.bridge "n1" "vout" ~resistance:10e3;
+      Faults.Fault.bridge "0" "vdd" ~resistance:10e3;
+      Faults.Fault.pinhole "m6" ~r_shunt:2e3;
+    ]
+
+let evaluator mode =
+  let config = Experiments.Iv_configs.config1 in
+  Evaluator.create ~mode config ~nominal:iv_target
+    ~box_model:(Tolerance.floor_only config)
+
+let outcome_label (o : Generate.result Resilience.outcome) =
+  match o with
+  | Resilience.Ok _ -> "ok"
+  | Resilience.Recovered _ ->
+      "recovered:" ^ Option.value ~default:"?" (Resilience.recovery_rung o)
+  | Resilience.Failed d -> "failed:" ^ d.Resilience.diag_error
+
+(* everything observable about a run except wall-clock time *)
+let fingerprint (run : Engine.run) =
+  ( Session.to_string run.Engine.results,
+    List.map
+      (fun (r : Engine.fault_report) ->
+        (r.Engine.report_fault_id, outcome_label r.Engine.report_outcome))
+      run.Engine.reports,
+    run.Engine.rung_stats,
+    run.Engine.recovered_count,
+    run.Engine.total_fault_simulations,
+    List.map (fun d -> d.Resilience.diag_fault_id) run.Engine.failed_faults )
+
+let run_mode ?policy mode dictionary =
+  Engine.run ?policy ~executor:Engine.sequential ~evaluators:[ evaluator mode ]
+    dictionary
+
+(* Full dictionary, sequential: the legacy and compiled evaluators must
+   produce identical run records and identical session text — the bytes
+   that checkpoints, --resume and report generation all consume. *)
+let test_engine_parity () =
+  let legacy = run_mode `Legacy full_dictionary in
+  let compiled = run_mode `Compiled full_dictionary in
+  Alcotest.(check int) "whole dictionary simulated"
+    (Faults.Dictionary.size full_dictionary)
+    (List.length compiled.Engine.results);
+  Alcotest.(check bool) "run records identical" true
+    (fingerprint legacy = fingerprint compiled);
+  Alcotest.(check string) "session text identical"
+    (Session.to_string legacy.Engine.results)
+    (Session.to_string compiled.Engine.results)
+
+(* A compiled parallel run against a legacy sequential run: compiled
+   plans are domain-private (fork compiles its own), so the pool must
+   not disturb parity either. *)
+let test_engine_parity_parallel () =
+  let legacy = run_mode `Legacy full_dictionary in
+  let compiled =
+    Engine.run
+      ~executor:(Parallel.executor ~jobs:2)
+      ~evaluators:[ evaluator `Compiled ]
+      full_dictionary
+  in
+  Alcotest.(check bool) "legacy sequential = compiled pool" true
+    (fingerprint legacy = fingerprint compiled)
+
+(* Under probabilistic failure injection the two paths must draw the
+   same failpoint sequence (same solve count, same Newton iteration
+   counts), so recovery and quarantine patterns stay identical. *)
+let test_engine_parity_injected () =
+  let injected mode =
+    Fp.with_failpoints ~seed:23L
+      [
+        {
+          Fp.point = "dc.no_convergence";
+          probability = 0.35;
+          max_triggers = Some 2;
+        };
+        {
+          Fp.point = "execute.observables";
+          probability = 0.05;
+          max_triggers = None;
+        };
+      ]
+      (fun () -> run_mode mode small_dictionary)
+  in
+  let legacy = injected `Legacy in
+  Alcotest.(check bool) "injection exercised the ladder" true
+    (legacy.Engine.recovered_count > 0 || legacy.Engine.failed_faults <> []);
+  Alcotest.(check bool) "injected runs identical" true
+    (fingerprint legacy = fingerprint (injected `Compiled))
+
+(* --------------------------------------------- dt_divisor decimation *)
+
+(* Step-train configuration with an awkward tstop/dt ratio: the product
+   test_time * sample_rate is not exactly representable, so the grid
+   reconstruction must round, not truncate. *)
+let decimation_config ~sample_rate ~test_time =
+  Test_config.create ~id:99 ~name:"decimation probe"
+    ~macro_type:"IV-converter" ~control_node:"Iin"
+    ~params:
+      [
+        Test_param.create ~name:"elev" ~units:"A" ~lower:5e-6 ~upper:50e-6
+          ~seed:25e-6;
+      ]
+    ~analysis:
+      (Test_config.Tran_samples
+         {
+           stimulus =
+             (fun v ->
+               Circuit.Waveform.Step
+                 { base = 0.; elev = v.(0); delay = 2e-7; rise = 1e-7 });
+           sample_rate;
+           test_time;
+         })
+    ~returns:Test_config.Max_abs_delta
+    ~return_names:[ "Max_k |dV(Vout,t_k)|" ]
+    ~accuracy_floor:[ 2e-3 ]
+    ~summary:"decimation regression probe"
+
+let test_decimation_grid () =
+  List.iter
+    (fun (sample_rate, test_time) ->
+      let config = decimation_config ~sample_rate ~test_time in
+      let values = Test_param.seeds_of config.Test_config.params in
+      let with_divisor k =
+        let profile = { Execute.default_profile with dt_divisor = k } in
+        Execute.observables ~profile config iv_target values
+      in
+      let reference = with_divisor 1 in
+      let expected_len =
+        1 + int_of_float (Float.round (test_time *. sample_rate))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "k=1 grid length at %g Hz x %g s" sample_rate test_time)
+        expected_len (Array.length reference);
+      List.iter
+        (fun k ->
+          let decimated = with_divisor k in
+          Alcotest.(check int)
+            (Printf.sprintf "k=%d grid length" k)
+            (Array.length reference) (Array.length decimated);
+          (* the t=0 sample is the DC operating point: independent of
+             the integration step, so bitwise equal across divisors *)
+          Alcotest.(check int64)
+            (Printf.sprintf "k=%d initial sample" k)
+            (Int64.bits_of_float reference.(0))
+            (Int64.bits_of_float decimated.(0));
+          (* endpoint alignment: with an exact divisor relationship the
+             final decimated sample is the fine grid's final sample, at
+             t = tstop *)
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d endpoint finite" k)
+            true
+            (Float.is_finite decimated.(Array.length decimated - 1)))
+        [ 2; 3; 5 ])
+    [ (100e6, 7.5e-6); (3.3e6, 1e-5); (7e6, 3e-6) ]
+
+(* The decimated grid must agree sample-for-sample with an explicit
+   fine-grid simulation read at every k-th point (the same subdivided
+   step the profile induces, [dt /. k]). *)
+let test_decimation_values () =
+  let sample_rate = 3.3e6 and test_time = 1e-5 in
+  let config = decimation_config ~sample_rate ~test_time in
+  let values = Test_param.seeds_of config.Test_config.params in
+  let k = 3 in
+  let profile = { Execute.default_profile with dt_divisor = k } in
+  let decimated = Execute.observables ~profile config iv_target values in
+  let wave =
+    Circuit.Waveform.Step
+      { base = 0.; elev = values.(0); delay = 2e-7; rise = 1e-7 }
+  in
+  let nl =
+    Execute.with_stimulus iv_target.Execute.netlist
+      ~source:iv_target.Execute.stimulus_source wave
+  in
+  let sys = Circuit.Mna.build nl in
+  let dt = 1. /. sample_rate in
+  let result =
+    Circuit.Tran.simulate ~options:Circuit.Dc.default_options sys
+      ~tstop:test_time
+      ~dt:(dt /. float_of_int k)
+      ~observe:[ iv_target.Execute.observe_node ]
+  in
+  let fine = Circuit.Tran.probe_values result iv_target.Execute.observe_node in
+  Alcotest.(check bool) "decimation drops samples" true
+    (Array.length decimated < Array.length fine);
+  Array.iteri
+    (fun i coarse ->
+      let j = Int.min (i * k) (Array.length fine - 1) in
+      Alcotest.(check int64)
+        (Printf.sprintf "sample %d" i)
+        (Int64.bits_of_float fine.(j))
+        (Int64.bits_of_float coarse))
+    decimated
+
+let () =
+  Alcotest.run "hotpath"
+    [
+      ( "observables",
+        [
+          Alcotest.test_case "all arms, nominal + faults" `Quick
+            test_observables_parity;
+          Alcotest.test_case "impact restamp reuses one plan" `Quick
+            test_impact_restamp_parity;
+          Alcotest.test_case "impact reaches noise and AC" `Quick
+            test_impact_reaches_noise_and_ac;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "full dictionary, sequential" `Quick
+            test_engine_parity;
+          Alcotest.test_case "compiled pool vs legacy sequential" `Quick
+            test_engine_parity_parallel;
+          Alcotest.test_case "under failure injection" `Quick
+            test_engine_parity_injected;
+        ] );
+      ( "decimation",
+        [
+          Alcotest.test_case "grid length and endpoints" `Quick
+            test_decimation_grid;
+          Alcotest.test_case "values match explicit fine grid" `Quick
+            test_decimation_values;
+        ] );
+    ]

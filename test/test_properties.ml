@@ -283,6 +283,91 @@ let prop_sensitivity_scaling =
       (* 1 - 2d/b = 2(1 - d/b) - 1 *)
       Float.abs (s2 -. ((2. *. s1) -. 1.)) <= 1e-9)
 
+(* ------------------------------------------------------- in-place LU *)
+
+(* Random strictly diagonally dominant system: always factorable, and
+   awkward enough (random signs and magnitudes) to exercise pivoting. *)
+let random_system rng n =
+  let a = Numerics.Mat.create n n in
+  for i = 0 to n - 1 do
+    let row_sum = ref 0. in
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        let x = Numerics.Rng.uniform rng ~lo:(-1.) ~hi:1. in
+        row_sum := !row_sum +. Float.abs x;
+        Numerics.Mat.set a i j x
+      end
+    done;
+    let sign = if Numerics.Rng.uniform rng ~lo:0. ~hi:1. < 0.5 then -1. else 1. in
+    Numerics.Mat.set a i i (sign *. (!row_sum +. 1.))
+  done;
+  let b =
+    Numerics.Vec.init n (fun _ -> Numerics.Rng.uniform rng ~lo:(-10.) ~hi:10.)
+  in
+  (a, b)
+
+(* The workspace path must reproduce the allocating path bit for bit:
+   same solution bytes, same pivot permutation.  The workspace is reused
+   across iterations of the inner loop on systems of the same size, so
+   stale state from a previous factorization must never leak. *)
+let prop_lu_in_place_parity =
+  QCheck.Test.make ~name:"factor_in_place/solve_into match lu_factor/lu_solve"
+    ~count:100
+    QCheck.(pair (int_range 1 9) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Numerics.Rng.create (Int64.of_int (seed + 7)) in
+      let ws = Numerics.Mat.lu_workspace n in
+      let ok = ref true in
+      (* several systems through one workspace: catches stale pivots *)
+      for _ = 1 to 3 do
+        let a, b = random_system rng n in
+        let lu = Numerics.Mat.lu_factor a in
+        let x_ref = Numerics.Mat.lu_solve lu b in
+        Numerics.Mat.factor_in_place a ws;
+        let x = Numerics.Vec.create n nan in
+        Numerics.Mat.solve_into ws b x;
+        if not (Array.for_all2 (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v)) x_ref x)
+        then ok := false;
+        if Numerics.Mat.lu_pivots lu <> Numerics.Mat.lu_pivots ws then
+          ok := false
+      done;
+      !ok)
+
+(* Rank-deficient inputs must fail identically: same [Singular] step
+   from both implementations (the elimination arithmetic is shared, so a
+   duplicated row hits the same zero pivot in both). *)
+let prop_lu_singular_parity =
+  QCheck.Test.make ~name:"factor_in_place Singular payload matches lu_factor"
+    ~count:100
+    QCheck.(pair (int_range 2 9) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Numerics.Rng.create (Int64.of_int (seed + 13)) in
+      let a, _ = random_system rng n in
+      (* duplicate one row onto another: exact linear dependence *)
+      let src = Numerics.Rng.int rng ~bound:n in
+      let dst = (src + 1 + Numerics.Rng.int rng ~bound:(n - 1)) mod n in
+      for j = 0 to n - 1 do
+        Numerics.Mat.set a dst j (Numerics.Mat.get a src j)
+      done;
+      let step_of f =
+        match f () with
+        | () -> None
+        | exception Numerics.Mat.Singular k -> Some k
+      in
+      let ref_step = step_of (fun () -> ignore (Numerics.Mat.lu_factor a)) in
+      let ws = Numerics.Mat.lu_workspace n in
+      let ws_step = step_of (fun () -> Numerics.Mat.factor_in_place a ws) in
+      ref_step = ws_step
+      (* after a Singular raise the workspace must refuse to solve *)
+      && (match ws_step with
+         | None -> true
+         | Some _ -> (
+             let b = Numerics.Vec.create n 0. in
+             let x = Numerics.Vec.create n 0. in
+             match Numerics.Mat.solve_into ws b x with
+             | () -> false
+             | exception Invalid_argument _ -> true)))
+
 let () =
   Alcotest.run "properties"
     [
@@ -292,6 +377,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_ladder_reduction;
           QCheck_alcotest.to_alcotest prop_mna_symmetry;
           QCheck_alcotest.to_alcotest prop_linearity;
+        ] );
+      ( "lu",
+        [
+          QCheck_alcotest.to_alcotest prop_lu_in_place_parity;
+          QCheck_alcotest.to_alcotest prop_lu_singular_parity;
         ] );
       ( "clustering",
         [
