@@ -211,6 +211,27 @@ let run_parallel_bench ctx =
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.eprintf "parallel bench: wrote %s\n%!" path;
+  (* One traced repeat of the parallel run: its Obs aggregate (span
+     totals, solver/cache counters, per-fault evaluation counts) lands
+     in BENCH_obs.json next to the timing report. *)
+  Printf.eprintf "parallel bench: traced run at --jobs %d for %s...\n%!" host
+    "BENCH_obs.json";
+  Obs.enable ();
+  let obs_json =
+    Fun.protect ~finally:Obs.shutdown (fun () ->
+        let run =
+          Experiments.Runs.engine_run ~executor:(Parallel.executor ~jobs:host)
+            ctx
+        in
+        if fingerprint run <> seq_fp then
+          Printf.eprintf
+            "parallel bench: WARNING traced run diverged from sequential!\n%!";
+        Obs.aggregate_json ())
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc obs_json;
+  close_out oc;
+  Printf.eprintf "parallel bench: wrote BENCH_obs.json\n%!";
   if List.exists (fun (_, run, _) -> fingerprint run <> seq_fp) runs then
     exit 1
 

@@ -535,6 +535,35 @@ let run_or_load ?policy ?resume ?executor ctx ~load ~take =
         end
     end
 
+(* -- tracing ----------------------------------------------------------- *)
+
+let trace_arg =
+  let doc =
+    "Enable observability tracing and write a JSONL trace to $(docv): one \
+     span event per line (schema atpg-trace/1), followed by a \
+     counter/histogram summary. Aggregate counters are identical at every \
+     --jobs count; only elapsed-time fields differ between runs. Off by \
+     default, with zero overhead on the simulation hot path."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Obs.enable ~trace:path ();
+      Fun.protect ~finally:Obs.shutdown f
+
+(* Save errors keep owning exit code 1; a clean run that left quarantined
+   faults reports Engine.exit_quarantined so CI can gate on it. *)
+let finish_run ?save (run_result : Engine.run) =
+  let save_code =
+    match save with
+    | Some path -> save_session path run_result.Engine.results
+    | None -> 0
+  in
+  if save_code <> 0 then save_code else Engine.exit_status run_result
+
 let legacy_eval_arg =
   let doc =
     "Evaluate with the legacy rebuild-per-probe simulation path instead \
@@ -546,7 +575,7 @@ let legacy_eval_arg =
 
 let generate_cmd =
   let run fast fault_id take save max_retries fail_fast resume inject
-      inject_seed jobs legacy =
+      inject_seed jobs legacy trace =
     let specs =
       List.fold_left
         (fun acc s ->
@@ -561,32 +590,32 @@ let generate_cmd =
         prerr_endline e;
         1
     | Ok specs ->
-        (* calibrate the context first: injection targets the resilient
-           generation run, not the tolerance-box setup *)
-        let ctx = iv_context ~legacy ~fast () in
-        Numerics.Failpoint.configure ~seed:(Int64.of_int inject_seed)
-          (List.rev specs);
-        Fun.protect ~finally:Numerics.Failpoint.disable (fun () ->
-            let policy = policy_of ~max_retries ~fail_fast in
-            match fault_id with
-            | Some fid ->
-                print_string (Experiments.Runs.fig6 ~fault_id:fid ctx);
-                0
-            | None -> begin
-                match
-                  run_or_load ~policy ?resume ~executor:(executor_of jobs) ctx
-                    ~load:None ~take
-                with
-                | None -> 1
-                | Some run_result ->
-                    print_string (Experiments.Runs.tab2 ctx run_result);
-                    (match save with
-                    | Some path -> save_session path run_result.Engine.results
-                    | None -> 0)
-                | exception Engine.Fault_failure d ->
-                    Format.eprintf "fail-fast: %a@." Resilience.pp_diagnosis d;
-                    1
-              end)
+        with_trace trace (fun () ->
+            (* calibrate the context first: injection targets the resilient
+               generation run, not the tolerance-box setup *)
+            let ctx = iv_context ~legacy ~fast () in
+            Numerics.Failpoint.configure ~seed:(Int64.of_int inject_seed)
+              (List.rev specs);
+            Fun.protect ~finally:Numerics.Failpoint.disable (fun () ->
+                let policy = policy_of ~max_retries ~fail_fast in
+                match fault_id with
+                | Some fid ->
+                    print_string (Experiments.Runs.fig6 ~fault_id:fid ctx);
+                    0
+                | None -> begin
+                    match
+                      run_or_load ~policy ?resume ~executor:(executor_of jobs)
+                        ctx ~load:None ~take
+                    with
+                    | None -> 1
+                    | Some run_result ->
+                        print_string (Experiments.Runs.tab2 ctx run_result);
+                        finish_run ?save run_result
+                    | exception Engine.Fault_failure d ->
+                        Format.eprintf "fail-fast: %a@."
+                          Resilience.pp_diagnosis d;
+                        Engine.exit_fail_fast
+                  end))
   in
   let fault_arg =
     Arg.(
@@ -601,26 +630,26 @@ let generate_cmd =
     Term.(
       const run $ fast_arg $ fault_arg $ take_arg $ save_arg $ max_retries_arg
       $ fail_fast_arg $ resume_arg $ inject_arg $ inject_seed_arg $ jobs_arg
-      $ legacy_eval_arg)
+      $ legacy_eval_arg $ trace_arg)
 
 let compact_cmd =
-  let run fast take delta load save max_retries fail_fast resume jobs =
-    let ctx = iv_context ~fast () in
-    let policy = policy_of ~max_retries ~fail_fast in
-    match
-      run_or_load ~policy ?resume ~executor:(executor_of jobs) ctx ~load ~take
-    with
-    | None -> 1
-    | Some run_result ->
-        print_string (Experiments.Runs.tab2 ctx run_result);
-        print_newline ();
-        print_string (Experiments.Runs.tab4 ~delta ctx run_result);
-        (match save with
-        | Some path -> save_session path run_result.Engine.results
-        | None -> 0)
-    | exception Engine.Fault_failure d ->
-        Format.eprintf "fail-fast: %a@." Resilience.pp_diagnosis d;
-        1
+  let run fast take delta load save max_retries fail_fast resume jobs trace =
+    with_trace trace (fun () ->
+        let ctx = iv_context ~fast () in
+        let policy = policy_of ~max_retries ~fail_fast in
+        match
+          run_or_load ~policy ?resume ~executor:(executor_of jobs) ctx ~load
+            ~take
+        with
+        | None -> 1
+        | Some run_result ->
+            print_string (Experiments.Runs.tab2 ctx run_result);
+            print_newline ();
+            print_string (Experiments.Runs.tab4 ~delta ctx run_result);
+            finish_run ?save run_result
+        | exception Engine.Fault_failure d ->
+            Format.eprintf "fail-fast: %a@." Resilience.pp_diagnosis d;
+            Engine.exit_fail_fast)
   in
   let delta_arg =
     Arg.(
@@ -634,26 +663,162 @@ let compact_cmd =
              (paper sec. 4).")
     Term.(
       const run $ fast_arg $ take_arg $ delta_arg $ load_arg $ save_arg
-      $ max_retries_arg $ fail_fast_arg $ resume_arg $ jobs_arg)
+      $ max_retries_arg $ fail_fast_arg $ resume_arg $ jobs_arg $ trace_arg)
 
 let baseline_cmd =
-  let run fast take jobs =
-    let ctx = iv_context ~fast () in
-    let ctx =
-      match take with
-      | Some n -> Experiments.Setup.reduced ctx ~n_faults:n
-      | None -> ctx
-    in
-    let run_result =
-      Experiments.Runs.engine_run ~progress ~executor:(executor_of jobs) ctx
-    in
-    print_string (Experiments.Runs.xbase ctx run_result);
-    0
+  let run fast take jobs trace =
+    with_trace trace (fun () ->
+        let ctx = iv_context ~fast () in
+        let ctx =
+          match take with
+          | Some n -> Experiments.Setup.reduced ctx ~n_faults:n
+          | None -> ctx
+        in
+        let run_result =
+          Experiments.Runs.engine_run ~progress ~executor:(executor_of jobs)
+            ctx
+        in
+        print_string (Experiments.Runs.xbase ctx run_result);
+        Engine.exit_status run_result)
   in
   Cmd.v
     (Cmd.info "baseline"
        ~doc:"Compare optimized generation against fixed-seed selection.")
-    Term.(const run $ fast_arg $ take_arg $ jobs_arg)
+    Term.(const run $ fast_arg $ take_arg $ jobs_arg $ trace_arg)
+
+(* -- profile ------------------------------------------------------------ *)
+
+let render_profile (run_result : Engine.run) =
+  let b = Buffer.create 2048 in
+  let section title body =
+    Buffer.add_string b title;
+    Buffer.add_char b '\n';
+    Buffer.add_string b body;
+    Buffer.add_char b '\n'
+  in
+  (* per-phase wall clock *)
+  let spans = Obs.span_stats () in
+  let total_secs =
+    match
+      List.find_opt (fun s -> String.equal s.Obs.span_name "engine.run") spans
+    with
+    | Some s -> s.Obs.span_seconds
+    | None -> run_result.Engine.wall_seconds
+  in
+  section "Per-phase wall clock"
+    (Report.Table.of_rows
+       ~headers:
+         [
+           ("span", Report.Table.Left);
+           ("count", Report.Table.Right);
+           ("seconds", Report.Table.Right);
+           ("% of run", Report.Table.Right);
+         ]
+       (List.map
+          (fun s ->
+            [
+              s.Obs.span_name;
+              string_of_int s.Obs.span_count;
+              Printf.sprintf "%.3f" s.Obs.span_seconds;
+              (if total_secs > 0. then
+                 Printf.sprintf "%.1f"
+                   (100. *. s.Obs.span_seconds /. total_secs)
+               else "-");
+            ])
+          spans));
+  (* top faults by evaluations *)
+  let top_faults =
+    let rec take n = function
+      | [] -> []
+      | _ when n <= 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    take 10 (Obs.fault_evals ())
+  in
+  if top_faults <> [] then
+    section "Top faults by evaluations"
+      (Report.Table.of_rows
+         ~headers:[ ("fault", Report.Table.Left); ("evals", Report.Table.Right) ]
+         (List.map (fun (fid, n) -> [ fid; string_of_int n ]) top_faults));
+  (* counters, with cache hit rates *)
+  let counters = Obs.counters () in
+  let value name =
+    match List.assoc_opt name counters with Some v -> v | None -> 0
+  in
+  let hit_rate hits misses =
+    let total = hits + misses in
+    if total = 0 then "-"
+    else Printf.sprintf "%.1f%%" (100. *. float_of_int hits /. float_of_int total)
+  in
+  section "Cache hit rates"
+    (Report.Table.of_rows
+       ~headers:
+         [
+           ("cache", Report.Table.Left);
+           ("hits", Report.Table.Right);
+           ("misses", Report.Table.Right);
+           ("hit rate", Report.Table.Right);
+         ]
+       [
+         [
+           "nominal observables";
+           string_of_int (value "evaluator.nominal_cache.hits");
+           string_of_int (value "evaluator.nominal_cache.misses");
+           hit_rate
+             (value "evaluator.nominal_cache.hits")
+             (value "evaluator.nominal_cache.misses");
+         ];
+         [
+           "compiled plans";
+           string_of_int (value "evaluator.plan_cache.hits");
+           string_of_int (value "evaluator.plan_cache.misses");
+           hit_rate
+             (value "evaluator.plan_cache.hits")
+             (value "evaluator.plan_cache.misses");
+         ];
+       ]);
+  section "Counters"
+    (Report.Table.of_rows
+       ~headers:[ ("counter", Report.Table.Left); ("value", Report.Table.Right) ]
+       (List.map (fun (name, v) -> [ name; string_of_int v ]) counters));
+  (* histograms (e.g. Newton iterations per DC solve) *)
+  List.iter
+    (fun (name, rows) ->
+      section
+        (Printf.sprintf "Histogram: %s" name)
+        (Report.Table.of_rows
+           ~headers:
+             [ ("bucket", Report.Table.Left); ("count", Report.Table.Right) ]
+           (List.map (fun (label, n) -> [ label; string_of_int n ]) rows)))
+    (Obs.histograms ());
+  Buffer.contents b
+
+let profile_cmd =
+  let run fast take jobs trace =
+    Obs.enable ?trace ();
+    Fun.protect ~finally:Obs.shutdown (fun () ->
+        let ctx = iv_context ~fast () in
+        let ctx =
+          match take with
+          | Some n -> Experiments.Setup.reduced ctx ~n_faults:n
+          | None -> ctx
+        in
+        let run_result =
+          Experiments.Runs.engine_run ~progress ~executor:(executor_of jobs)
+            ctx
+        in
+        print_string (render_profile run_result);
+        print_resilience_summary run_result;
+        Engine.exit_status run_result)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run generation with tracing enabled and render the aggregate \
+          profile: per-phase wall clock, top faults by evaluations, cache \
+          hit rates and solver counters. $(b,--trace) additionally writes \
+          the JSONL trace.")
+    Term.(const run $ fast_arg $ take_arg $ jobs_arg $ trace_arg)
 
 let experiment_cmd =
   let run fast which =
@@ -741,6 +906,7 @@ let main_cmd =
       generate_cmd;
       compact_cmd;
       baseline_cmd;
+      profile_cmd;
       experiment_cmd;
     ]
 

@@ -138,6 +138,8 @@ let system_matrix ?gmin ?workspace:ws ?restamp sys ~op ~freq_hz =
   | Some w -> assemble_into w.ws_a ?gmin ?restamp sys ~op ~freq_hz ~branch_tbl:w.ws_branch
   | None -> assemble ?gmin ?restamp sys ~op ~freq_hz ~branch_tbl:(branch_table sys)
 
+let c_solves = Obs.Counter.create "solver.ac.solves"
+
 let sweep ?(gmin = 1e-12) ?workspace:ws ?restamp sys ~op ~source ~freqs
     ~observe =
   check_workspace sys ws;
@@ -174,6 +176,7 @@ let sweep ?(gmin = 1e-12) ?workspace:ws ?restamp sys ~op ~source ~freqs
         inject to_node Complex.one
     | Some _ | None -> raise Not_found);
     let x = Cmat.solve a z in
+    Obs.Counter.bump c_solves 1;
     match obs_index with None -> Complex.zero | Some i -> x.(i)
   in
   Array.to_list freqs

@@ -33,6 +33,23 @@ let finite_solution x ~n_nodes =
 
 exception Diverged
 
+(* Solver counters, bumped once per [solve] from the finished report —
+   never inside the Newton loop — so the hot path stays allocation-free
+   and branch-light with tracing off.  One LU factorization happens per
+   Newton iteration (both the allocating and the in-place path), so the
+   factorization counter mirrors the iteration counter of the attempts
+   that produced the report. *)
+let c_solves = Obs.Counter.create "solver.dc.solves"
+let c_newton = Obs.Counter.create "solver.dc.newton_iterations"
+let c_lu = Obs.Counter.create "solver.dc.lu_factorizations"
+let c_gmin = Obs.Counter.create "solver.dc.gmin_steps"
+let c_src = Obs.Counter.create "solver.dc.source_steps"
+let c_fail = Obs.Counter.create "solver.dc.failures"
+
+let h_newton =
+  Obs.Histogram.create "solver.dc.newton_per_solve"
+    ~bounds:[| 2; 4; 8; 16; 32; 64 |]
+
 (* One Newton attempt at fixed gmin and source scale, allocating a fresh
    system per iteration — the legacy build-per-solve arithmetic, kept as
    the reference implementation for the compiled hot path.  Returns the
@@ -136,8 +153,8 @@ let newton_ws ~options ~companions ~source_scale ~restamp ~gmin sys ws ~time
    with Mat.Singular _ | Diverged -> converged := false);
   if !converged then Some (Vec.copy ws.Mna.w_x, !iters) else None
 
-let solve ?(options = default_options) ?guess ?companions ?(source_scale = 1.)
-    ?workspace ?restamp sys ~time =
+let solve_u ?(options = default_options) ?guess ?companions
+    ?(source_scale = 1.) ?workspace ?restamp sys ~time =
   if Failpoint.should_fail "dc.no_convergence" then
     raise
       (No_convergence
@@ -221,6 +238,28 @@ let solve ?(options = default_options) ?guess ?companions ?(source_scale = 1.)
                       (Netlist.title (Mna.netlist sys))))
         end
     end
+
+let solve ?options ?guess ?companions ?source_scale ?workspace ?restamp sys
+    ~time =
+  if not (Obs.active ()) then
+    solve_u ?options ?guess ?companions ?source_scale ?workspace ?restamp sys
+      ~time
+  else
+    match
+      solve_u ?options ?guess ?companions ?source_scale ?workspace ?restamp sys
+        ~time
+    with
+    | report ->
+        Obs.Counter.add c_solves 1;
+        Obs.Counter.add c_newton report.newton_iterations;
+        Obs.Counter.add c_lu report.newton_iterations;
+        Obs.Counter.add c_gmin report.gmin_steps;
+        Obs.Counter.add c_src report.source_steps;
+        Obs.Histogram.observe h_newton report.newton_iterations;
+        report
+    | exception (No_convergence _ as e) ->
+        Obs.Counter.add c_fail 1;
+        raise e
 
 let operating_point ?options ?guess sys ~time =
   (solve ?options ?guess sys ~time).solution

@@ -10,6 +10,8 @@ type point = {
   contributions : contribution list;
 }
 
+let c_solves = Obs.Counter.create "solver.noise.solves"
+
 let output_noise ?(gmin = 1e-12) ?(temperature = 300.) ?workspace ?restamp sys
     ~op ~observe ~freqs =
   let obs =
@@ -48,6 +50,7 @@ let output_noise ?(gmin = 1e-12) ?(temperature = 300.) ?workspace ?restamp sys
     let e = Array.make (Mna.size sys) Complex.zero in
     e.(obs) <- Complex.one;
     let y = Cmat.solve at e in
+    Obs.Counter.bump c_solves 1;
     let transfer n =
       let i = node_idx n in
       if i < 0 then Complex.zero else y.(i)

@@ -83,6 +83,11 @@ let update_cap_currents sys ~cap_currents ~companions ~x reactive_list =
       | Ind _ -> ())
     reactive_list
 
+(* Bumped once per simulation (accepted top-level steps; local refinement
+   shows up through the DC solver counters instead). *)
+let c_simulations = Obs.Counter.create "solver.tran.simulations"
+let c_steps = Obs.Counter.create "solver.tran.steps"
+
 let simulate ?(options = Dc.default_options) ?(method_ = Backward_euler)
     ?workspace ?restamp sys ~tstop ~dt ~observe =
   if tstop <= 0. then invalid_arg "Tran.simulate: tstop must be > 0";
@@ -138,6 +143,10 @@ let simulate ?(options = Dc.default_options) ?(method_ = Backward_euler)
     x := advance ~depth:0 ~t_prev ~t_next !x;
     List.iter (fun (n, arr) -> arr.(k) <- Mna.voltage sys !x n) records
   done;
+  if Obs.active () then begin
+    Obs.Counter.add c_simulations 1;
+    Obs.Counter.add c_steps n_steps
+  end;
   {
     times;
     probes = List.map (fun (n, arr) -> { node = n; values = arr }) records;

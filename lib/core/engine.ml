@@ -50,6 +50,8 @@ let sequential =
         done);
   }
 
+let c_faults = Obs.Counter.create "engine.faults"
+
 let rung_stats_of_reports ~policy reports =
   let count label =
     List.length
@@ -160,8 +162,22 @@ let run ?options ?(policy = Resilience.default_policy) ?(resume = []) ?checkpoin
      the fault's scope.  So under injection every task runs on a fresh
      fork of the run-start evaluators (cache state a pure function of the
      fault), absorbed into its worker afterwards.  Injection is a testing
-     hook; production runs keep full cross-fault cache amortization. *)
-  let isolate_tasks = Numerics.Failpoint.active () in
+     hook; production runs keep full cross-fault cache amortization.
+
+     Tracing reuses the same isolation step for the same reason: cache
+     hit/miss counters (and through them solver counters) depend on cache
+     warmth, so isolating each fault on run-start forks makes every
+     counter contribution a pure function of the fault — aggregate
+     counters then match between sequential and --jobs N runs exactly.
+     With tracing off, nothing changes and the engine's bit-identity
+     contract is untouched. *)
+  let isolate_tasks = Numerics.Failpoint.active () || Obs.active () in
+  (* Span events of task i, buffered on the worker and flushed through
+     the in-order emit funnel below, so the trace-file event order is
+     deterministic under any worker count.  The slot for task i is
+     written by the worker before its outcome reaches the funnel (the
+     executor's queue orders the two), and read only in [emit i]. *)
+  let obs_buffers = Array.make total Obs.Task.none in
   let run_task w i =
     let entry = entries.(i) in
     let fid = entry.Faults.Dictionary.fault_id in
@@ -176,9 +192,43 @@ let run ?options ?(policy = Resilience.default_policy) ?(resume = []) ?checkpoin
             }
           else w
         in
-        let outcome =
+        let work () =
           Numerics.Failpoint.with_scope ~key:fid (fun () ->
               Resilience.protect ~policy ~fault_id:fid (attempt tw entry))
+        in
+        let outcome =
+          if not (Obs.active ()) then work ()
+          else begin
+            let outcome_label = ref "ok" in
+            (* Task evaluation counts are read off the isolated forks
+               (zero at task start under tracing), so the attribute is
+               the fault's own spend, independent of scheduling. *)
+            let outcome, events =
+              Obs.Task.collect (fun () ->
+                  Obs.Span.timed ~key:fid
+                    ~attrs:(fun () ->
+                      [
+                        ( "evals",
+                          Obs.Int
+                            (List.fold_left
+                               (fun acc ev ->
+                                 acc + Evaluator.evaluation_count ev)
+                               0 tw.w_evaluators) );
+                        ("outcome", Obs.Str !outcome_label);
+                      ])
+                    "engine.fault"
+                    (fun () ->
+                      let o = work () in
+                      (outcome_label :=
+                         match o with
+                         | Resilience.Ok _ -> "ok"
+                         | Resilience.Recovered _ -> "recovered"
+                         | Resilience.Failed _ -> "quarantined");
+                      o))
+            in
+            obs_buffers.(i) <- events;
+            outcome
+          end
         in
         if isolate_tasks then
           List.iter2
@@ -192,6 +242,13 @@ let run ?options ?(policy = Resilience.default_policy) ?(resume = []) ?checkpoin
      dictionary order from one thread, exactly like the sequential loop. *)
   let report_slots = Array.make total None in
   let emit i outcome =
+    if Obs.active () then begin
+      (* Flush before the fail-fast raise so the trace keeps the events
+         of the fault that terminated the run. *)
+      Obs.Task.flush obs_buffers.(i);
+      obs_buffers.(i) <- Obs.Task.none;
+      Obs.Counter.add c_faults 1
+    end;
     (match outcome with
     | Resilience.Failed d when policy.Resilience.fail_fast ->
         raise (Fault_failure d)
@@ -205,8 +262,15 @@ let run ?options ?(policy = Resilience.default_policy) ?(resume = []) ?checkpoin
     | Some f -> f ~done_:(i + 1) ~total ~fault_id:fid
     | None -> ()
   in
-  Fun.protect ~finally:absorb_workers (fun () ->
-      executor.exec_run ~n:total ~make_worker ~run_task ~emit);
+  (let execute () =
+     Fun.protect ~finally:absorb_workers (fun () ->
+         executor.exec_run ~n:total ~make_worker ~run_task ~emit)
+   in
+   if not (Obs.active ()) then execute ()
+   else
+     Obs.Span.timed
+       ~attrs:(fun () -> [ ("faults", Obs.Int total) ])
+       "engine.run" execute);
   let reports =
     Array.to_list report_slots
     |> List.map (function
@@ -310,3 +374,10 @@ let critical_impacts run =
           Some (r.Generate.fault_id, critical_impact)
       | Generate.Undetectable _ -> None)
     run.results
+
+(* Process exit codes the CLI (and CI) gate on: 0 clean, 1 is left to
+   usage/IO errors, 3 means the run completed but left quarantined
+   faults, 4 means a fail-fast policy terminated the run. *)
+let exit_quarantined = 3
+let exit_fail_fast = 4
+let exit_status run = if run.failed_faults = [] then 0 else exit_quarantined

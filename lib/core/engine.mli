@@ -128,3 +128,21 @@ val results_for_config : run -> config_id:int -> Generate.result list
 
 val critical_impacts : run -> (string * float) list
 (** [(fault_id, critical impact)] for every uniquely solved fault. *)
+
+(** {2 Process exit codes}
+
+    The CLI maps run outcomes onto distinct exit codes so CI can gate on
+    them: [0] clean, [1] usage/IO errors (owned by the CLI layer),
+    {!exit_quarantined} when the run completed but left quarantined
+    faults, {!exit_fail_fast} when a fail-fast policy terminated the
+    run. *)
+
+val exit_quarantined : int
+(** [3] — the run completed but [failed_faults] is non-empty. *)
+
+val exit_fail_fast : int
+(** [4] — a [fail_fast] policy aborted the run ({!Fault_failure}). *)
+
+val exit_status : run -> int
+(** [0] for a clean run, {!exit_quarantined} if any fault ended the run
+    quarantined. *)

@@ -1,6 +1,11 @@
 
 type mode = [ `Legacy | `Compiled ]
 
+(* Per-evaluator accounting lives in unregistered Obs counters: the same
+   atomic cells whether tracing is on or off, with fork/absorb giving the
+   commutative merge Parallel relies on.  The registered globals below
+   additionally accumulate the process-wide profile (active-only bumps,
+   so the disabled path costs one atomic load per site). *)
 type t = {
   config : Test_config.t;
   profile : Execute.profile;
@@ -9,11 +14,17 @@ type t = {
   mode : mode;
   nominal_cache : (string, float array) Hashtbl.t;
   compiled_cache : (string, Execute.compiled) Hashtbl.t;
-  evals : int ref;
+  evals : Obs.Counter.t;
   budget : int option ref;
-  cache_hits : int ref;
-  cache_misses : int ref;
+  cache_hits : Obs.Counter.t;
+  cache_misses : Obs.Counter.t;
 }
+
+let g_evals = Obs.Counter.create "evaluator.fault_evaluations"
+let g_cache_hits = Obs.Counter.create "evaluator.nominal_cache.hits"
+let g_cache_misses = Obs.Counter.create "evaluator.nominal_cache.misses"
+let g_plan_hits = Obs.Counter.create "evaluator.plan_cache.hits"
+let g_plan_misses = Obs.Counter.create "evaluator.plan_cache.misses"
 
 exception Budget_exhausted of { config_id : int; budget : int }
 
@@ -27,10 +38,10 @@ let create ?(profile = Execute.default_profile) ?(mode = `Compiled) config
     mode;
     nominal_cache = Hashtbl.create 64;
     compiled_cache = Hashtbl.create 16;
-    evals = ref 0;
+    evals = Obs.Counter.unregistered "evaluator.evals";
     budget = ref None;
-    cache_hits = ref 0;
-    cache_misses = ref 0;
+    cache_hits = Obs.Counter.unregistered "evaluator.cache_hits";
+    cache_misses = Obs.Counter.unregistered "evaluator.cache_misses";
   }
 
 (* Same configuration, target and calibrated box, different execution
@@ -55,10 +66,10 @@ let fork t =
     t with
     nominal_cache = Hashtbl.copy t.nominal_cache;
     compiled_cache = Hashtbl.create 16;
-    evals = ref 0;
+    evals = Obs.Counter.fork t.evals;
     budget = ref None;
-    cache_hits = ref 0;
-    cache_misses = ref 0;
+    cache_hits = Obs.Counter.fork t.cache_hits;
+    cache_misses = Obs.Counter.fork t.cache_misses;
   }
 
 (* Deterministic merge of a fork back into its parent.  Counters are
@@ -69,9 +80,9 @@ let fork t =
    mutated by the child's domain and stay with it. *)
 let absorb ~into child =
   if into != child then begin
-    into.evals := !(into.evals) + !(child.evals);
-    into.cache_hits := !(into.cache_hits) + !(child.cache_hits);
-    into.cache_misses := !(into.cache_misses) + !(child.cache_misses);
+    Obs.Counter.absorb ~into:into.evals child.evals;
+    Obs.Counter.absorb ~into:into.cache_hits child.cache_hits;
+    Obs.Counter.absorb ~into:into.cache_misses child.cache_misses;
     Hashtbl.iter
       (fun key obs ->
         if not (Hashtbl.mem into.nominal_cache key) then
@@ -89,10 +100,11 @@ let set_budget t budget = t.budget := budget
 
 let charge t =
   (match !(t.budget) with
-  | Some b when !(t.evals) >= b ->
+  | Some b when Obs.Counter.value t.evals >= b ->
       raise (Budget_exhausted { config_id = config_id t; budget = b })
   | Some _ | None -> ());
-  incr t.evals
+  Obs.Counter.incr t.evals;
+  Obs.Counter.bump g_evals 1
 
 (* Exact (hex-float) keys: a rounded key would let parameter points that
    differ only in the last bits share an entry, making the memoized
@@ -112,8 +124,11 @@ let nominal_plan_key = "@nominal"
 
 let compiled_plan t ~key target =
   match Hashtbl.find_opt t.compiled_cache key with
-  | Some plan -> plan
+  | Some plan ->
+      Obs.Counter.bump g_plan_hits 1;
+      plan
   | None ->
+      Obs.Counter.bump g_plan_misses 1;
       let plan = Execute.compile t.config (target ()) in
       Hashtbl.replace t.compiled_cache key plan;
       plan
@@ -122,10 +137,12 @@ let nominal_observables t values =
   let key = cache_key values in
   match Hashtbl.find_opt t.nominal_cache key with
   | Some obs ->
-      incr t.cache_hits;
+      Obs.Counter.incr t.cache_hits;
+      Obs.Counter.bump g_cache_hits 1;
       obs
   | None ->
-      incr t.cache_misses;
+      Obs.Counter.incr t.cache_misses;
+      Obs.Counter.bump g_cache_misses 1;
       let obs =
         match t.mode with
         | `Legacy ->
@@ -184,13 +201,13 @@ let sensitivity_of_target t target values =
         ~faulty:observed
   | exception Execute.Execution_failure _ -> detected_sentinel
 
-let evaluation_count t = !(t.evals)
+let evaluation_count t = Obs.Counter.value t.evals
 
 type cache_stats = { hits : int; misses : int; entries : int }
 
 let cache_stats t =
   {
-    hits = !(t.cache_hits);
-    misses = !(t.cache_misses);
+    hits = Obs.Counter.value t.cache_hits;
+    misses = Obs.Counter.value t.cache_misses;
     entries = Hashtbl.length t.nominal_cache;
   }

@@ -180,7 +180,7 @@ let transient ~options ~dt_divisor inst ~observe ~tstop ~dt =
            (Printf.sprintf "transient step failed at t=%g: %s" time reason))
   | exception Dc.No_convergence msg -> raise (Execution_failure msg)
 
-let observables_of engine ~profile config values =
+let observables_body engine ~profile config values =
   check_values config values;
   if Numerics.Failpoint.should_fail "execute.observables" then
     raise (Execution_failure "injected failure at execute.observables");
@@ -264,6 +264,14 @@ let observables_of engine ~profile config values =
       | _ -> raise (Execution_failure "AC: unexpected sweep result")
       | exception Numerics.Cmat.Singular _ ->
           raise (Execution_failure "AC: singular small-signal system"))
+
+(* The span closure is only built when tracing is active, so the
+   disabled path is a direct call with no extra allocation. *)
+let observables_of engine ~profile config values =
+  if not (Obs.active ()) then observables_body engine ~profile config values
+  else
+    Obs.Span.timed ~key:(string_of_int config.Test_config.config_id)
+      "execute.solve" (fun () -> observables_body engine ~profile config values)
 
 let observables ?(profile = default_profile) config target values =
   observables_of (Direct target) ~profile config values

@@ -64,7 +64,8 @@ let optimize_candidate ?(options = default_options) evaluator fault_low =
   let config = Evaluator.config evaluator in
   let before = Evaluator.evaluation_count evaluator in
   let cost values = Evaluator.sensitivity evaluator fault_low values in
-  let params, fmin =
+  let opt_iterations = ref 0 and opt_evals = ref 0 in
+  let run_optimizer () =
     match config.Test_config.params with
     | [ p ] ->
         let cost1 v = cost [| v |] in
@@ -75,6 +76,8 @@ let optimize_candidate ?(options = default_options) evaluator fault_low =
         let r =
           Brent.minimize ~tol:options.optimizer_tol ~f:cost1 ~a:lo ~b:hi ()
         in
+        opt_iterations := r.Brent.iterations;
+        opt_evals := r.Brent.evals + options.bracket_points + 1;
         ([| r.Brent.xmin |], r.Brent.fmin)
     | _ :: _ :: _ as ps ->
         let lower, upper = Test_param.bounds_of ps in
@@ -83,8 +86,22 @@ let optimize_candidate ?(options = default_options) evaluator fault_low =
           Powell.minimize ~tol:options.optimizer_tol
             ~max_iter:options.powell_max_iter ~f:cost ~lower ~upper ~start ()
         in
+        opt_iterations := r.Powell.iterations;
+        opt_evals := r.Powell.evaluations;
         (r.Powell.xmin, r.Powell.fmin)
     | [] -> invalid_arg "Generate.optimize_candidate: configuration without parameters"
+  in
+  let params, fmin =
+    if not (Obs.active ()) then run_optimizer ()
+    else
+      Obs.Span.timed
+        ~key:(string_of_int (Evaluator.config_id evaluator))
+        ~attrs:(fun () ->
+          [
+            ("iterations", Obs.Int !opt_iterations);
+            ("evals", Obs.Int !opt_evals);
+          ])
+        "generate.optimizer" run_optimizer
   in
   (* The designer's seed is a "promising test value" (sec. 2.2): when the
      weakened model leaves the cost surface flat, a local optimizer can
@@ -190,13 +207,25 @@ let rec bisect_for_unique m ~r_many ~r_none =
     | _ :: _ :: _ -> bisect_for_unique m ~r_many:mid ~r_none
   end
 
+(* Per-configuration span around one candidate optimization.  The nested
+   [generate.optimizer] span carries iteration/eval attributes; this one
+   carries the whole configuration's wall time (bracket scan + optimizer
+   + seed guard). *)
+let traced_candidate ~options ev fault =
+  if not (Obs.active ()) then optimize_candidate ~options ev fault
+  else
+    Obs.Span.timed
+      ~key:(string_of_int (Evaluator.config_id ev))
+      "generate.configuration"
+      (fun () -> optimize_candidate ~options ev fault)
+
 let generate ?(options = default_options) ~evaluators entry =
   if evaluators = [] then invalid_arg "Generate.generate: no evaluators";
   let fault = entry.Faults.Dictionary.fault in
   let r_dict = Faults.Fault.impact_resistance fault in
   let fault_low = Faults.Fault.weaken fault ~factor:options.soft_factor in
   let candidates =
-    List.map (fun ev -> optimize_candidate ~options ev fault_low) evaluators
+    List.map (fun ev -> traced_candidate ~options ev fault_low) evaluators
   in
   (* Sec. 2.2's extension for hard-to-see faults: when the weakened model
      produced no detection signal at all (flat cost surface), the
@@ -208,7 +237,7 @@ let generate ?(options = default_options) ~evaluators entry =
       (fun ev cand ->
         if cand.low_impact_sensitivity <= 0. then cand
         else begin
-          let cand_dict = optimize_candidate ~options ev fault in
+          let cand_dict = traced_candidate ~options ev fault in
           let s_old = Evaluator.sensitivity ev fault cand.cand_params in
           if cand_dict.low_impact_sensitivity < s_old then
             {
@@ -269,7 +298,7 @@ let generate ?(options = default_options) ~evaluators entry =
     let cand, _ = most_sensitive m r in
     unique_outcome cand.cand_config_id r
   in
-  let outcome =
+  let search_outcome () =
     match detecting_at m r_dict with
     | [ only ] -> unique_outcome only r_dict
     | _ :: _ :: _ -> begin
@@ -314,6 +343,14 @@ let generate ?(options = default_options) ~evaluators entry =
         in
         walk_down r_dict (r_dict /. 2.)
       end
+  in
+  let outcome =
+    if not (Obs.active ()) then search_outcome ()
+    else
+      Obs.Span.timed
+        ~key:entry.Faults.Dictionary.fault_id
+        ~attrs:(fun () -> [ ("steps", Obs.Int (List.length m.steps)) ])
+        "generate.impact" search_outcome
   in
   {
     fault_id = entry.Faults.Dictionary.fault_id;

@@ -40,7 +40,19 @@ let default_ladder =
     };
   ]
 
+let c_escalations = Obs.Counter.create "resilience.escalations"
+let c_recovered = Obs.Counter.create "resilience.recovered"
+let c_quarantined = Obs.Counter.create "resilience.quarantined"
+
+(* One counter per ladder rung (plus baseline), so the profile shows how
+   far up the ladder runs actually climb.  [Obs.Counter.create] is
+   idempotent per name, so looking the counter up on each attempt is
+   just a registry probe — and it only happens when tracing is active. *)
+let rung_counter label =
+  Obs.Counter.create ("resilience.rung_attempts." ^ label)
+
 let escalate rung (p : Execute.profile) =
+  Obs.Counter.bump c_escalations 1;
   let o = p.Execute.dc_options in
   {
     p with
@@ -139,6 +151,7 @@ let protect ~policy ~fault_id f =
   let rec walk failed = function
     | [] ->
         let attempts = List.rev failed in
+        Obs.Counter.bump c_quarantined 1;
         Failed
           {
             diag_fault_id = fault_id;
@@ -149,14 +162,17 @@ let protect ~policy ~fault_id f =
               | _ -> "no attempts made");
           }
     | rung :: rest -> begin
+        if Obs.active () then Obs.Counter.add (rung_counter (label rung)) 1;
         match run rung with
         | Stdlib.Ok v ->
             if failed = [] then Ok v
-            else
+            else begin
+              Obs.Counter.bump c_recovered 1;
               Recovered
                 ( v,
                   List.rev
                     ({ attempt_rung = label rung; attempt_error = None } :: failed) )
+            end
         | Stdlib.Error msg ->
             walk ({ attempt_rung = label rung; attempt_error = Some msg } :: failed) rest
       end

@@ -1,4 +1,4 @@
-type result = { xmin : float; fmin : float; iterations : int }
+type result = { xmin : float; fmin : float; iterations : int; evals : int }
 
 let golden_ratio = 0.381966011250105  (* 2 - phi *)
 
@@ -8,8 +8,8 @@ let golden ?(tol = 1e-6) ?(max_iter = 200) ~f ~a ~b () =
   let eval x = incr evals; f x in
   let rec loop a b x1 x2 f1 f2 n =
     if n >= max_iter || b -. a <= tol *. (Float.abs x1 +. Float.abs x2 +. 1e-12) then
-      if f1 < f2 then { xmin = x1; fmin = f1; iterations = !evals }
-      else { xmin = x2; fmin = f2; iterations = !evals }
+      if f1 < f2 then { xmin = x1; fmin = f1; iterations = n; evals = !evals }
+      else { xmin = x2; fmin = f2; iterations = n; evals = !evals }
     else if f1 < f2 then
       let x1' = a +. (golden_ratio *. (x2 -. a)) in
       loop a x2 x1' x1 (eval x1') f1 (n + 1)
@@ -17,7 +17,13 @@ let golden ?(tol = 1e-6) ?(max_iter = 200) ~f ~a ~b () =
       let x2' = b -. (golden_ratio *. (b -. x1)) in
       loop x1 b x2 x2' f2 (eval x2') (n + 1)
   in
-  if b -. a < 1e-300 then { xmin = a; fmin = eval a; iterations = !evals }
+  if b -. a < 1e-300 then begin
+    (* Evaluate before building the record: record-field evaluation order
+       is unspecified, so [{ fmin = eval a; evals = !evals }] could read
+       [!evals] either before or after the increment. *)
+    let fa = eval a in
+    { xmin = a; fmin = fa; iterations = 0; evals = !evals }
+  end
   else begin
     let x1 = a +. (golden_ratio *. (b -. a)) in
     let x2 = b -. (golden_ratio *. (b -. a)) in
@@ -29,7 +35,10 @@ let minimize ?(tol = 1e-6) ?(max_iter = 100) ~f ~a ~b () =
   if a > b then invalid_arg "Brent.minimize: a > b";
   let evals = ref 0 in
   let eval x = incr evals; f x in
-  if b -. a < 1e-300 then { xmin = a; fmin = eval a; iterations = !evals }
+  if b -. a < 1e-300 then begin
+    let fa = eval a in
+    { xmin = a; fmin = fa; iterations = 0; evals = !evals }
+  end
   else begin
     let cgold = golden_ratio in
     let eps = 1e-12 in
@@ -47,7 +56,7 @@ let minimize ?(tol = 1e-6) ?(max_iter = 100) ~f ~a ~b () =
       let tol1 = (tol *. Float.abs !x) +. eps in
       let tol2 = 2. *. tol1 in
       if Float.abs (!x -. xm) <= tol2 -. (0.5 *. (!b -. !a)) then
-        result := Some { xmin = !x; fmin = !fx; iterations = !evals }
+        result := Some { xmin = !x; fmin = !fx; iterations = !iter; evals = !evals }
       else begin
         let use_golden = ref true in
         if Float.abs !e > tol1 then begin
@@ -100,7 +109,7 @@ let minimize ?(tol = 1e-6) ?(max_iter = 100) ~f ~a ~b () =
     done;
     match !result with
     | Some r -> r
-    | None -> { xmin = !x; fmin = !fx; iterations = !evals }
+    | None -> { xmin = !x; fmin = !fx; iterations = !iter; evals = !evals }
   end
 
 let bracket_scan ~f ~a ~b ~n =

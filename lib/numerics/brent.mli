@@ -8,20 +8,25 @@
 type result = {
   xmin : float;  (** abscissa of the located minimum *)
   fmin : float;  (** objective value at [xmin] *)
-  iterations : int;  (** objective evaluations spent *)
+  iterations : int;
+      (** loop iterations of the search — the quantity [max_iter] bounds.
+          A degenerate interval ([b -. a < 1e-300]) reports 0. *)
+  evals : int;  (** objective evaluations spent (≥ [iterations]) *)
 }
 
 val golden : ?tol:float -> ?max_iter:int -> f:(float -> float) ->
   a:float -> b:float -> unit -> result
 (** Golden-section search on [\[a, b\]].  Robust, linearly convergent;
-    used as a cross-check for Brent and in tests.
+    used as a cross-check for Brent and in tests.  Spends two seed
+    evaluations plus one per iteration: [evals = iterations + 2].
     @raise Invalid_argument if [a > b]. *)
 
 val minimize : ?tol:float -> ?max_iter:int -> f:(float -> float) ->
   a:float -> b:float -> unit -> result
 (** Brent's method on [\[a, b\]]: golden-section bracketing combined with
     successive parabolic interpolation.  [tol] is the relative abscissa
-    tolerance (default [1e-6]); [max_iter] defaults to 100.
+    tolerance (default [1e-6]); [max_iter] defaults to 100 and bounds
+    [iterations] (one seed evaluation, then at most one per iteration).
     @raise Invalid_argument if [a > b]. *)
 
 val bracket_scan : f:(float -> float) -> a:float -> b:float -> n:int ->

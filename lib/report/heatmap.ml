@@ -57,9 +57,20 @@ let render_1d ~x_axis ~values ~height =
   if height < 2 then invalid_arg "Heatmap.render_1d: height < 2";
   if n = 0 then invalid_arg "Heatmap.render_1d: empty values";
   let lo, hi = Numerics.Stats.min_max values in
-  let span = if hi -. lo <= 0. then 1. else hi -. lo in
+  (* Degenerate ranges: an all-equal grid gives [hi -. lo = 0.] and a NaN
+     sample poisons both bounds.  Clamp to a unit span anchored at a finite
+     origin so the scale column stays numeric, and pin every level into
+     [0, height-1] (a NaN sample renders at the floor instead of
+     propagating through [int_of_float nan]). *)
+  let lo = if Float.is_finite lo then lo else 0. in
+  let span =
+    let s = hi -. lo in
+    if Float.is_finite s && s > 0. then s else 1.
+  in
   let level v =
-    int_of_float (Float.round ((v -. lo) /. span *. float_of_int (height - 1)))
+    let raw = (v -. lo) /. span *. float_of_int (height - 1) in
+    if not (Float.is_finite raw) then 0
+    else max 0 (min (height - 1) (int_of_float (Float.round raw)))
   in
   let b = Buffer.create 512 in
   for row = height - 1 downto 0 do

@@ -25,5 +25,8 @@ val render :
 
 val render_1d :
   x_axis:string * float array -> values:float array -> height:int -> string
-(** Vertical-bar plot of a one-parameter sweep.
+(** Vertical-bar plot of a one-parameter sweep.  Degenerate inputs are
+    clamped rather than propagated: an all-equal sweep renders with a
+    unit span, and non-finite samples draw at the floor level instead of
+    producing NaN scale rows.
     @raise Invalid_argument on length mismatch or [height < 2]. *)

@@ -3,19 +3,23 @@ type series = { series_glyph : char; points : (float * float) list }
 let render ?(width = 56) ?(height = 18) ~x_label ~y_label ~x_range ~y_range
     series_list =
   let x_lo, x_hi = x_range and y_lo, y_hi = y_range in
-  if x_lo >= x_hi || y_lo >= y_hi then
+  if x_lo > x_hi || y_lo > y_hi then
     invalid_arg "Scatter.render: inverted range";
   if width < 8 || height < 4 then invalid_arg "Scatter.render: grid too small";
+  (* A collapsed axis (lo = hi) is legal — every in-range point sits at
+     index 0 on that axis instead of dividing by a zero span. *)
+  let x_span = if x_hi -. x_lo > 0. then x_hi -. x_lo else 1. in
+  let y_span = if y_hi -. y_lo > 0. then y_hi -. y_lo else 1. in
   let grid = Array.make_matrix height width ' ' in
   let place glyph (x, y) =
     if x >= x_lo && x <= x_hi && y >= y_lo && y <= y_hi then begin
       let xi =
         int_of_float
-          (Float.round ((x -. x_lo) /. (x_hi -. x_lo) *. float_of_int (width - 1)))
+          (Float.round ((x -. x_lo) /. x_span *. float_of_int (width - 1)))
       in
       let yi =
         int_of_float
-          (Float.round ((y -. y_lo) /. (y_hi -. y_lo) *. float_of_int (height - 1)))
+          (Float.round ((y -. y_lo) /. y_span *. float_of_int (height - 1)))
       in
       grid.(height - 1 - yi).(xi) <- glyph
     end
@@ -38,14 +42,15 @@ let render ?(width = 56) ?(height = 18) ~x_label ~y_label ~x_range ~y_range
 
 let render_1d ?(width = 56) ~label ~range points =
   let lo, hi = range in
-  if lo >= hi then invalid_arg "Scatter.render_1d: inverted range";
+  if lo > hi then invalid_arg "Scatter.render_1d: inverted range";
+  let span = if hi -. lo > 0. then hi -. lo else 1. in
   let counts = Array.make width 0 in
   List.iter
     (fun x ->
       if x >= lo && x <= hi then begin
         let xi =
           int_of_float
-            (Float.round ((x -. lo) /. (hi -. lo) *. float_of_int (width - 1)))
+            (Float.round ((x -. lo) /. span *. float_of_int (width - 1)))
         in
         counts.(xi) <- counts.(xi) + 1
       end)

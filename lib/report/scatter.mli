@@ -14,10 +14,14 @@ val render :
   string
 (** Plot point sets on a [width] x [height] character grid (defaults
     56 x 18).  Overlapping points from different series show the glyph of
-    the later series.  Ranges must be non-degenerate.
-    @raise Invalid_argument on inverted ranges or tiny grids. *)
+    the later series.  A collapsed axis ([lo = hi]) is legal: in-range
+    points land at index 0 on that axis.
+    @raise Invalid_argument on strictly inverted ranges ([lo > hi]) or
+    tiny grids. *)
 
 val render_1d :
   ?width:int -> label:string -> range:float * float -> float list -> string
 (** Strip plot for one-parameter configurations: tick marks on one axis
-    with point counts. *)
+    with point counts.  A collapsed range ([lo = hi]) piles every in-range
+    point at index 0.
+    @raise Invalid_argument on a strictly inverted range ([lo > hi]). *)

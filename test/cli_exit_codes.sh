@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Exit-code contract of the atpg CLI, so CI can gate on run outcomes:
+#   0 - clean run
+#   3 - run completed but left quarantined faults
+#   4 - a fail-fast policy terminated the run
+# Driven from dune (see the rule in test/dune); $1 is the atpg executable.
+set -u
+
+atpg="$1"
+fails=0
+
+expect() {
+  local want="$1"
+  local label="$2"
+  shift 2
+  "$atpg" "$@" >/dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL $label: expected exit $want, got $got" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok   $label (exit $got)"
+  fi
+}
+
+# Injection always fires at the first observables call; with no retries the
+# fault quarantines immediately, so each run costs one calibration pass.
+expect 0 "clean generate" \
+  generate --fast --take 1
+expect 3 "quarantined fault" \
+  generate --fast --take 1 --max-retries 0 --inject execute.observables
+expect 4 "fail-fast abort" \
+  generate --fast --take 1 --max-retries 0 --fail-fast --inject execute.observables
+expect 3 "quarantined fault (traced)" \
+  generate --fast --take 1 --max-retries 0 --inject execute.observables \
+  --trace cli_exit_codes_trace.jsonl
+
+# The traced quarantined run must still have produced a non-empty trace.
+if [ ! -s cli_exit_codes_trace.jsonl ]; then
+  echo "FAIL traced run left an empty or missing trace file" >&2
+  fails=$((fails + 1))
+else
+  echo "ok   traced run wrote $(wc -l < cli_exit_codes_trace.jsonl) trace lines"
+fi
+rm -f cli_exit_codes_trace.jsonl
+
+exit "$fails"

@@ -170,6 +170,51 @@ let prop_brent_in_bounds =
       let r = Brent.minimize ~f:(fun x -> sin (3. *. x)) ~a ~b () in
       r.Brent.xmin >= a -. 1e-9 && r.Brent.xmin <= b +. 1e-9)
 
+(* iteration/evaluation accounting (the fields the optimizer span and
+   the profile report consume) *)
+
+let test_brent_degenerate_counts () =
+  let evals = ref 0 in
+  let f x =
+    incr evals;
+    x *. x
+  in
+  let r = Brent.minimize ~f ~a:1. ~b:1. () in
+  Alcotest.(check int) "degenerate interval: zero iterations" 0
+    r.Brent.iterations;
+  Alcotest.(check int) "degenerate interval: one evaluation" 1 r.Brent.evals;
+  Alcotest.(check int) "evals field matches calls made" !evals r.Brent.evals;
+  check_float ~eps:0. "fmin is f a, not garbage" 1. r.Brent.fmin
+
+let test_brent_eval_accounting () =
+  let evals = ref 0 in
+  let f x =
+    incr evals;
+    (x -. 2.) ** 2.
+  in
+  let r = Brent.minimize ~f ~a:0. ~b:5. () in
+  Alcotest.(check int) "evals counts objective calls" !evals r.Brent.evals;
+  Alcotest.(check bool) "evals >= iterations" true
+    (r.Brent.evals >= r.Brent.iterations)
+
+let test_brent_max_iter_bounds_iterations () =
+  let r =
+    Brent.minimize ~f:(fun x -> sin (5. *. x)) ~a:(-3.) ~b:3. ~max_iter:4 ()
+  in
+  Alcotest.(check bool) "iterations bounded by max_iter" true
+    (r.Brent.iterations <= 4)
+
+let test_golden_eval_accounting () =
+  let evals = ref 0 in
+  let f x =
+    incr evals;
+    ((x -. 0.7) ** 2.) +. 1.
+  in
+  let r = Brent.golden ~f ~a:(-2.) ~b:2. () in
+  Alcotest.(check int) "golden evals = iterations + 2"
+    (r.Brent.iterations + 2) r.Brent.evals;
+  Alcotest.(check int) "evals field matches calls made" !evals r.Brent.evals
+
 (* --------------------------------------------------------------- Powell *)
 
 let test_powell_quadratic () =
@@ -345,6 +390,14 @@ let () =
           Alcotest.test_case "golden agrees" `Quick test_golden_agrees;
           Alcotest.test_case "bracket scan" `Quick test_bracket_scan;
           QCheck_alcotest.to_alcotest prop_brent_in_bounds;
+          Alcotest.test_case "degenerate interval counts" `Quick
+            test_brent_degenerate_counts;
+          Alcotest.test_case "evaluation accounting" `Quick
+            test_brent_eval_accounting;
+          Alcotest.test_case "max_iter bounds iterations" `Quick
+            test_brent_max_iter_bounds_iterations;
+          Alcotest.test_case "golden evaluation accounting" `Quick
+            test_golden_eval_accounting;
         ] );
       ( "powell",
         [

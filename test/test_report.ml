@@ -78,6 +78,32 @@ let test_heatmap_1d_errors () =
      Alcotest.fail "length mismatch accepted"
    with Invalid_argument _ -> ())
 
+let contains_nan s =
+  let l = String.lowercase_ascii s in
+  let n = String.length l in
+  let rec go i =
+    if i + 3 > n then false
+    else if String.sub l i 3 = "nan" then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_heatmap_1d_flat_values () =
+  (* all-equal values used to divide by a zero span and print NaN bars *)
+  let s =
+    Report.Heatmap.render_1d ~x_axis:("p", [| 0.; 1.; 2. |])
+      ~values:[| 0.7; 0.7; 0.7 |] ~height:5
+  in
+  Alcotest.(check bool) "no NaN leaks into the chart" false (contains_nan s);
+  Alcotest.(check bool) "bars still drawn" true (contains s "*")
+
+let test_heatmap_1d_nonfinite_values () =
+  let s =
+    Report.Heatmap.render_1d ~x_axis:("p", [| 0.; 1.; 2. |])
+      ~values:[| Float.nan; 1.; Float.infinity |] ~height:5
+  in
+  Alcotest.(check bool) "non-finite samples render" false (contains_nan s)
+
 (* ---------------------------------------------------------------- Scatter *)
 
 let test_scatter_basic () =
@@ -105,6 +131,24 @@ let test_scatter_invalid_range () =
      Alcotest.fail "inverted range accepted"
    with Invalid_argument _ -> ())
 
+let test_scatter_collapsed_range () =
+  (* a single-valued axis (lo = hi) is legal: points land at index 0
+     instead of dividing by a zero span *)
+  let s =
+    Report.Scatter.render ~x_label:"x" ~y_label:"y" ~x_range:(0.5, 0.5)
+      ~y_range:(0., 1.)
+      [ { Report.Scatter.series_glyph = 'o'; points = [ (0.5, 0.5) ] } ]
+  in
+  Alcotest.(check bool) "point still drawn" true (contains s "o");
+  Alcotest.(check bool) "no NaN in the chart" false (contains_nan s)
+
+let test_scatter_1d_collapsed_range () =
+  let s =
+    Report.Scatter.render_1d ~width:10 ~label:"p" ~range:(2., 2.) [ 2.; 2. ]
+  in
+  Alcotest.(check bool) "both points counted" true (contains s "2");
+  Alcotest.(check bool) "no NaN in the strip" false (contains_nan s)
+
 let test_scatter_1d_counts () =
   let s =
     Report.Scatter.render_1d ~width:10 ~label:"p" ~range:(0., 1.)
@@ -129,12 +173,18 @@ let () =
           Alcotest.test_case "buckets and legend" `Quick test_heatmap_buckets;
           Alcotest.test_case "1d bars" `Quick test_heatmap_1d;
           Alcotest.test_case "1d errors" `Quick test_heatmap_1d_errors;
+          Alcotest.test_case "1d flat values" `Quick test_heatmap_1d_flat_values;
+          Alcotest.test_case "1d non-finite values" `Quick
+            test_heatmap_1d_nonfinite_values;
         ] );
       ( "scatter",
         [
           Alcotest.test_case "basic" `Quick test_scatter_basic;
           Alcotest.test_case "out of range" `Quick test_scatter_out_of_range_dropped;
           Alcotest.test_case "invalid range" `Quick test_scatter_invalid_range;
+          Alcotest.test_case "collapsed axis" `Quick test_scatter_collapsed_range;
           Alcotest.test_case "1d strip counts" `Quick test_scatter_1d_counts;
+          Alcotest.test_case "1d collapsed range" `Quick
+            test_scatter_1d_collapsed_range;
         ] );
     ]
