@@ -296,11 +296,11 @@ let noise_cmd =
 
 (* -- context-backed commands ------------------------------------------ *)
 
-let iv_context ?(legacy = false) ~fast () =
+let iv_context ?(legacy = false) ?(continuation = false) ~fast () =
   prerr_endline "calibrating tolerance boxes...";
   Experiments.Setup.iv ~profile:(profile_of fast)
     ~mode:(if legacy then `Legacy else `Compiled)
-    ()
+    ~continuation ()
 
 let progress ~done_ ~total ~fault_id =
   Printf.eprintf "  [%2d/%2d] %s\n%!" done_ total fault_id
@@ -573,9 +573,24 @@ let legacy_eval_arg =
   in
   Arg.(value & flag & info [ "legacy-eval" ] ~doc)
 
+let continuation_arg =
+  let doc =
+    "Warm-start each fault's impact-ladder solves from the previous \
+     impact level (homotopy continuation with rank-1 first steps). \
+     Faster, and deterministic across $(b,--jobs); converged results \
+     satisfy the same solver tolerances but are not guaranteed \
+     bit-identical to the default cold-start path. Incompatible with \
+     $(b,--legacy-eval)."
+  in
+  Arg.(value & flag & info [ "continuation" ] ~doc)
+
 let generate_cmd =
   let run fast fault_id take save max_retries fail_fast resume inject
-      inject_seed jobs legacy trace =
+      inject_seed jobs legacy continuation trace =
+    if legacy && continuation then begin
+      prerr_endline "atpg: --continuation requires the compiled path";
+      exit 2
+    end;
     let specs =
       List.fold_left
         (fun acc s ->
@@ -593,7 +608,7 @@ let generate_cmd =
         with_trace trace (fun () ->
             (* calibrate the context first: injection targets the resilient
                generation run, not the tolerance-box setup *)
-            let ctx = iv_context ~legacy ~fast () in
+            let ctx = iv_context ~legacy ~continuation ~fast () in
             Numerics.Failpoint.configure ~seed:(Int64.of_int inject_seed)
               (List.rev specs);
             Fun.protect ~finally:Numerics.Failpoint.disable (fun () ->
@@ -630,7 +645,7 @@ let generate_cmd =
     Term.(
       const run $ fast_arg $ fault_arg $ take_arg $ save_arg $ max_retries_arg
       $ fail_fast_arg $ resume_arg $ inject_arg $ inject_seed_arg $ jobs_arg
-      $ legacy_eval_arg $ trace_arg)
+      $ legacy_eval_arg $ continuation_arg $ trace_arg)
 
 let compact_cmd =
   let run fast take delta load save max_retries fail_fast resume jobs trace =

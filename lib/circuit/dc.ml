@@ -16,6 +16,7 @@ let default_options =
 type report = {
   solution : Vec.t;
   newton_iterations : int;
+  factorizations : int;
   gmin_steps : int;
   source_steps : int;
 }
@@ -49,6 +50,59 @@ let c_fail = Obs.Counter.create "solver.dc.failures"
 let h_newton =
   Obs.Histogram.create "solver.dc.newton_per_solve"
     ~bounds:[| 2; 4; 8; 16; 32; 64 |]
+
+(* Continuation counters: bumped (active-guarded) once per solve from the
+   continuation bookkeeping, never inside the Newton loop. *)
+let c_rank1 = Obs.Counter.create "solver.dc.rank1_solves"
+let c_rank1_fb = Obs.Counter.create "solver.dc.rank1_fallbacks"
+let c_warm_saved = Obs.Counter.create "solver.dc.warm_start_iters_saved"
+
+(* Caller-owned continuation state for homotopy along the impact ladder:
+   the previous converged solution (the Newton warm start), a held copy
+   of the last factorization produced by a full solve, and the impact
+   override under which that factorization was assembled.  When the next
+   solve differs from the held one only in the impact resistance, the
+   first Newton step solves against the held factorization through
+   {!Mat.rank1_solve} (the fault stamp is rank-1) instead of paying a
+   fresh O(n^3) factorization; later iterations — and the guard-fallback
+   path — factor normally, so the converged fixed point is the same one
+   the cold solver finds, within solver tolerance. *)
+type continuation = {
+  ct_size : int;
+  mutable ct_have_x : bool;
+  ct_x : Vec.t;
+  ct_lu : Mat.lu;
+  mutable ct_have_lu : bool;
+  mutable ct_impact : (string * float) option;
+  ct_r1 : Mat.rank1;
+  ct_u : Vec.t;
+  mutable ct_cold_iters : int;
+}
+
+let continuation sys =
+  let n = Mna.size sys in
+  {
+    ct_size = n;
+    ct_have_x = false;
+    ct_x = Vec.create n 0.;
+    ct_lu = Mat.lu_workspace n;
+    ct_have_lu = false;
+    ct_impact = None;
+    ct_r1 = Mat.rank1_workspace n;
+    ct_u = Vec.create n 0.;
+    ct_cold_iters = 0;
+  }
+
+(* Per-solve rank-1 context handed to the workspace Newton loop for its
+   first iteration only. *)
+type rank1_ctx = {
+  rk_lu : Mat.lu;
+  rk_scratch : Mat.rank1;
+  rk_u : Vec.t;
+  rk_dg : float;
+  mutable rk_used : int;
+  mutable rk_fallback : int;
+}
 
 (* One Newton attempt at fixed gmin and source scale, allocating a fresh
    system per iteration — the legacy build-per-solve arithmetic, kept as
@@ -109,21 +163,45 @@ let newton_alloc ~options ~companions ~source_scale ~restamp ~gmin sys ~time
    [newton_alloc] term for term (the [x +. alpha *. (x_new -. x)] form is
    kept even at [alpha = 1.], where it is not a bitwise no-op), so both
    paths converge along identical trajectories. *)
-let newton_ws ~options ~companions ~source_scale ~restamp ~gmin sys ws ~time
-    ~start =
+let newton_ws ~options ~companions ~source_scale ~restamp ~gmin ?rank1 sys ws
+    ~time ~start =
   let n_nodes = Mna.n_nodes sys in
   let size = Vec.dim start in
   Array.blit start 0 ws.Mna.w_x 0 size;
   let converged = ref false in
   let iters = ref 0 in
+  let factors = ref 0 in
   (try
      while (not !converged) && !iters < options.max_newton do
        incr iters;
        if Failpoint.should_fail "dc.singular" then raise (Mat.Singular 0);
        Mna.assemble_into sys ws ~x:ws.Mna.w_x ~time ?companions ~source_scale
          ?restamp ~gmin ();
-       Mat.factor_in_place ws.Mna.w_a ws.Mna.w_lu;
-       Mat.solve_into ws.Mna.w_lu ws.Mna.w_z ws.Mna.w_x_new;
+       (* The first iteration of a continuation solve goes through the
+          held factorization by Sherman-Morrison when the conditioning
+          guard admits it; everything else is the ordinary
+          factor-and-solve, bit-identical to the non-continuation path. *)
+       let solved_rank1 =
+         match rank1 with
+         | Some rk when !iters = 1 ->
+             if
+               Mat.rank1_solve rk.rk_lu rk.rk_scratch ~u:rk.rk_u ~v:rk.rk_u
+                 ~dg:rk.rk_dg ~b:ws.Mna.w_z ~x:ws.Mna.w_x_new
+             then begin
+               rk.rk_used <- rk.rk_used + 1;
+               true
+             end
+             else begin
+               rk.rk_fallback <- rk.rk_fallback + 1;
+               false
+             end
+         | Some _ | None -> false
+       in
+       if not solved_rank1 then begin
+         Mat.factor_in_place ws.Mna.w_a ws.Mna.w_lu;
+         incr factors;
+         Mat.solve_into ws.Mna.w_lu ws.Mna.w_z ws.Mna.w_x_new
+       end;
        let x = ws.Mna.w_x and x_new = ws.Mna.w_x_new in
        if Failpoint.should_fail "dc.nan_solution" then
          Array.fill x_new 0 size Float.nan;
@@ -151,16 +229,26 @@ let newton_ws ~options ~companions ~source_scale ~restamp ~gmin sys ws ~time
        ws.Mna.w_x_new <- x
      done
    with Mat.Singular _ | Diverged -> converged := false);
-  if !converged then Some (Vec.copy ws.Mna.w_x, !iters) else None
+  if !converged then Some (Vec.copy ws.Mna.w_x, !iters, !factors) else None
 
 let solve_u ?(options = default_options) ?guess ?companions
-    ?(source_scale = 1.) ?workspace ?restamp sys ~time =
+    ?(source_scale = 1.) ?workspace ?restamp ?continuation sys ~time =
   if Failpoint.should_fail "dc.no_convergence" then
     raise
       (No_convergence
          (Printf.sprintf "injected failure at dc.no_convergence (%S)"
             (Netlist.title (Mna.netlist sys))));
-  let start =
+  (match continuation with
+  | Some ct when ct.ct_size <> Mna.size sys ->
+      invalid_arg "Dc.solve: continuation size mismatch"
+  | Some _ | None -> ());
+  (* The continuation's stored iterate takes precedence over the caller's
+     guess: the ladder's previous converged solution is the homotopy
+     start point. *)
+  let warm =
+    match continuation with Some ct -> ct.ct_have_x | None -> false
+  in
+  let cold_start =
     match guess with
     | Some g ->
         if Vec.dim g <> Mna.size sys then
@@ -168,45 +256,129 @@ let solve_u ?(options = default_options) ?guess ?companions
         g
     | None -> Vec.create (Mna.size sys) 0.
   in
+  let start = if warm then (Option.get continuation).ct_x else cold_start in
   (match workspace with
   | Some ws when ws.Mna.w_size <> Mna.size sys ->
       invalid_arg "Dc.solve: workspace size mismatch"
   | Some _ | None -> ());
-  let attempt ~gmin ~scale ~start =
+  (* The rank-1 first-step context applies only to the direct attempt
+     (nominal gmin, full source scale) and only when the held
+     factorization differs from the requested system purely in the
+     impact resistance of one named resistor. *)
+  let rank1_ctx =
+    match (continuation, workspace, restamp) with
+    | Some ct, Some _, Some { Mna.impact = Some (dev, r_new); _ }
+      when ct.ct_have_lu -> begin
+        match ct.ct_impact with
+        | Some (dev0, r_old) when String.equal dev dev0 && r_new <> r_old
+          -> begin
+            match Mna.impact_rank1 sys ~device:dev ~r_from:r_old ~r_to:r_new
+            with
+            | Some r1 ->
+                Mna.rank1_direction sys r1 ct.ct_u;
+                Some
+                  {
+                    rk_lu = ct.ct_lu;
+                    rk_scratch = ct.ct_r1;
+                    rk_u = ct.ct_u;
+                    rk_dg = r1.Mna.r1_dg;
+                    rk_used = 0;
+                    rk_fallback = 0;
+                  }
+            | None -> None
+          end
+        | Some _ | None -> None
+      end
+    | _ -> None
+  in
+  let attempt ?rank1 ~gmin ~scale ~start () =
     let source_scale = scale *. source_scale in
     match workspace with
     | Some ws ->
-        newton_ws ~options ~companions ~source_scale ~restamp ~gmin sys ws
-          ~time ~start
-    | None ->
-        newton_alloc ~options ~companions ~source_scale ~restamp ~gmin sys
-          ~time ~start
+        newton_ws ~options ~companions ~source_scale ~restamp ~gmin ?rank1 sys
+          ws ~time ~start
+    | None -> (
+        (* the allocating reference path factors once per iteration *)
+        match
+          newton_alloc ~options ~companions ~source_scale ~restamp ~gmin sys
+            ~time ~start
+        with
+        | Some (x, it) -> Some (x, it, it)
+        | None -> None)
   in
-  match attempt ~gmin:options.gmin ~scale:1. ~start with
-  | Some (x, it) ->
-      { solution = x; newton_iterations = it; gmin_steps = 0; source_steps = 0 }
+  (* Continuation bookkeeping for a converged solve: retain the solution
+     as the next warm start; retain the workspace factorization (and the
+     impact it was assembled under) whenever this solve actually
+     factored — a solve that converged purely through the rank-1 path
+     leaves the previously held factorization in place, which stays
+     consistent because the next delta is always computed against the
+     held impact. *)
+  let finish ~x ~it ~factors ~gmin_steps ~source_steps =
+    (match continuation with
+    | Some ct ->
+        Array.blit x 0 ct.ct_x 0 ct.ct_size;
+        ct.ct_have_x <- true;
+        (match workspace with
+        | Some ws when factors > 0 ->
+            Mat.lu_blit ~src:ws.Mna.w_lu ~dst:ct.ct_lu;
+            ct.ct_have_lu <- true;
+            ct.ct_impact <-
+              (match restamp with Some r -> r.Mna.impact | None -> None)
+        | Some _ | None -> ());
+        (match rank1_ctx with
+        | Some rk ->
+            Obs.Counter.bump c_rank1 rk.rk_used;
+            Obs.Counter.bump c_rank1_fb rk.rk_fallback
+        | None -> ());
+        if warm then begin
+          if ct.ct_cold_iters > 0 then
+            Obs.Counter.bump c_warm_saved (max 0 (ct.ct_cold_iters - it))
+        end
+        else ct.ct_cold_iters <- it
+    | None -> ());
+    {
+      solution = x;
+      newton_iterations = it;
+      factorizations = factors;
+      gmin_steps;
+      source_steps;
+    }
+  in
+  let direct =
+    match attempt ?rank1:rank1_ctx ~gmin:options.gmin ~scale:1. ~start () with
+    | Some _ as converged -> converged
+    | None when warm ->
+        (* A poisoned warm start must never cost convergence: near a
+           discontinuity of the solution branch (a fault railing the
+           circuit at one impact, releasing it at the next) the previous
+           iterate can sit in a basin Newton cannot leave.  Replay the
+           cold path exactly — same start, no rank-1 — before escalating
+           to the stepping ladders. *)
+        attempt ~gmin:options.gmin ~scale:1. ~start:cold_start ()
+    | None -> None
+  in
+  match direct with
+  | Some (x, it, factors) ->
+      finish ~x ~it ~factors ~gmin_steps:0 ~source_steps:0
   | None -> begin
-      (* gmin stepping: relax then tighten *)
+      (* gmin stepping: relax then tighten — seeded from the cold start,
+         like the cold path, never from a failed warm iterate *)
+      let start = cold_start in
       let gmins = [ 1e-2; 1e-3; 1e-4; 1e-5; 1e-6; 1e-8; 1e-10; options.gmin ] in
       let rec gmin_walk x_opt steps = function
         | [] -> (x_opt, steps)
         | g :: rest -> begin
             let start =
-              match x_opt with Some (x, _) -> x | None -> start
+              match x_opt with Some (x, _, _) -> x | None -> start
             in
-            match attempt ~gmin:g ~scale:1. ~start with
-            | Some (x, it) -> gmin_walk (Some (x, it)) (steps + 1) rest
+            match attempt ~gmin:g ~scale:1. ~start () with
+            | Some r -> gmin_walk (Some r) (steps + 1) rest
             | None -> (None, steps)  (* chain broken: give up on this path *)
           end
       in
       match gmin_walk None 0 gmins with
-      | Some (x, it), steps ->
-          {
-            solution = x;
-            newton_iterations = it;
-            gmin_steps = steps;
-            source_steps = 0;
-          }
+      | Some (x, it, factors), steps ->
+          finish ~x ~it ~factors ~gmin_steps:steps ~source_steps:0
       | None, _ -> begin
           (* source stepping at final gmin *)
           let scales = [ 0.; 0.1; 0.2; 0.35; 0.5; 0.65; 0.8; 0.9; 1. ] in
@@ -214,21 +386,17 @@ let solve_u ?(options = default_options) ?guess ?companions
             | [] -> (x_opt, steps)
             | s :: rest -> begin
                 let start =
-                  match x_opt with Some (x, _) -> x | None -> start
+                  match x_opt with Some (x, _, _) -> x | None -> start
                 in
-                match attempt ~gmin:options.gmin ~scale:s ~start with
-                | Some (x, it) -> src_walk (Some (x, it)) (steps + 1) rest
+                match attempt ~gmin:options.gmin ~scale:s ~start () with
+                | Some r -> src_walk (Some r) (steps + 1) rest
                 | None -> (None, steps)
               end
           in
           match src_walk None 0 scales with
-          | Some (x, it), steps ->
-              {
-                solution = x;
-                newton_iterations = it;
-                gmin_steps = List.length gmins;
-                source_steps = steps;
-              }
+          | Some (x, it, factors), steps ->
+              finish ~x ~it ~factors ~gmin_steps:(List.length gmins)
+                ~source_steps:steps
           | None, _ ->
               raise
                 (No_convergence
@@ -239,20 +407,20 @@ let solve_u ?(options = default_options) ?guess ?companions
         end
     end
 
-let solve ?options ?guess ?companions ?source_scale ?workspace ?restamp sys
-    ~time =
+let solve ?options ?guess ?companions ?source_scale ?workspace ?restamp
+    ?continuation sys ~time =
   if not (Obs.active ()) then
-    solve_u ?options ?guess ?companions ?source_scale ?workspace ?restamp sys
-      ~time
+    solve_u ?options ?guess ?companions ?source_scale ?workspace ?restamp
+      ?continuation sys ~time
   else
     match
-      solve_u ?options ?guess ?companions ?source_scale ?workspace ?restamp sys
-        ~time
+      solve_u ?options ?guess ?companions ?source_scale ?workspace ?restamp
+        ?continuation sys ~time
     with
     | report ->
         Obs.Counter.add c_solves 1;
         Obs.Counter.add c_newton report.newton_iterations;
-        Obs.Counter.add c_lu report.newton_iterations;
+        Obs.Counter.add c_lu report.factorizations;
         Obs.Counter.add c_gmin report.gmin_steps;
         Obs.Counter.add c_src report.source_steps;
         Obs.Histogram.observe h_newton report.newton_iterations;

@@ -28,9 +28,25 @@ val default_options : options
 type report = {
   solution : Numerics.Vec.t;
   newton_iterations : int;  (** iterations of the successful attempt *)
+  factorizations : int;
+      (** full LU factorizations of the successful attempt — equal to
+          [newton_iterations] except when a continuation's rank-1 first
+          step replaced one *)
   gmin_steps : int;  (** gmin-stepping stages used (0 = direct success) *)
   source_steps : int;  (** source-stepping stages used *)
 }
+
+type continuation
+(** Caller-owned homotopy state for a ladder of related solves (the
+    impact-convergence loop): the previous converged solution used as the
+    Newton warm start, plus a held factorization that serves the first
+    Newton step of the next solve through {!Numerics.Mat.rank1_solve}
+    when the two systems differ only in one fault-impact resistance.
+    One continuation belongs to one solve site (same topology, same
+    analysis) and must not be shared across domains. *)
+
+val continuation : Mna.t -> continuation
+(** Fresh (cold) continuation state sized for the system. *)
 
 val solve :
   ?options:options ->
@@ -39,6 +55,7 @@ val solve :
   ?source_scale:float ->
   ?workspace:Mna.workspace ->
   ?restamp:Mna.restamp ->
+  ?continuation:continuation ->
   Mna.t ->
   time:Mna.source_time ->
   report
@@ -54,10 +71,23 @@ val solve :
     reports: same arithmetic, same pivot order, same iteration counts.
     [restamp] substitutes stimulus/fault-impact values at stamp time on
     either path.
+
+    With [continuation], the solver warm-starts Newton from the state's
+    stored solution (overriding [guess]) and — when a workspace is
+    present and the held factorization differs from the requested system
+    only in the restamped impact resistance — solves the first Newton
+    step against the held factorization by Sherman–Morrison.  A
+    conditioning-guard failure falls back to the ordinary
+    refactorization, bit-exact with the non-continuation step.  The
+    contract is tolerance-identical, not bit-identical: the converged
+    solution satisfies the same [abstol]/[reltol] criterion but may
+    differ in low-order bits because the Newton trajectory differs.
+    After a convergent solve the state is updated in place; a failed
+    solve leaves it untouched.
     @raise No_convergence when Newton, gmin stepping and source stepping
     all fail.
-    @raise Invalid_argument if the workspace size does not match the
-    system. *)
+    @raise Invalid_argument if the workspace or continuation size does
+    not match the system. *)
 
 val operating_point :
   ?options:options -> ?guess:Numerics.Vec.t -> Mna.t ->

@@ -248,6 +248,37 @@ let assemble_core t ~a ~z ~x ~time ~companions ~source_scale ~restamp ~gmin =
           inject z si i0)
     t.stamp_plan
 
+(* The fault-impact restamp knob targets exactly one resistor, so the
+   difference between two impact resistances r0 -> r1 is the symmetric
+   rank-1 conductance stamp dg * (e_i - e_j)(e_i - e_j)^T with
+   dg = 1/r1 - 1/r0 and the ground terminal (-1) dropped — the view the
+   Sherman-Morrison solve and the complex-matrix update both consume. *)
+type rank1_impact = { r1_i : int; r1_j : int; r1_dg : float }
+
+let impact_site t device =
+  let found = ref None in
+  Array.iter
+    (fun r ->
+      match r with
+      | R_resistor { name; i; j; _ }
+        when !found = None && String.equal name device ->
+          found := Some (i, j)
+      | _ -> ())
+    t.stamp_plan;
+  !found
+
+let impact_rank1 t ~device ~r_from ~r_to =
+  match impact_site t device with
+  | None -> None
+  | Some (i, j) ->
+      Some { r1_i = i; r1_j = j; r1_dg = (1. /. r_to) -. (1. /. r_from) }
+
+let rank1_direction t { r1_i; r1_j; _ } u =
+  if Vec.dim u <> t.size then invalid_arg "Mna.rank1_direction: bad size";
+  Array.fill u 0 t.size 0.;
+  if r1_i >= 0 then u.(r1_i) <- 1.;
+  if r1_j >= 0 then u.(r1_j) <- -1.
+
 (* Preallocated per-analysis solve state: system matrix, right-hand
    side, LU workspace, and the two Newton iterate buffers.  One
    workspace is owned by exactly one running analysis at a time — under

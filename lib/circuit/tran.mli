@@ -25,6 +25,7 @@ val simulate :
   ?method_:method_ ->
   ?workspace:Mna.workspace ->
   ?restamp:Mna.restamp ->
+  ?continuation:Dc.continuation ->
   Mna.t ->
   tstop:float ->
   dt:float ->
@@ -40,5 +41,7 @@ val simulate :
     caller's preallocated system in place and one companion table is
     refilled per step — the compiled hot path, bit-identical to the
     allocating default (see {!Dc.solve}).  [restamp] substitutes
-    stimulus/fault-impact values at stamp time.
+    stimulus/fault-impact values at stamp time.  [continuation] applies
+    to the initial operating point only (per-step solves already
+    warm-start from the previous step) — see {!Dc.solve}.
     @raise Invalid_argument on non-positive [tstop] or [dt]. *)

@@ -28,10 +28,21 @@ exception Budget_exhausted of { config_id : int; budget : int }
 val create :
   ?profile:Execute.profile ->
   ?mode:mode ->
+  ?continuation:bool ->
   Test_config.t ->
   nominal:Execute.target ->
   box_model:Tolerance.t ->
   t
+(** [continuation] (default [false]) opts impact-ladder probes
+    ({!sensitivity} with [~continue:true]) on the compiled path into
+    warm-start continuation: ladder probes of one fault site share an
+    {!Execute.continuation} store, so the impact ladder's solves seed
+    Newton from the previous level and may take rank-1 first steps (see
+    {!Circuit.Dc.solve}).  Optimizer probes and nominal observables are
+    never continued, and each fault's store is private to that fault, so
+    results stay a pure function of the fault — identical across
+    [--jobs N] — but are tolerance-identical rather than bit-identical
+    to a non-continuation run. *)
 
 val with_profile : t -> Execute.profile -> t
 (** A derived evaluator with a different execution profile (used by the
@@ -65,6 +76,9 @@ val nominal_target : t -> Execute.target
 val profile : t -> Execute.profile
 val mode : t -> mode
 
+val continuation_enabled : t -> bool
+(** Whether {!create} enabled warm-start continuation. *)
+
 val set_budget : t -> int option -> unit
 (** Install (or clear, with [None]) an absolute evaluation-count budget:
     once {!evaluation_count} reaches it, the next faulty evaluation
@@ -81,21 +95,34 @@ val detected_sentinel : float
     all (-1e6): a macro whose faulty version does not even reach an
     operating point is trivially caught on the tester. *)
 
-val sensitivity : t -> Faults.Fault.t -> Numerics.Vec.t -> float
+val sensitivity :
+  ?continue:bool -> t -> Faults.Fault.t -> Numerics.Vec.t -> float
 (** [S_f(T)]: injects the fault into the nominal netlist, measures, and
     scores against the memoized nominal response and the box model.
     Returns {!detected_sentinel} if the faulty simulation fails.
+
+    [continue] (default [false]) marks this probe as part of the fault's
+    impact ladder: on an evaluator created with [~continuation:true] it
+    warm-starts the solves from the previous ladder level.  Leave it off
+    for probes that vary the parameter values (the optimizer), which
+    must stay bit-identical to a non-continuation run — continuation is
+    a homotopy in the impact, not in [T].
     @raise Execute.Execution_failure if the {e nominal} simulation fails
     (a setup error, not a fault effect). *)
 
 val sensitivity_and_deviation :
-  t -> Faults.Fault.t -> Numerics.Vec.t -> float * float array
+  ?continue:bool ->
+  t ->
+  Faults.Fault.t ->
+  Numerics.Vec.t ->
+  float * float array
 (** Sensitivity together with the per-return-value deviations (reports).
     The deviation array is empty when the faulty simulation failed. *)
 
 val faulty_observables :
-  t -> Faults.Fault.t -> Numerics.Vec.t -> float array
-(** Raw faulty measurement (no memoization).
+  ?continue:bool -> t -> Faults.Fault.t -> Numerics.Vec.t -> float array
+(** Raw faulty measurement (no memoization).  [continue] as in
+    {!sensitivity}.
     @raise Execute.Execution_failure on simulator failure. *)
 
 val sensitivity_of_target : t -> Execute.target -> Numerics.Vec.t -> float

@@ -106,12 +106,48 @@ let compile config target =
 let compiled_target c = c.c_target
 let compiled_config c = c.c_config
 
+(* Per-(fault, configuration) continuation store for the impact ladder:
+   one {!Dc.continuation} per DC solve site of a probe, allocated lazily
+   in probe order.  The cursor resets at every [compiled_observables]
+   call, so the k-th DC solve of one probe always continues from the
+   k-th DC solve of the previous probe of the same store — the homotopy
+   pairing the impact walk needs.  A store belongs to one compiled plan
+   and one domain, like the plan's workspace. *)
+type continuation = {
+  mutable ct_slots : Dc.continuation option array;
+  mutable ct_cursor : int;
+}
+
+let continuation () = { ct_slots = Array.make 4 None; ct_cursor = 0 }
+
+let continuation_slot ct sys =
+  let n = Array.length ct.ct_slots in
+  if ct.ct_cursor >= n then begin
+    let bigger = Array.make (2 * n) None in
+    Array.blit ct.ct_slots 0 bigger 0 n;
+    ct.ct_slots <- bigger
+  end;
+  let slot =
+    match ct.ct_slots.(ct.ct_cursor) with
+    | Some s -> s
+    | None ->
+        let s = Dc.continuation sys in
+        ct.ct_slots.(ct.ct_cursor) <- Some s;
+        s
+  in
+  ct.ct_cursor <- ct.ct_cursor + 1;
+  slot
+
 (* How an analysis obtains a simulatable system for one probe wave:
    the legacy path rewrites the netlist and re-indexes it per probe; the
    compiled path restamps the precompiled plan's workspace. *)
 type engine =
   | Direct of target
-  | Restamp of { c : compiled; impact : (string * float) option }
+  | Restamp of {
+      c : compiled;
+      impact : (string * float) option;
+      cont : continuation option;
+    }
 
 let engine_target = function Direct t -> t | Restamp { c; _ } -> c.c_target
 
@@ -120,6 +156,7 @@ type inst = {
   i_ws : Mna.workspace option;
   i_restamp : Mna.restamp option;
   i_ac : Ac.workspace option;
+  i_cont : Dc.continuation option;
 }
 
 let instantiate engine wave =
@@ -128,8 +165,14 @@ let instantiate engine wave =
       let nl =
         with_stimulus target.netlist ~source:target.stimulus_source wave
       in
-      { i_sys = Mna.build nl; i_ws = None; i_restamp = None; i_ac = None }
-  | Restamp { c; impact } ->
+      {
+        i_sys = Mna.build nl;
+        i_ws = None;
+        i_restamp = None;
+        i_ac = None;
+        i_cont = None;
+      }
+  | Restamp { c; impact; cont } ->
       let source = c.c_target.stimulus_source in
       (* the legacy path validates each probe wave when it is inserted
          into the netlist; keep the same rejection (and message shape) *)
@@ -142,6 +185,10 @@ let instantiate engine wave =
         i_ws = Some c.c_ws;
         i_restamp = Some { Mna.stimulus = Some (source, wave); impact };
         i_ac = c.c_ac;
+        i_cont =
+          (match cont with
+          | Some ct -> Some (continuation_slot ct c.c_plan)
+          | None -> None);
       }
 
 (* The one operating-point helper shared by the DC, noise and AC arms:
@@ -149,8 +196,8 @@ let instantiate engine wave =
    execution failure. *)
 let operating_point ~options inst =
   match
-    Dc.solve ~options ?workspace:inst.i_ws ?restamp:inst.i_restamp inst.i_sys
-      ~time:`Dc
+    Dc.solve ~options ?workspace:inst.i_ws ?restamp:inst.i_restamp
+      ?continuation:inst.i_cont inst.i_sys ~time:`Dc
   with
   | report -> report.Dc.solution
   | exception Dc.No_convergence msg -> raise (Execution_failure msg)
@@ -164,7 +211,8 @@ let transient ~options ~dt_divisor inst ~observe ~tstop ~dt =
   let dt_fine = dt /. float_of_int k in
   match
     Tran.simulate ~options ?workspace:inst.i_ws ?restamp:inst.i_restamp
-      inst.i_sys ~tstop ~dt:dt_fine ~observe:[ observe ]
+      ?continuation:inst.i_cont inst.i_sys ~tstop ~dt:dt_fine
+      ~observe:[ observe ]
   with
   | result ->
       let fine = Tran.probe_values result observe in
@@ -276,8 +324,14 @@ let observables_of engine ~profile config values =
 let observables ?(profile = default_profile) config target values =
   observables_of (Direct target) ~profile config values
 
-let compiled_observables ?(profile = default_profile) ?impact c values =
-  observables_of (Restamp { c; impact }) ~profile c.c_config values
+let compiled_observables ?(profile = default_profile) ?impact ?continuation c
+    values =
+  (match continuation with
+  | Some ct -> ct.ct_cursor <- 0
+  | None -> ());
+  observables_of
+    (Restamp { c; impact; cont = continuation })
+    ~profile c.c_config values
 
 let deviations config ~nominal ~faulty =
   if Array.length nominal <> Array.length faulty then

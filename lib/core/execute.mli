@@ -76,8 +76,23 @@ val compile : Test_config.t -> target -> compiled
 val compiled_target : compiled -> target
 val compiled_config : compiled -> Test_config.t
 
+type continuation
+(** Warm-start state for a ladder of probes over one compiled plan: one
+    {!Circuit.Dc.continuation} per DC solve site of a probe, paired by
+    position (the k-th solve of each probe continues from the k-th solve
+    of the previous one).  Belongs to one plan and one domain, like the
+    plan's workspace. *)
+
+val continuation : unit -> continuation
+(** A fresh (cold) continuation store; slots are allocated lazily on
+    first use. *)
+
 val compiled_observables :
-  ?profile:profile -> ?impact:string * float -> compiled -> Numerics.Vec.t ->
+  ?profile:profile ->
+  ?impact:string * float ->
+  ?continuation:continuation ->
+  compiled ->
+  Numerics.Vec.t ->
   float array
 (** {!observables} over a compiled plan: bit-identical results, no
     per-probe netlist rewrite, matrix allocation or LU allocation.
@@ -86,6 +101,13 @@ val compiled_observables :
     from (see [Faults.Inject.impact_override]).  The same failpoint
     ["execute.observables"] fires at entry, after the same number of
     draws as the legacy path.
+
+    [continuation] opts this probe into warm-start continuation: every
+    DC operating point (including the transient initial condition) seeds
+    Newton from the matching solve of the previous probe and may take a
+    rank-1 first step against its held factorization when only the
+    impact resistance changed (see {!Circuit.Dc.solve}).  Results are
+    then tolerance-identical rather than bit-identical to the cold path.
     @raise Execution_failure on simulator failure.
     @raise Invalid_argument on value-count mismatch or an invalid probe
     waveform (same rejection as netlist insertion on the legacy path). *)

@@ -121,9 +121,11 @@ let optimize_candidate ?(options = default_options) evaluator fault_low =
 
 (* Impact-convergence machinery ------------------------------------- *)
 
+(* Evaluators and their optimized candidates are paired once at machine
+   construction; every walk/bisect/refine step then indexes the same
+   association instead of rebuilding [List.combine] per probe. *)
 type machine = {
-  evaluators : Evaluator.t list;
-  cands : candidate list;
+  pairs : (Evaluator.t * candidate) list;
   base_fault : Faults.Fault.t;
   cache : (int * float, float) Hashtbl.t;
   mutable steps : trace_step list;
@@ -136,47 +138,60 @@ let sensitivity_at m (ev, cand) impact =
   | Some s -> s
   | None ->
       let f = Faults.Fault.with_impact m.base_fault impact in
-      let s = Evaluator.sensitivity ev f cand.cand_params in
+      (* ladder probe: same [T], new impact — the continuation homotopy *)
+      let s = Evaluator.sensitivity ~continue:true ev f cand.cand_params in
       Hashtbl.replace m.cache key s;
       s
 
 let detecting_at m impact =
   m.budget <- m.budget - 1;
-  let pairs = List.combine m.evaluators m.cands in
   let det =
     List.filter_map
       (fun (ev, cand) ->
         if Sensitivity.detects (sensitivity_at m (ev, cand) impact) then
           Some cand.cand_config_id
         else None)
-      pairs
+      m.pairs
   in
   m.steps <- { impact; detecting = det } :: m.steps;
   det
 
+(* Selection probes (which configuration survives a tie-break) must not
+   ride the continuation: near-tied candidates — vref faults see configs
+   within 1e-9 of each other — would let the warm start's last-digit
+   deviation flip the argmin and name a different survivor than the
+   default path.  On a continuation evaluator, re-probe cold: the value
+   is bit-identical to the non-continuation run's, so both runs pick the
+   same winner.  Plain evaluators keep the cached ladder value — the
+   default path stays bit-identical, probe count included. *)
+let selection_sensitivity m (ev, cand) impact =
+  if Evaluator.continuation_enabled ev then
+    Evaluator.sensitivity ev
+      (Faults.Fault.with_impact m.base_fault impact)
+      cand.cand_params
+  else sensitivity_at m (ev, cand) impact
+
 let most_sensitive m impact =
-  let pairs = List.combine m.evaluators m.cands in
   List.fold_left
     (fun (best_pair, best_s) (ev, cand) ->
-      let s = sensitivity_at m (ev, cand) impact in
+      let s = selection_sensitivity m (ev, cand) impact in
       match best_pair with
       | None -> (Some (ev, cand), s)
       | Some _ when s < best_s -> (Some (ev, cand), s)
       | Some _ -> (best_pair, best_s))
-    (None, infinity) pairs
+    (None, infinity) m.pairs
   |> fun (pair, s) ->
   match pair with
   | Some (_, cand) -> (cand, s)
   | None -> invalid_arg "Generate: no candidates"
 
+let pair_by_id m id =
+  List.find (fun (_, c) -> c.cand_config_id = id) m.pairs
+
 (* Find the impact where the given candidate stops detecting:
    lo detects, hi does not; log-space bisection. *)
 let refine_critical m cand ~lo ~hi =
-  let ev =
-    List.combine m.evaluators m.cands
-    |> List.find (fun (_, c) -> c.cand_config_id = cand.cand_config_id)
-    |> fst
-  in
+  let ev, _ = pair_by_id m cand.cand_config_id in
   let lo = ref lo and hi = ref hi in
   let rounds = ref 0 in
   while !hi /. !lo > 1.1 && !rounds < 16 && m.budget > 0 do
@@ -191,9 +206,6 @@ let refine_critical m cand ~lo ~hi =
 (* Walk impacts geometrically in the given direction (weaken: r *= 2;
    intensify: r /= 2) until the detection count crosses the target of
    exactly one, then settle a survivor. *)
-
-let candidate_by_id m id =
-  List.find (fun c -> c.cand_config_id = id) m.cands
 
 (* Between r_many (>=2 detecting) and r_none (0 detecting), bisect for a
    point with exactly one detector. *)
@@ -251,8 +263,7 @@ let generate ?(options = default_options) ~evaluators entry =
   in
   let m =
     {
-      evaluators;
-      cands = candidates;
+      pairs = List.combine evaluators candidates;
       base_fault = fault;
       cache = Hashtbl.create 64;
       steps = [];
@@ -262,13 +273,8 @@ let generate ?(options = default_options) ~evaluators entry =
   let r_min = r_dict /. options.impact_span in
   let r_max = r_dict *. options.impact_span in
   let unique_outcome config_id r_detect =
-    let cand = candidate_by_id m config_id in
     (* push the survivor to its own detection boundary *)
-    let ev =
-      List.combine m.evaluators m.cands
-      |> List.find (fun (_, c) -> c.cand_config_id = config_id)
-      |> fst
-    in
+    let ev, cand = pair_by_id m config_id in
     let rec death r =
       if r >= r_max || m.budget <= 0 then r
       else begin

@@ -15,8 +15,8 @@ let target_of_macro (macro : Macros.Macro.t) point =
     observe_node = macro.Macros.Macro.observe_node;
   }
 
-let create ?(profile = Execute.default_profile) ?mode ?grid ?guardband
-    ?corners ~macro ~configs () =
+let create ?(profile = Execute.default_profile) ?mode ?continuation ?grid
+    ?guardband ?corners ~macro ~configs () =
   let corner_points =
     match corners with Some c -> c | None -> Macros.Process.corners ()
   in
@@ -29,7 +29,8 @@ let create ?(profile = Execute.default_profile) ?mode ?grid ?guardband
           Tolerance.calibrate ~profile ?grid ?guardband config ~nominal
             ~corners:corner_targets ()
         in
-        Evaluator.create ~profile ?mode config ~nominal ~box_model)
+        Evaluator.create ~profile ?mode ?continuation config ~nominal
+          ~box_model)
       configs
   in
   {
@@ -40,8 +41,8 @@ let create ?(profile = Execute.default_profile) ?mode ?grid ?guardband
     profile;
   }
 
-let iv ?profile ?mode ?grid () =
-  create ?profile ?mode ?grid ~macro:Macros.Iv_converter.macro
+let iv ?profile ?mode ?continuation ?grid () =
+  create ?profile ?mode ?continuation ?grid ~macro:Macros.Iv_converter.macro
     ~configs:Iv_configs.all ()
 
 let evaluator t id =

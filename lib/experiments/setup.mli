@@ -17,6 +17,7 @@ val target_of_macro :
 val create :
   ?profile:Testgen.Execute.profile ->
   ?mode:Testgen.Evaluator.mode ->
+  ?continuation:bool ->
   ?grid:int ->
   ?guardband:float ->
   ?corners:Macros.Process.point list ->
@@ -28,11 +29,14 @@ val create :
     (default {!Macros.Process.corners}) and bundle evaluators plus the
     macro's exhaustive fault dictionary.  [mode] selects the evaluators'
     execution path (default [`Compiled]; [`Legacy] rebuilds the netlist
-    per probe — the benchmark baseline). *)
+    per probe — the benchmark baseline).  [continuation] (default
+    [false]) enables warm-start continuation along each fault's impact
+    ladder — tolerance-identical, faster; see {!Testgen.Evaluator.create}. *)
 
 val iv :
   ?profile:Testgen.Execute.profile ->
   ?mode:Testgen.Evaluator.mode ->
+  ?continuation:bool ->
   ?grid:int ->
   unit ->
   t

@@ -421,6 +421,98 @@ let test_generate_optimizes_better_than_seed () =
     true
     (cand.Generate.low_impact_sensitivity <= seed_s +. 1e-9)
 
+(* Impact-walk edge cases.  Generation is deterministic, so these pin the
+   exact arms of the walk: budget exhaustion mid-walk, the
+   survives-at-r_max short-circuit, and both exits of
+   [bisect_for_unique]. *)
+
+let bridge_entry id (a, b) =
+  { Faults.Dictionary.fault_id = id; fault = Faults.Fault.bridge a b ~resistance:10e3 }
+
+let unique_exn (r : Generate.result) =
+  match r.Generate.outcome with
+  | Generate.Unique { config_id; critical_impact; _ } ->
+      (config_id, critical_impact)
+  | Generate.Undetectable _ -> Alcotest.fail "expected a unique outcome"
+
+let test_generate_budget_exhausted_mid_walk () =
+  (* bridge 0-nmir detects on both configs far past 40 kOhm; a budget of 2
+     runs out inside walk_up, forcing tie_break at the last probed level.
+     With the budget gone, [death] cannot move, so the critical impact is
+     exactly the tie-break resistance. *)
+  let evaluators = Lazy.force dc_evaluators in
+  let r =
+    Generate.generate
+      ~options:{ Generate.default_options with Generate.max_impact_steps = 2 }
+      ~evaluators
+      (bridge_entry "bridge:0-nmir" ("0", "nmir"))
+  in
+  let _, critical = unique_exn r in
+  Alcotest.(check (float 0.)) "critical pinned at last probe" 20e3 critical;
+  Alcotest.(check int) "exactly budget-many probes" 2
+    (List.length r.Generate.trace);
+  Alcotest.(check bool) "both configs still detecting when budget died" true
+    (List.for_all
+       (fun s -> s.Generate.detecting = [ 1; 2 ])
+       r.Generate.trace)
+
+let test_generate_survivor_at_r_max () =
+  (* With one evaluator the dictionary probe is immediately unique, and a
+     span of 2 puts r_max at 20 kOhm.  The survivor still detects there,
+     so the "survives even at the weakest impact tried" arm fires and the
+     critical impact is exactly r_max — no refinement. *)
+  let target = iv_target in
+  let ev =
+    Evaluator.create Experiments.Iv_configs.config1 ~nominal:target
+      ~box_model:
+        (Tolerance.calibrate Experiments.Iv_configs.config1 ~nominal:target
+           ~corners:corner_targets ~grid:2 ())
+  in
+  let r =
+    Generate.generate
+      ~options:{ Generate.default_options with Generate.impact_span = 2. }
+      ~evaluators:[ ev ]
+      (bridge_entry "bridge:0-nmir" ("0", "nmir"))
+  in
+  let config_id, critical = unique_exn r in
+  Alcotest.(check int) "sole evaluator wins" 1 config_id;
+  Alcotest.(check (float 0.)) "critical is exactly r_max" 20e3 critical
+
+let test_generate_bisect_finds_singleton () =
+  (* bridge n1-n2: both configs detect through 20k, neither at 40k, and
+     the log-space bisection lands on a point where only config 1 still
+     sees the fault — the Some exit of bisect_for_unique. *)
+  let evaluators = Lazy.force dc_evaluators in
+  let r =
+    Generate.generate ~evaluators (bridge_entry "bridge:n1-n2" ("n1", "n2"))
+  in
+  let config_id, critical = unique_exn r in
+  Alcotest.(check int) "bisect winner" 1 config_id;
+  Alcotest.(check bool)
+    (Printf.sprintf "critical %.1f refined past the singleton" critical)
+    true
+    (critical > 33e3 && critical < 40e3);
+  Alcotest.(check bool) "trace holds a singleton bisection step" true
+    (List.exists (fun s -> s.Generate.detecting = [ 1 ]) r.Generate.trace)
+
+let test_generate_bisect_exhausted_tie_break () =
+  (* bridge n2-vdd with budget 3: probes at 10k/20k/40k consume the whole
+     budget, bisect_for_unique returns None immediately, and tie_break
+     settles on the most sensitive config at the last all-detecting
+     level — critical exactly 20 kOhm. *)
+  let evaluators = Lazy.force dc_evaluators in
+  let r =
+    Generate.generate
+      ~options:{ Generate.default_options with Generate.max_impact_steps = 3 }
+      ~evaluators
+      (bridge_entry "bridge:n2-vdd" ("n2", "vdd"))
+  in
+  let config_id, critical = unique_exn r in
+  Alcotest.(check int) "tie-break winner" 1 config_id;
+  Alcotest.(check (float 0.)) "critical pinned by exhausted bisect" 20e3
+    critical;
+  Alcotest.(check int) "three probes then stop" 3 (List.length r.Generate.trace)
+
 let test_generate_empty_evaluators () =
   (try
      ignore
@@ -491,6 +583,10 @@ let () =
           Alcotest.test_case "strong fault" `Quick test_generate_strong_fault;
           Alcotest.test_case "invisible fault intensified" `Quick test_generate_invisible_fault;
           Alcotest.test_case "beats the seed" `Quick test_generate_optimizes_better_than_seed;
+          Alcotest.test_case "budget exhausted mid-walk" `Quick test_generate_budget_exhausted_mid_walk;
+          Alcotest.test_case "survivor at r_max" `Quick test_generate_survivor_at_r_max;
+          Alcotest.test_case "bisect finds singleton" `Quick test_generate_bisect_finds_singleton;
+          Alcotest.test_case "bisect exhausted tie-break" `Quick test_generate_bisect_exhausted_tie_break;
           Alcotest.test_case "needs evaluators" `Quick test_generate_empty_evaluators;
         ] );
     ]
