@@ -704,6 +704,129 @@ let run_impact_bench ~fast ~smoke =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Fuzz campaign benchmark: chaos-harness throughput and health.       *)
+(* ------------------------------------------------------------------ *)
+
+(* [bench --fuzz [--smoke]]: run a pinned-seed campaign batch and write
+   BENCH_fuzz.json with throughput, per-invariant tallies, a
+   double-run byte-determinism check and a planted-violation self-test.
+   Exits nonzero on any violation, nondeterminism or self-test miss, so
+   CI can gate on the chaos harness staying healthy. *)
+let run_fuzz_bench ~smoke =
+  let campaigns = if smoke then 6 else 40 in
+  let options =
+    { Fuzz.Campaign.default_options with Fuzz.Campaign.campaigns; seed = 2026L }
+  in
+  let run_exn options =
+    match Fuzz.Campaign.run options with
+    | Ok r -> r
+    | Error m ->
+        Printf.eprintf "fuzz bench: %s\n%!" m;
+        exit 1
+  in
+  prerr_endline "fuzz bench: campaign batch...";
+  let t0 = Unix.gettimeofday () in
+  let report = run_exn options in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let scenarios_per_sec = float_of_int report.Fuzz.Campaign.r_scenarios /. elapsed in
+  (* byte-determinism: an identical second batch must render to the same
+     JSON (report_json excludes jobs and timing by construction) *)
+  prerr_endline "fuzz bench: determinism re-run...";
+  let deterministic =
+    String.equal
+      (Fuzz.Campaign.report_json report)
+      (Fuzz.Campaign.report_json (run_exn options))
+  in
+  (* planted-violation self-test: the harness must find the deliberate
+     violation and shrink it to the exact minimal counterexample *)
+  prerr_endline "fuzz bench: planted self-test...";
+  let st_report =
+    run_exn
+      {
+        options with
+        Fuzz.Campaign.campaigns = (if smoke then 8 else 12);
+        seed = 3L;
+        checks = Some [ "session-roundtrip" ];
+        self_test = true;
+      }
+  in
+  let expected_shrunk =
+    { Fuzz.Scenario.minimal with Fuzz.Scenario.fault_count = 2 }
+  in
+  let planted =
+    List.filter
+      (fun v -> String.equal v.Fuzz.Campaign.v_invariant "self-test")
+      st_report.Fuzz.Campaign.r_violations
+  in
+  let self_test_ok =
+    planted <> []
+    && List.for_all
+         (fun v -> v.Fuzz.Campaign.v_shrunk = expected_shrunk)
+         planted
+  in
+  let shrink_steps =
+    List.fold_left
+      (fun acc v -> Int.max acc v.Fuzz.Campaign.v_shrink_steps)
+      0 planted
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"provenance\": %s,\n" (provenance_json ()));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"config\": {\"campaigns\": %d, \"seed\": %Ld, \"smoke\": %b},\n"
+       campaigns options.Fuzz.Campaign.seed smoke);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"scenarios\": %d,\n  \"build_failures\": %d,\n  \
+        \"elapsed_sec\": %.3f,\n  \"scenarios_per_sec\": %.2f,\n"
+       report.Fuzz.Campaign.r_scenarios report.Fuzz.Campaign.r_build_failures
+       elapsed scenarios_per_sec);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"checks\": {\"run\": %d, \"passed\": %d, \"skipped\": %d, \
+        \"violations\": %d},\n"
+       report.Fuzz.Campaign.r_checks_run report.Fuzz.Campaign.r_checks_passed
+       report.Fuzz.Campaign.r_checks_skipped
+       (List.length report.Fuzz.Campaign.r_violations));
+  Buffer.add_string buf "  \"invariants\": {\n";
+  let n_tallies = List.length report.Fuzz.Campaign.r_tallies in
+  List.iteri
+    (fun i t ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    \"%s\": {\"pass\": %d, \"skip\": %d, \"fail\": %d}%s\n"
+           t.Fuzz.Campaign.t_name t.Fuzz.Campaign.t_pass
+           t.Fuzz.Campaign.t_skip t.Fuzz.Campaign.t_fail
+           (if i = n_tallies - 1 then "" else ",")))
+    report.Fuzz.Campaign.r_tallies;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"deterministic_rerun\": %b,\n" deterministic);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"self_test\": {\"found_and_shrunk\": %b, \"shrink_steps\": %d}\n"
+       self_test_ok shrink_steps);
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_fuzz.json" in
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.eprintf
+    "fuzz bench: %d scenario(s) in %.1fs (%.1f/s), %d violation(s); wrote %s\n%!"
+    report.Fuzz.Campaign.r_scenarios elapsed scenarios_per_sec
+    (List.length report.Fuzz.Campaign.r_violations)
+    path;
+  let fail msg =
+    Printf.eprintf "fuzz bench: FAIL %s\n%!" msg;
+    exit 1
+  in
+  if not (Fuzz.Campaign.clean report) then fail "campaign violations or build failures";
+  if not deterministic then fail "re-run was not byte-identical";
+  if not self_test_ok then fail "planted violation not found and shrunk"
+
 let () =
   let fast = Array.exists (String.equal "--fast") Sys.argv in
   let reports_only = Array.exists (String.equal "--reports-only") Sys.argv in
@@ -712,7 +835,9 @@ let () =
   let hotpath = Array.exists (String.equal "--hotpath") Sys.argv in
   let impact = Array.exists (String.equal "--impact") Sys.argv in
   let smoke = Array.exists (String.equal "--smoke") Sys.argv in
-  if impact then run_impact_bench ~fast ~smoke
+  let fuzz = Array.exists (String.equal "--fuzz") Sys.argv in
+  if fuzz then run_fuzz_bench ~smoke
+  else if impact then run_impact_bench ~fast ~smoke
   else if hotpath then run_hotpath_bench ~fast ~smoke
   else begin
     let profile =

@@ -368,6 +368,29 @@ let tps_cmd =
 
 (* -- resilience options ------------------------------------------------ *)
 
+(* Numeric flags are validated at parse time: garbage and out-of-range
+   values produce a friendly cmdliner error (usage exit code) instead of
+   being silently clamped or crashing mid-run. *)
+let bounded_int ~what ~min () =
+  let parse s =
+    match int_of_string_opt s with
+    | None ->
+        Error (`Msg (Printf.sprintf "%s: expected an integer, got %S" what s))
+    | Some v when v < min ->
+        Error (`Msg (Printf.sprintf "%s must be >= %d (got %d)" what min v))
+    | Some v -> Ok v
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let seed_conv what =
+  let parse s =
+    match Int64.of_string_opt s with
+    | Some v -> Ok v
+    | None ->
+        Error (`Msg (Printf.sprintf "%s: expected an integer seed, got %S" what s))
+  in
+  Arg.conv ~docv:"SEED" (parse, fun ppf v -> Format.fprintf ppf "%Ld" v)
+
 let max_retries_arg =
   let doc =
     "Retry-ladder rungs attempted after a failed fault simulation before \
@@ -375,7 +398,9 @@ let max_retries_arg =
   in
   Arg.(
     value
-    & opt int (List.length Resilience.default_ladder)
+    & opt
+        (bounded_int ~what:"--max-retries" ~min:0 ())
+        (List.length Resilience.default_ladder)
     & info [ "max-retries" ] ~docv:"N" ~doc)
 
 let fail_fast_arg =
@@ -400,7 +425,10 @@ let jobs_arg =
      reports and checkpoint files are bit-for-bit identical at every job \
      count, so a run checkpointed at one $(docv) can be resumed at another."
   in
-  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  Arg.(
+    value
+    & opt (bounded_int ~what:"--jobs" ~min:0 ()) 1
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let executor_of jobs =
   let jobs = if jobs <= 0 then Parallel.default_jobs () else jobs in
@@ -413,41 +441,31 @@ let policy_of ~max_retries ~fail_fast =
     fail_fast;
   }
 
-(* NAME[=PROB][@MAX], e.g. dc.no_convergence=0.2@3 *)
-let parse_inject_spec s =
-  let split c str =
-    match String.index_opt str c with
-    | None -> (str, None)
-    | Some i ->
-        ( String.sub str 0 i,
-          Some (String.sub str (i + 1) (String.length str - i - 1)) )
-  in
-  let name_prob, max_s = split '@' s in
-  let name, prob_s = split '=' name_prob in
-  if String.equal name "" then Error (Printf.sprintf "bad inject spec %S" s)
-  else
-    match
-      ( (match prob_s with None -> Some 1. | Some p -> float_of_string_opt p),
-        match max_s with
-        | None -> Some None
-        | Some m -> Option.map Option.some (int_of_string_opt m) )
-    with
-    | Some p, Some mt when p >= 0. && p <= 1. ->
-        Ok { Numerics.Failpoint.point = name; probability = p; max_triggers = mt }
-    | _ -> Error (Printf.sprintf "bad inject spec %S" s)
+let parse_inject_specs specs =
+  List.fold_left
+    (fun acc s ->
+      match (acc, Numerics.Failpoint.spec_of_string s) with
+      | Error e, _ -> Error e
+      | Ok _, Error e -> Error e
+      | Ok l, Ok spec -> Ok (l @ [ spec ]))
+    (Ok []) specs
 
 let inject_arg =
   let doc =
-    "Failure-injection point $(docv) (testing hook), as NAME[=PROB][\\@MAX]: \
-     e.g. $(b,dc.no_convergence=0.3\\@5). Known points: \
-     dc.no_convergence, dc.singular, dc.nan_solution, tran.step_failure, \
-     execute.observables. Repeatable."
+    Printf.sprintf
+      "Failure-injection point $(docv) (testing hook), as \
+       NAME[=PROB][\\@MAX]: e.g. $(b,dc.no_convergence=0.3\\@5). Known \
+       points: %s. Repeatable."
+      (String.concat ", " Numerics.Failpoint.known_points)
   in
   Arg.(value & opt_all string [] & info [ "inject" ] ~docv:"SPEC" ~doc)
 
 let inject_seed_arg =
   let doc = "Seed for the failure-injection random streams." in
-  Arg.(value & opt int 0 & info [ "inject-seed" ] ~docv:"SEED" ~doc)
+  Arg.(
+    value
+    & opt (seed_conv "--inject-seed") 0L
+    & info [ "inject-seed" ] ~docv:"SEED" ~doc)
 
 let print_resilience_summary (run : Engine.run) =
   if run.Engine.resumed_count > 0 then
@@ -493,15 +511,21 @@ let save_session path results =
       Printf.eprintf "cannot save session: %s\n" m;
       1
 
+(* A session that exists but fails to load is corrupt (exit code 5,
+   Engine.exit_corrupt_session); a missing or unreadable file stays a
+   plain IO error (exit code 1). *)
+let session_error_code path =
+  if Sys.file_exists path then Engine.exit_corrupt_session else 1
+
 let run_or_load ?policy ?resume ?executor ctx ~load ~take =
   match load with
   | Some path -> begin
       match Session.load ~path with
       | Error m ->
           Printf.eprintf "cannot load session: %s\n" m;
-          None
+          Error (session_error_code path)
       | Ok results ->
-          Some (Engine.of_results ~evaluators:ctx.Experiments.Setup.evaluators results)
+          Ok (Engine.of_results ~evaluators:ctx.Experiments.Setup.evaluators results)
     end
   | None -> begin
       let ctx =
@@ -511,7 +535,7 @@ let run_or_load ?policy ?resume ?executor ctx ~load ~take =
       in
       let finish run =
         print_resilience_summary run;
-        Some run
+        Ok run
       in
       match resume with
       | None ->
@@ -520,7 +544,7 @@ let run_or_load ?policy ?resume ?executor ctx ~load ~take =
           match Session.checkpoint_resume ~path with
           | Error m ->
               Printf.eprintf "cannot resume checkpoint: %s\n" m;
-              None
+              Error (session_error_code path)
           | Ok (ck, prior) ->
               if prior <> [] then
                 Printf.eprintf "checkpoint %s: %d fault(s) already generated\n%!"
@@ -591,16 +615,7 @@ let generate_cmd =
       prerr_endline "atpg: --continuation requires the compiled path";
       exit 2
     end;
-    let specs =
-      List.fold_left
-        (fun acc s ->
-          match (acc, parse_inject_spec s) with
-          | Error e, _ -> Error e
-          | Ok _, Error e -> Error e
-          | Ok l, Ok spec -> Ok (spec :: l))
-        (Ok []) inject
-    in
-    match specs with
+    match parse_inject_specs inject with
     | Error e ->
         prerr_endline e;
         1
@@ -609,8 +624,7 @@ let generate_cmd =
             (* calibrate the context first: injection targets the resilient
                generation run, not the tolerance-box setup *)
             let ctx = iv_context ~legacy ~continuation ~fast () in
-            Numerics.Failpoint.configure ~seed:(Int64.of_int inject_seed)
-              (List.rev specs);
+            Numerics.Failpoint.configure ~seed:inject_seed specs;
             Fun.protect ~finally:Numerics.Failpoint.disable (fun () ->
                 let policy = policy_of ~max_retries ~fail_fast in
                 match fault_id with
@@ -622,8 +636,8 @@ let generate_cmd =
                       run_or_load ~policy ?resume ~executor:(executor_of jobs)
                         ctx ~load:None ~take
                     with
-                    | None -> 1
-                    | Some run_result ->
+                    | Error code -> code
+                    | Ok run_result ->
                         print_string (Experiments.Runs.tab2 ctx run_result);
                         finish_run ?save run_result
                     | exception Engine.Fault_failure d ->
@@ -656,8 +670,8 @@ let compact_cmd =
           run_or_load ~policy ?resume ~executor:(executor_of jobs) ctx ~load
             ~take
         with
-        | None -> 1
-        | Some run_result ->
+        | Error code -> code
+        | Ok run_result ->
             print_string (Experiments.Runs.tab2 ctx run_result);
             print_newline ();
             print_string (Experiments.Runs.tab4 ~delta ctx run_result);
@@ -904,6 +918,121 @@ let experiment_cmd =
        ~doc:"Reproduce a specific paper table/figure (or all of them).")
     Term.(const run $ fast_arg $ which_arg)
 
+(* -- fuzz --------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let run campaigns seed jobs inject checks self_test json_out =
+    match parse_inject_specs inject with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok specs ->
+        let options =
+          {
+            Fuzz.Campaign.campaigns;
+            seed;
+            jobs;
+            inject = (if specs = [] then Fuzz.Campaign.default_inject else specs);
+            checks = (if checks = [] then None else Some checks);
+            self_test;
+          }
+        in
+        let progress ~campaign ~total =
+          Printf.eprintf "\rcampaign %d/%d%!" (campaign + 1) total
+        in
+        let result = Fuzz.Campaign.run ~progress options in
+        prerr_newline ();
+        (match result with
+        | Error m ->
+            prerr_endline m;
+            1
+        | Ok report -> (
+            Format.printf "%a" Fuzz.Campaign.pp_report report;
+            (match json_out with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                output_string oc (Fuzz.Campaign.report_json report);
+                close_out oc;
+                Printf.eprintf "report written to %s\n" path);
+            match self_test with
+            | false -> if Fuzz.Campaign.clean report then 0 else 1
+            | true ->
+                (* self-test succeeds iff the planted violation was found
+                   and shrunk to the minimal scenario that trips it *)
+                let expected =
+                  { Fuzz.Scenario.minimal with Fuzz.Scenario.fault_count = 2 }
+                in
+                let found =
+                  List.exists
+                    (fun v ->
+                      String.equal v.Fuzz.Campaign.v_invariant "self-test"
+                      && v.Fuzz.Campaign.v_shrunk = expected)
+                    report.Fuzz.Campaign.r_violations
+                in
+                let others =
+                  List.exists
+                    (fun v ->
+                      not (String.equal v.Fuzz.Campaign.v_invariant "self-test"))
+                    report.Fuzz.Campaign.r_violations
+                in
+                if found && not others then begin
+                  prerr_endline
+                    "self-test: planted violation found and shrunk to the \
+                     minimal scenario";
+                  0
+                end
+                else begin
+                  prerr_endline
+                    (if found then "self-test: unexpected extra violations"
+                     else
+                       "self-test: planted violation was NOT found and shrunk");
+                  1
+                end))
+  in
+  let campaigns_arg =
+    let doc = "Number of fuzz campaigns (randomized scenarios) to run." in
+    Arg.(
+      value
+      & opt (bounded_int ~what:"--campaigns" ~min:1 ()) 20
+      & info [ "campaigns" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Campaign seed: the whole report is a pure function of the seed and \
+       the other options (byte-deterministic, at every $(b,--jobs) value)."
+    in
+    Arg.(value & opt (seed_conv "--seed") 0L & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let checks_arg =
+    let doc =
+      Printf.sprintf "Run only the named invariant (repeatable). Known: %s."
+        (String.concat ", " Fuzz.Invariants.names)
+    in
+    Arg.(value & opt_all string [] & info [ "check" ] ~docv:"NAME" ~doc)
+  in
+  let self_test_arg =
+    let doc =
+      "Also run a deliberately planted invariant violation and verify the \
+       harness finds it and shrinks it to the minimal scenario (exit 0 \
+       exactly when it does)."
+    in
+    Arg.(value & flag & info [ "self-test" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write the campaign report as deterministic JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Property-based scenario fuzzing: random macro/fault/configuration \
+          scenarios checked against engine invariants, with failure \
+          injection, crash-safety campaigns and counterexample shrinking.")
+    Term.(
+      const run $ campaigns_arg $ seed_arg $ jobs_arg $ inject_arg $ checks_arg
+      $ self_test_arg $ json_arg)
+
 let main_cmd =
   let doc =
     "structural test generation for analog macros (Kaal & Kerkhoff, 1997)"
@@ -923,6 +1052,7 @@ let main_cmd =
       baseline_cmd;
       profile_cmd;
       experiment_cmd;
+      fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

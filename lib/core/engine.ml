@@ -377,7 +377,9 @@ let critical_impacts run =
 
 (* Process exit codes the CLI (and CI) gate on: 0 clean, 1 is left to
    usage/IO errors, 3 means the run completed but left quarantined
-   faults, 4 means a fail-fast policy terminated the run. *)
+   faults, 4 means a fail-fast policy terminated the run, 5 means a
+   session or checkpoint file failed integrity checks. *)
 let exit_quarantined = 3
 let exit_fail_fast = 4
+let exit_corrupt_session = 5
 let exit_status run = if run.failed_faults = [] then 0 else exit_quarantined

@@ -135,13 +135,18 @@ val critical_impacts : run -> (string * float) list
     them: [0] clean, [1] usage/IO errors (owned by the CLI layer),
     {!exit_quarantined} when the run completed but left quarantined
     faults, {!exit_fail_fast} when a fail-fast policy terminated the
-    run. *)
+    run, {!exit_corrupt_session} when a session or checkpoint file
+    failed integrity checks. *)
 
 val exit_quarantined : int
 (** [3] — the run completed but [failed_faults] is non-empty. *)
 
 val exit_fail_fast : int
 (** [4] — a [fail_fast] policy aborted the run ({!Fault_failure}). *)
+
+val exit_corrupt_session : int
+(** [5] — a session or checkpoint file is corrupt (truncated, torn
+    write, checksum mismatch, bad header). *)
 
 val exit_status : run -> int
 (** [0] for a clean run, {!exit_quarantined} if any fault ended the run

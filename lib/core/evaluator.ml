@@ -153,14 +153,20 @@ let nominal_observables t values =
   | None ->
       Obs.Counter.incr t.cache_misses;
       Obs.Counter.bump g_cache_misses 1;
+      (* injection is masked here: whether this nominal computation runs
+         at all depends on cache state (cold per-worker caches under
+         --jobs, one warm cache sequentially), so letting it consume
+         failure draws would break per-fault injection determinism *)
       let obs =
-        match t.mode with
-        | `Legacy ->
-            Execute.observables ~profile:t.profile t.config t.nominal values
-        | `Compiled ->
-            Execute.compiled_observables ~profile:t.profile
-              (compiled_plan t ~key:nominal_plan_key (fun () -> t.nominal))
-              values
+        Numerics.Failpoint.without (fun () ->
+            match t.mode with
+            | `Legacy ->
+                Execute.observables ~profile:t.profile t.config t.nominal
+                  values
+            | `Compiled ->
+                Execute.compiled_observables ~profile:t.profile
+                  (compiled_plan t ~key:nominal_plan_key (fun () -> t.nominal))
+                  values)
       in
       Hashtbl.replace t.nominal_cache key obs;
       obs
@@ -206,8 +212,14 @@ let faulty_observables ?(continue = false) t fault values =
         ~impact:(Faults.Inject.impact_override fault) ?continuation plan
         values
 
+(* A faulty circuit that genuinely cannot be simulated is trivially
+   detected (the sentinel below) — but a failure *injected* by the chaos
+   harness is an infrastructure event that belongs to the retry ladder,
+   not evidence of detection.  The failpoint epoch distinguishes the two:
+   when it moved across the faulty evaluation, re-raise. *)
 let sensitivity_and_deviation ?continue t fault values =
   let nominal = nominal_observables t values in
+  let epoch = Numerics.Failpoint.epoch () in
   match faulty_observables ?continue t fault values with
   | faulty ->
       let dev = Execute.deviations t.config ~nominal ~faulty in
@@ -215,7 +227,9 @@ let sensitivity_and_deviation ?continue t fault values =
         Sensitivity.compute t.config ~box:(box t values) ~nominal ~faulty
       in
       (s, dev)
-  | exception Execute.Execution_failure _ -> (detected_sentinel, [||])
+  | exception Execute.Execution_failure _
+    when Numerics.Failpoint.epoch () = epoch ->
+      (detected_sentinel, [||])
 
 let sensitivity ?continue t fault values =
   fst (sensitivity_and_deviation ?continue t fault values)
@@ -223,11 +237,14 @@ let sensitivity ?continue t fault values =
 let sensitivity_of_target t target values =
   let nominal = nominal_observables t values in
   charge t;
+  let epoch = Numerics.Failpoint.epoch () in
   match Execute.observables ~profile:t.profile t.config target values with
   | observed ->
       Sensitivity.compute t.config ~box:(box t values) ~nominal
         ~faulty:observed
-  | exception Execute.Execution_failure _ -> detected_sentinel
+  | exception Execute.Execution_failure _
+    when Numerics.Failpoint.epoch () = epoch ->
+      detected_sentinel
 
 let evaluation_count t = Obs.Counter.value t.evals
 

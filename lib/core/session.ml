@@ -97,6 +97,8 @@ type partial = {
 }
 
 let of_string text =
+  if String.length text = 0 then Error "empty session file (0 bytes)"
+  else
   let lines = String.split_on_char '\n' text in
   match lines with
   | [] -> Error "empty session"
@@ -137,6 +139,10 @@ let of_string text =
               (fun line ->
                 let line = String.trim line in
                 if line = "" then ()
+                else if line.[0] = '#' then
+                  (* checkpoint trailers and comments; integrity is
+                     checked byte-exactly by [scan_trailers], not here *)
+                  ()
                 else
                   match (words line, !current) with
                   | "result" :: id :: [], _ ->
@@ -221,16 +227,38 @@ let of_string text =
       | _ -> Error "not an atpg session file"
     end
 
-let save ~path results =
-  match open_out path with
+(* -- crash-safe writes -------------------------------------------------- *)
+
+(* Whole-file writes go through a temporary sibling, an fsync and an
+   atomic rename, so a crash mid-save leaves either the old file or the
+   new one — never a torn hybrid. *)
+let write_atomic ~path text =
+  let tmp = path ^ ".tmp" in
+  match open_out_bin tmp with
   | exception Sys_error m -> Error m
-  | oc ->
-      output_string oc (to_string results);
-      close_out oc;
-      Ok ()
+  | oc -> begin
+      match
+        output_string oc text;
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc);
+        close_out oc;
+        Sys.rename tmp path
+      with
+      | () -> Ok ()
+      | exception Sys_error m ->
+          (try close_out_noerr oc with _ -> ());
+          (try Sys.remove tmp with Sys_error _ -> ());
+          Error m
+      | exception Unix.Unix_error (e, fn, _) ->
+          (try close_out_noerr oc with _ -> ());
+          (try Sys.remove tmp with Sys_error _ -> ());
+          Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+    end
+
+let save ~path results = write_atomic ~path (to_string results)
 
 let read_file path =
-  match open_in path with
+  match open_in_bin path with
   | exception Sys_error m -> Error m
   | ic ->
       let n = in_channel_length ic in
@@ -238,15 +266,157 @@ let read_file path =
       close_in ic;
       Ok text
 
-let load ~path =
-  match read_file path with Error m -> Error m | Ok text -> of_string text
+(* -- checkpoint trailers ------------------------------------------------ *)
 
-(* -- incremental checkpointing ---------------------------------------- *)
+(* Every block a checkpoint appends is followed by a one-line trailer
+   recording the block's byte length and CRC-32:
+
+     result ...
+     ...
+     end
+     #ck <len> <crc32-hex>
+
+   Recovery walks the trailers byte-exactly: a block counts as durable
+   only when its trailer is complete and both the length and the checksum
+   verify, so a torn write (kill mid-[write]) or a corrupted byte is
+   detected instead of being parsed as a shorter-but-valid session. *)
+
+let trailer_of_block block =
+  Printf.sprintf "#ck %d %08lx\n" (String.length block)
+    (Numerics.Checksum.crc32 block)
+
+let block_of_result r =
+  let b = Buffer.create 1024 in
+  add_result b r;
+  Buffer.contents b
+
+let to_checkpoint_string results =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b header_line;
+  List.iter
+    (fun r ->
+      let block = block_of_result r in
+      Buffer.add_string b block;
+      Buffer.add_string b (trailer_of_block block))
+    results;
+  Buffer.contents b
+
+type scan = {
+  scan_verified : int;  (** bytes of the longest verified prefix *)
+  scan_blocks : int;  (** blocks covered by that prefix *)
+  scan_anomaly : string option;
+      (** first integrity violation (bad checksum, malformed or torn
+          trailer); [None] when the scan ended at EOF or at a trailerless
+          tail *)
+}
+
+let scan_trailers text =
+  let len = String.length text in
+  let find_trailer from =
+    let rec go i =
+      if i < 0 || i >= len then None
+      else
+        match String.index_from_opt text i '#' with
+        | None -> None
+        | Some j ->
+            if
+              j > 0
+              && text.[j - 1] = '\n'
+              && j + 4 <= len
+              && String.equal (String.sub text j 4) "#ck "
+            then Some j
+            else go (j + 1)
+    in
+    go from
+  in
+  let rec walk pos blocks =
+    if pos >= len then { scan_verified = pos; scan_blocks = blocks; scan_anomaly = None }
+    else
+      match find_trailer pos with
+      | None ->
+          (* a trailerless tail: either a block torn before its trailer
+             was written, or a legacy (pre-trailer) checkpoint *)
+          { scan_verified = pos; scan_blocks = blocks; scan_anomaly = None }
+      | Some t -> begin
+          match String.index_from_opt text t '\n' with
+          | None ->
+              {
+                scan_verified = pos;
+                scan_blocks = blocks;
+                scan_anomaly =
+                  Some (Printf.sprintf "torn checkpoint trailer at byte %d" t);
+              }
+          | Some nl -> begin
+              let fields =
+                String.split_on_char ' '
+                  (String.sub text (t + 4) (nl - t - 4))
+                |> List.filter (fun w -> w <> "")
+              in
+              match fields with
+              | [ len_s; crc_s ] -> begin
+                  match
+                    ( int_of_string_opt len_s,
+                      try Some (Int32.of_string ("0x" ^ crc_s))
+                      with Failure _ -> None )
+                  with
+                  | Some blen, Some crc
+                    when blen = t - pos
+                         && Int32.equal crc
+                              (Numerics.Checksum.crc32_sub text ~pos
+                                 ~len:(t - pos)) ->
+                      walk (nl + 1) (blocks + 1)
+                  | Some blen, Some _ when blen <> t - pos ->
+                      {
+                        scan_verified = pos;
+                        scan_blocks = blocks;
+                        scan_anomaly =
+                          Some
+                            (Printf.sprintf
+                               "checkpoint length mismatch at byte %d \
+                                (trailer says %s, block is %d bytes)"
+                               t len_s (t - pos));
+                      }
+                  | Some _, Some _ ->
+                      {
+                        scan_verified = pos;
+                        scan_blocks = blocks;
+                        scan_anomaly =
+                          Some
+                            (Printf.sprintf
+                               "checkpoint checksum mismatch at byte %d \
+                                (torn or corrupted block)"
+                               pos);
+                      }
+                  | _ ->
+                      {
+                        scan_verified = pos;
+                        scan_blocks = blocks;
+                        scan_anomaly =
+                          Some
+                            (Printf.sprintf "malformed checkpoint trailer at byte %d" t);
+                      }
+                end
+              | _ ->
+                  {
+                    scan_verified = pos;
+                    scan_blocks = blocks;
+                    scan_anomaly =
+                      Some
+                        (Printf.sprintf "malformed checkpoint trailer at byte %d" t);
+                  }
+            end
+        end
+  in
+  walk (String.length header_line) 0
+
+let header_ok text =
+  String.length text >= String.length header_line
+  && String.equal (String.sub text 0 (String.length header_line)) header_line
 
 (* Keep the header plus every complete result block: everything up to and
-   including the last "end" line.  A checkpoint writer only appends whole
-   blocks, so an interrupted run leaves at most one torn block at the
-   tail — which this drops. *)
+   including the last "end" line.  The legacy salvage for pre-trailer
+   checkpoint files, and for a trailerless tail behind the last verified
+   trailer. *)
 let truncate_to_complete text =
   let lines = String.split_on_char '\n' text in
   match lines with
@@ -264,19 +434,78 @@ let truncate_to_complete text =
       in
       String.concat "\n" ((header :: kept) @ [ "" ])
 
+(* The longest prefix of [text] recovery trusts: every trailer-verified
+   block and, when the file carries no trailers at all (a legacy
+   checkpoint), every syntactically complete block. *)
+let salvage text =
+  if not (header_ok text) then
+    (* a torn header (prefix of the real one) salvages to an empty
+       session; anything else is not ours to rewrite *)
+    if
+      String.length text < String.length header_line
+      && String.equal text (String.sub header_line 0 (String.length text))
+    then Ok header_line
+    else
+      match of_string text with
+      | Error m -> Error m
+      | Ok _ -> Error "unexpected session header"
+  else
+    let scan = scan_trailers text in
+    if scan.scan_blocks = 0 && scan.scan_anomaly = None then
+      (* no usable trailer: legacy file (or header-only) — salvage
+         complete blocks syntactically *)
+      Ok (truncate_to_complete text)
+    else Ok (String.sub text 0 scan.scan_verified)
+
+let load ~path =
+  match read_file path with
+  | Error m -> Error m
+  | Ok text ->
+      if String.length text = 0 then Error "empty session file (0 bytes)"
+      else if not (header_ok text) then of_string text
+      else
+        let scan = scan_trailers text in
+        if scan.scan_blocks = 0 && scan.scan_anomaly = None then
+          of_string text
+        else begin
+          match scan.scan_anomaly with
+          | Some m -> Error m
+          | None ->
+              if scan.scan_verified < String.length text then
+                Error
+                  (Printf.sprintf
+                     "torn checkpoint: %d bytes of unverified data after \
+                      block %d (use --resume to salvage)"
+                     (String.length text - scan.scan_verified)
+                     scan.scan_blocks)
+              else of_string text
+        end
+
 let load_partial ~path =
   match read_file path with
   | Error m -> Error m
-  | Ok text -> of_string (truncate_to_complete text)
+  | Ok text -> begin
+      match salvage text with
+      | Error m -> Error m
+      | Ok prefix -> of_string prefix
+    end
+
+(* -- incremental checkpointing ---------------------------------------- *)
+
+exception Torn_write
 
 type checkpoint = { ck_oc : out_channel }
 
+let fsync_channel oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
 let checkpoint_create ~path =
-  match open_out path with
+  match open_out_bin path with
   | exception Sys_error m -> Error m
   | oc ->
       output_string oc header_line;
-      flush oc;
+      fsync_channel oc;
       Ok { ck_oc = oc }
 
 let checkpoint_resume ~path =
@@ -288,25 +517,43 @@ let checkpoint_resume ~path =
     match read_file path with
     | Error m -> Error m
     | Ok text -> begin
-        let salvaged = truncate_to_complete text in
-        match of_string salvaged with
+        match salvage text with
         | Error m -> Error m
-        | Ok results -> begin
-            (* rewrite the salvaged prefix so the file never carries the
-               torn tail forward *)
-            match open_out path with
-            | exception Sys_error m -> Error m
-            | oc ->
-                output_string oc salvaged;
-                flush oc;
-                Ok ({ ck_oc = oc }, results)
+        | Ok prefix -> begin
+            match of_string prefix with
+            | Error m -> Error m
+            | Ok results -> begin
+                (* rewrite the salvaged prefix atomically — in canonical
+                   trailered form, so a legacy or torn file never carries
+                   its tail (or its trailerless blocks) forward — then
+                   reopen for appending *)
+                match write_atomic ~path (to_checkpoint_string results) with
+                | Error m -> Error m
+                | Ok () -> begin
+                    match
+                      open_out_gen [ Open_wronly; Open_append; Open_binary ]
+                        0o644 path
+                    with
+                    | exception Sys_error m -> Error m
+                    | oc -> Ok ({ ck_oc = oc }, results)
+                  end
+              end
           end
       end
 
 let checkpoint_append ck r =
-  let b = Buffer.create 1024 in
-  add_result b r;
-  output_string ck.ck_oc (Buffer.contents b);
-  flush ck.ck_oc
+  let block = block_of_result r in
+  let payload = block ^ trailer_of_block block in
+  if Numerics.Failpoint.should_fail "session.torn_write" then begin
+    (* simulate a kill mid-write: half the payload reaches the file, the
+       trailer (or its tail) does not, and the writer dies *)
+    output_string ck.ck_oc
+      (String.sub payload 0 (String.length payload / 2));
+    flush ck.ck_oc;
+    raise Torn_write
+  end;
+  output_string ck.ck_oc payload;
+  fsync_channel ck.ck_oc
 
 let checkpoint_close ck = close_out ck.ck_oc
+let checkpoint_abort ck = close_out_noerr ck.ck_oc

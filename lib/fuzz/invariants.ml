@@ -1,0 +1,366 @@
+open Testgen
+
+type outcome = Pass | Skip of string | Fail of string
+
+type ctx = {
+  built : Scenario.built;
+  run : Engine.run;  (** the base sequential, injection-free run *)
+  jobs : int;
+  inject : Numerics.Failpoint.spec list;
+  inject_seed : int64;
+}
+
+let base_run ?executor ?resume ?checkpoint built =
+  Engine.run ~options:Scenario.generate_options ?executor ?resume ?checkpoint
+    ~evaluators:built.Scenario.evaluators built.Scenario.dictionary
+
+let make_ctx ~jobs ~inject ~inject_seed spec =
+  let built = Scenario.build spec in
+  { built; run = base_run built; jobs; inject; inject_seed }
+
+let fail fmt = Printf.ksprintf (fun m -> Fail m) fmt
+
+(* engine runs compare equal when their persisted form, their rung
+   statistics and their quarantine reports all agree *)
+let runs_agree label (a : Engine.run) (b : Engine.run) =
+  let ids r =
+    List.map (fun d -> d.Resilience.diag_fault_id) r.Engine.failed_faults
+  in
+  if not (String.equal (Session.to_string a.results) (Session.to_string b.results))
+  then fail "%s: session bytes differ" label
+  else if a.rung_stats <> b.rung_stats then
+    fail "%s: rung stats differ" label
+  else if ids a <> ids b then
+    fail "%s: quarantine reports differ (%s vs %s)" label
+      (String.concat "," (ids a)) (String.concat "," (ids b))
+  else Pass
+
+(* -- session-roundtrip -------------------------------------------------- *)
+
+let session_roundtrip ctx =
+  let text = Session.to_string ctx.run.Engine.results in
+  match Session.of_string text with
+  | Error m -> fail "plain form does not parse back: %s" m
+  | Ok rt ->
+      if not (String.equal (Session.to_string rt) text) then
+        Fail "plain roundtrip is not byte-stable"
+      else begin
+        let ck = Session.to_checkpoint_string ctx.run.Engine.results in
+        match Session.of_string ck with
+        | Error m -> fail "checkpoint form does not parse back: %s" m
+        | Ok rt ->
+            if not (String.equal (Session.to_string rt) text) then
+              Fail "checkpoint roundtrip changes the results"
+            else Pass
+      end
+
+(* -- parallel-merge ----------------------------------------------------- *)
+
+let parallel_merge ctx =
+  let jobs = if ctx.jobs > 1 then ctx.jobs else 2 in
+  let prun = base_run ~executor:(Parallel.executor ~jobs) ctx.built in
+  runs_agree (Printf.sprintf "jobs=%d vs sequential" jobs) ctx.run prun
+
+(* -- compaction-no-loss ------------------------------------------------- *)
+
+let compaction_no_loss ctx =
+  let result =
+    Compactor.compact ~delta:0.1 ~evaluators:ctx.built.Scenario.evaluators
+      ctx.built.Scenario.dictionary ctx.run
+  in
+  let detected_before =
+    List.filter_map
+      (fun r ->
+        match r.Generate.outcome with
+        | Generate.Unique { dictionary_sensitivity; _ }
+          when dictionary_sensitivity < 0. ->
+            Some r.Generate.fault_id
+        | _ -> None)
+      ctx.run.Engine.results
+  in
+  let lost =
+    List.filter
+      (fun fid ->
+        List.exists
+          (fun d ->
+            String.equal d.Coverage.det_fault_id fid && d.Coverage.detected_by = [])
+          result.Compactor.coverage.Coverage.detections)
+      detected_before
+  in
+  if lost <> [] then
+    fail "compaction at delta 0.1 lost detection of: %s"
+      (String.concat ", " lost)
+  else if
+    List.length result.Compactor.compact_tests > result.Compactor.original_test_count
+  then Fail "compact set larger than the original test set"
+  else Pass
+
+(* -- coverage-monotone -------------------------------------------------- *)
+
+let coverage_monotone ctx =
+  let evaluator_for id =
+    List.find_opt
+      (fun ev -> Evaluator.config_id ev = id)
+      ctx.built.Scenario.evaluators
+  in
+  let violations, checked =
+    List.fold_left
+      (fun (bad, n) r ->
+        match r.Generate.outcome with
+        | Generate.Unique { config_id; params; dictionary_sensitivity; _ }
+          when dictionary_sensitivity < 0. -> begin
+            match evaluator_for config_id with
+            | None -> (bad, n)
+            | Some ev -> begin
+                let harder =
+                  Faults.Fault.intensify r.Generate.dictionary_fault ~factor:4.
+                in
+                match Evaluator.sensitivity ev harder params with
+                | s when s < 0. -> (bad, n + 1)
+                | s ->
+                    ( Printf.sprintf "%s: S=%.3g at dictionary impact but S=%.3g at 4x intensity"
+                        r.Generate.fault_id dictionary_sensitivity s
+                      :: bad,
+                      n + 1 )
+                | exception Execute.Execution_failure _ ->
+                    (* vacuous: the intensified circuit does not simulate;
+                       the sentinel path inside [sensitivity] already
+                       covers the common case *)
+                    (bad, n)
+              end
+          end
+        | _ -> (bad, n))
+      ([], 0) ctx.run.Engine.results
+  in
+  if violations <> [] then
+    fail "detection not monotone in fault impact: %s"
+      (String.concat "; " (List.rev violations))
+  else if checked = 0 then Skip "no detected fault to intensify"
+  else Pass
+
+(* -- inject-contract ---------------------------------------------------- *)
+
+let injected_run ?executor ctx =
+  Numerics.Failpoint.with_failpoints ~seed:ctx.inject_seed ctx.inject
+    (fun () -> base_run ?executor ctx.built)
+
+let inject_contract ctx =
+  if ctx.inject = [] then Skip "no failure sites configured"
+  else begin
+    let size = Faults.Dictionary.size ctx.built.Scenario.dictionary in
+    let r = injected_run ctx in
+    let n_results = List.length r.Engine.results in
+    let n_failed = List.length r.Engine.failed_faults in
+    let dict_ids =
+      List.map
+        (fun e -> e.Faults.Dictionary.fault_id)
+        (Faults.Dictionary.entries ctx.built.Scenario.dictionary)
+    in
+    let failed_ids =
+      List.map (fun d -> d.Resilience.diag_fault_id) r.Engine.failed_faults
+    in
+    if List.length r.Engine.reports <> size then
+      fail "%d reports for %d dictionary faults" (List.length r.Engine.reports) size
+    else if n_results + n_failed <> size then
+      fail "results (%d) + quarantined (%d) != dictionary size (%d)" n_results
+        n_failed size
+    else if List.exists (fun id -> not (List.mem id dict_ids)) failed_ids then
+      Fail "quarantine names a fault outside the dictionary"
+    else if List.sort_uniq compare failed_ids <> List.sort compare failed_ids
+    then Fail "duplicate quarantine reports"
+    else begin
+      let expected = if n_failed = 0 then 0 else Engine.exit_quarantined in
+      if Engine.exit_status r <> expected then
+        fail "exit status %d, expected %d (quarantined %d)"
+          (Engine.exit_status r) expected n_failed
+      else Pass
+    end
+  end
+
+(* -- inject-parity ------------------------------------------------------ *)
+
+let inject_parity ctx =
+  if ctx.inject = [] then Skip "no failure sites configured"
+  else begin
+    let jobs = if ctx.jobs > 1 then ctx.jobs else 2 in
+    let seq = injected_run ctx in
+    let par = injected_run ~executor:(Parallel.executor ~jobs) ctx in
+    runs_agree (Printf.sprintf "injected jobs=%d vs sequential" jobs) seq par
+  end
+
+(* -- crash-safety ------------------------------------------------------- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "atpg_fuzz" ".session" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  text
+
+(* Kill-mid-write campaign: run with a checkpoint that tears (via the
+   session.torn_write failpoint) while appending block [tear_at], recover
+   with checkpoint_resume, finish the dictionary, and require the
+   recovered file to be byte-identical to an uninterrupted run's. *)
+let crash_safety ctx =
+  let size = Faults.Dictionary.size ctx.built.Scenario.dictionary in
+  (* vary the tear point across scenarios, deterministically *)
+  let tear_rng =
+    Numerics.Rng.of_key
+      ~seed:(Int64.of_int ctx.built.Scenario.spec.Scenario.value_seed)
+      ~key:"fuzz.tear"
+  in
+  let tear_at = Numerics.Rng.int tear_rng ~bound:(size + 1) in
+  with_temp_file (fun ref_path ->
+      with_temp_file (fun torn_path ->
+          (* uninterrupted reference *)
+          let reference =
+            match Session.checkpoint_create ~path:ref_path with
+            | Error m -> Error m
+            | Ok ck ->
+                let _run =
+                  base_run ~checkpoint:(Session.checkpoint_append ck) ctx.built
+                in
+                Session.checkpoint_close ck;
+                Ok (read_file ref_path)
+          in
+          match reference with
+          | Error m -> fail "reference checkpoint failed: %s" m
+          | Ok reference -> begin
+              (* torn run: arm the failpoint just before block [tear_at] *)
+              match Session.checkpoint_create ~path:torn_path with
+              | Error m -> fail "torn checkpoint create failed: %s" m
+              | Ok ck -> begin
+                  let count = ref 0 in
+                  let checkpoint r =
+                    if !count = tear_at then
+                      Numerics.Failpoint.configure ~seed:ctx.inject_seed
+                        [ Numerics.Failpoint.fail_always "session.torn_write" ];
+                    incr count;
+                    Session.checkpoint_append ck r
+                  in
+                  let torn =
+                    match base_run ~checkpoint ctx.built with
+                    | (_ : Engine.run) -> false
+                    | exception Session.Torn_write -> true
+                  in
+                  Numerics.Failpoint.disable ();
+                  if torn then Session.checkpoint_abort ck
+                  else Session.checkpoint_close ck;
+                  if (not torn) && tear_at < size then
+                    fail "torn_write failpoint armed at block %d never fired"
+                      tear_at
+                  else begin
+                    (* recover and finish *)
+                    match Session.checkpoint_resume ~path:torn_path with
+                    | Error m -> fail "resume after tear failed: %s" m
+                    | Ok (ck, salvaged) ->
+                        if List.length salvaged <> min tear_at size then begin
+                          Session.checkpoint_close ck;
+                          fail "salvaged %d blocks, expected %d"
+                            (List.length salvaged) (min tear_at size)
+                        end
+                        else begin
+                          let (_ : Engine.run) =
+                            base_run ~resume:salvaged
+                              ~checkpoint:(Session.checkpoint_append ck)
+                              ctx.built
+                          in
+                          Session.checkpoint_close ck;
+                          let recovered = read_file torn_path in
+                          if String.equal recovered reference then Pass
+                          else
+                            fail
+                              "recovered checkpoint differs from the \
+                               uninterrupted run (tear at block %d: %d vs %d \
+                               bytes)"
+                              tear_at
+                              (String.length recovered)
+                              (String.length reference)
+                        end
+                  end
+                end
+            end))
+
+(* -- continuation-compat ------------------------------------------------ *)
+
+let continuation_compat ctx =
+  let cont_built = Scenario.build ~continuation:true ctx.built.Scenario.spec in
+  let crun = base_run cont_built in
+  let pair =
+    try
+      Some
+        (List.combine ctx.run.Engine.results crun.Engine.results)
+    with Invalid_argument _ -> None
+  in
+  match pair with
+  | None ->
+      fail "continuation run produced %d results, baseline %d"
+        (List.length crun.Engine.results)
+        (List.length ctx.run.Engine.results)
+  | Some pairs ->
+      let bad =
+        List.filter_map
+          (fun (a, b) ->
+            if not (String.equal a.Generate.fault_id b.Generate.fault_id) then
+              Some (a.Generate.fault_id ^ ": fault order differs")
+            else
+              match (a.Generate.outcome, b.Generate.outcome) with
+              | ( Generate.Unique { config_id = ca; critical_impact = ia; _ },
+                  Generate.Unique { config_id = cb; critical_impact = ib; _ } )
+                ->
+                  if ca <> cb then
+                    Some
+                      (Printf.sprintf "%s: winner #%d vs #%d" a.Generate.fault_id
+                         ca cb)
+                  else
+                    let ratio = Float.max (ia /. ib) (ib /. ia) in
+                    if ratio > 1.25 then
+                      Some
+                        (Printf.sprintf "%s: critical impact ratio %.3f"
+                           a.Generate.fault_id ratio)
+                    else None
+              | Generate.Undetectable _, Generate.Undetectable _ -> None
+              | Generate.Unique _, Generate.Undetectable _
+              | Generate.Undetectable _, Generate.Unique _ ->
+                  Some (a.Generate.fault_id ^ ": outcome flavour differs"))
+          pairs
+      in
+      if bad = [] then Pass
+      else fail "continuation incompatible: %s" (String.concat "; " bad)
+
+(* -- self-test ----------------------------------------------------------- *)
+
+(* A deliberately planted violation: fails on every scenario with more
+   than one fault.  Campaigns run it only in self-test mode, to prove
+   end-to-end that a violated invariant is caught and shrunk to the
+   minimal scenario that still trips it (fault_count = 2, everything
+   else at its floor). *)
+let self_test ctx =
+  let s = ctx.built.Scenario.spec in
+  if s.Scenario.fault_count >= 2 then
+    fail "planted violation: fault_count = %d >= 2" s.Scenario.fault_count
+  else Pass
+
+type t = { name : string; check : ctx -> outcome }
+
+let all =
+  [
+    { name = "session-roundtrip"; check = session_roundtrip };
+    { name = "parallel-merge"; check = parallel_merge };
+    { name = "compaction-no-loss"; check = compaction_no_loss };
+    { name = "coverage-monotone"; check = coverage_monotone };
+    { name = "inject-contract"; check = inject_contract };
+    { name = "inject-parity"; check = inject_parity };
+    { name = "crash-safety"; check = crash_safety };
+    { name = "continuation-compat"; check = continuation_compat };
+  ]
+
+let self_test_invariant = { name = "self-test"; check = self_test }
+
+let names = List.map (fun i -> i.name) all

@@ -1,0 +1,17 @@
+(** Data-integrity checksums.
+
+    Used by the session layer's crash-safe checkpoints: every appended
+    record carries a length/CRC trailer so a torn write (power loss,
+    [kill -9] mid-[write]) is detected on recovery instead of being
+    parsed as garbage.  The implementation is the standard CRC-32
+    (IEEE 802.3, polynomial 0xEDB88320, the zlib/PNG variant) — stable
+    across platforms and OCaml versions, so trailers written by one
+    build verify under any other. *)
+
+val crc32 : ?crc:int32 -> string -> int32
+(** CRC-32 of the whole string.  [crc] seeds an incremental computation:
+    [crc32 ~crc:(crc32 a) b = crc32 (a ^ b)]. *)
+
+val crc32_sub : ?crc:int32 -> string -> pos:int -> len:int -> int32
+(** CRC-32 of the substring [pos .. pos+len-1].
+    @raise Invalid_argument on an out-of-bounds range. *)

@@ -6,6 +6,48 @@ type spec = {
 
 let fail_always ?max_triggers point = { point; probability = 1.; max_triggers }
 
+(* The failure points instrumented across the solver stack, kept here so
+   the CLI help, the fuzz campaign generator and the documentation all
+   name the same set. *)
+let known_points =
+  [
+    "dc.no_convergence";
+    "dc.singular";
+    "dc.nan_solution";
+    "tran.step_failure";
+    "execute.observables";
+    "session.torn_write";
+  ]
+
+(* NAME[=PROB][@MAX], e.g. dc.no_convergence=0.2@3 *)
+let spec_of_string s =
+  let split c str =
+    match String.index_opt str c with
+    | None -> (str, None)
+    | Some i ->
+        ( String.sub str 0 i,
+          Some (String.sub str (i + 1) (String.length str - i - 1)) )
+  in
+  let name_prob, max_s = split '@' s in
+  let name, prob_s = split '=' name_prob in
+  if String.equal name "" then Error (Printf.sprintf "bad inject spec %S" s)
+  else
+    match
+      ( (match prob_s with None -> Some 1. | Some p -> float_of_string_opt p),
+        match max_s with
+        | None -> Some None
+        | Some m -> Option.map Option.some (int_of_string_opt m) )
+    with
+    | Some p, Some mt when p >= 0. && p <= 1. ->
+        Ok { point = name; probability = p; max_triggers = mt }
+    | _ -> Error (Printf.sprintf "bad inject spec %S" s)
+
+let spec_to_string spec =
+  Printf.sprintf "%s=%g%s" spec.point spec.probability
+    (match spec.max_triggers with
+    | None -> ""
+    | Some m -> Printf.sprintf "@%d" m)
+
 (* The installed configuration is an immutable value published through an
    Atomic: domains never share mutable site state.  Each domain lazily
    materializes its own site table (per-point Rng stream + counters) from
@@ -77,8 +119,33 @@ let disable () = configure []
 
 let active () = Atomic.get enabled
 
+(* Per-domain injection mask: queries inside [without] never fail and
+   never consume draws, so the draw sequence seen by surrounding scopes
+   is independent of how often (or whether) masked work runs — the seam
+   that keeps cache-dependent nominal simulations out of the injection
+   budget. *)
+let masked : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let without f =
+  let m = Domain.DLS.get masked in
+  if !m then f ()
+  else begin
+    m := true;
+    Fun.protect ~finally:(fun () -> m := false) f
+  end
+
+(* Per-domain count of injections that actually fired.  Callers that must
+   swallow genuine failures (a faulty circuit that cannot converge is
+   trivially detected) sample the epoch around the risky call and
+   re-raise when it moved: an injected failure is an infrastructure
+   event for the recovery ladder, never evidence of detection. *)
+let epoch_cell : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let epoch () = !(Domain.DLS.get epoch_cell)
+
 let should_fail point =
   Atomic.get enabled
+  && (not !(Domain.DLS.get masked))
   &&
   let st = refresh () in
   match Hashtbl.find_opt st.st_sites point with
@@ -95,6 +162,7 @@ let should_fail point =
       in
       if (not capped) && draw < s.spec.probability then begin
         s.triggers <- s.triggers + 1;
+        incr (Domain.DLS.get epoch_cell);
         true
       end
       else false

@@ -35,6 +35,19 @@ type spec = {
 val fail_always : ?max_triggers:int -> string -> spec
 (** Probability-1 spec, the common unit-test shape. *)
 
+val known_points : string list
+(** Every failure point instrumented across the solver and session
+    stack — the universe the CLI documents and fuzz campaigns draw
+    injection sites from. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parse the CLI syntax [NAME[=PROB][@MAX]], e.g.
+    ["dc.no_convergence=0.2@3"].  Probabilities outside [\[0, 1\]] and
+    malformed numbers are rejected with a diagnostic. *)
+
+val spec_to_string : spec -> string
+(** Inverse of {!spec_of_string} (canonical form). *)
+
 val configure : ?seed:int64 -> spec list -> unit
 (** Install the given failure points, replacing any previous
     configuration (on every domain).  An empty list is equivalent to
@@ -50,6 +63,25 @@ val should_fail : string -> bool
 (** Called by instrumented code.  [true] when the named point is
     configured, its trigger cap is not exhausted, and this query's random
     draw falls below the probability.  Unconfigured names never fail. *)
+
+val without : (unit -> 'a) -> 'a
+(** [without f] runs [f] with failure injection masked on the calling
+    domain: every {!should_fail} query inside answers [false] without
+    consuming a random draw or counting.  Used around {e nominal}-circuit
+    simulation, whose per-fault occurrence depends on memoization-cache
+    state (cold per-worker caches in parallel, one warm cache
+    sequentially): masking it keeps the injected failure pattern of each
+    fault's scope a pure function of the fault, identical at every job
+    count.  Nestable; a no-op when nothing is configured. *)
+
+val epoch : unit -> int
+(** Number of injections that have fired on the calling domain since it
+    started.  Sample it around a call whose genuine failures must be
+    absorbed (e.g. a faulty circuit that cannot converge counts as
+    detected): when the epoch moved across the call, the failure was
+    injected and should be re-raised to the recovery layer instead of
+    being interpreted as a result.  Monotone; scope brackets do not reset
+    it. *)
 
 val with_scope : key:string -> (unit -> 'a) -> 'a
 (** [with_scope ~key f] runs [f] with fresh per-point streams and trigger

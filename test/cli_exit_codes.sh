@@ -44,4 +44,56 @@ else
 fi
 rm -f cli_exit_codes_trace.jsonl
 
+# A session file that exists but is corrupt is its own failure class
+# (exit 5), distinct from a missing file (plain IO error, exit 1).
+corrupt=cli_exit_codes_corrupt.session
+printf 'atpg-session 99\n' > "$corrupt"
+expect 5 "corrupt session file" \
+  compact --fast --load "$corrupt"
+printf 'atpg-session 1\nresult x\ntruncated' > "$corrupt"
+expect 5 "torn session file" \
+  compact --fast --load "$corrupt"
+rm -f "$corrupt"
+expect 1 "missing session file" \
+  compact --fast --load "$corrupt"
+
+# The exit-code contract must hold identically under a worker pool, and
+# probabilistic injection must quarantine the same faults at every job
+# count (per-fault injection scopes make the pattern scheduling-free).
+inject_run() {
+  local jobs="$1"
+  local save="$2"
+  "$atpg" generate --fast --take 3 --max-retries 1 \
+    --inject "dc.no_convergence=0.6@4" --inject-seed 11 \
+    --jobs "$jobs" --save "$save" 2>"$save.err" >/dev/null
+  echo $?
+}
+s1=cli_exit_codes_j1.session
+s4=cli_exit_codes_j4.session
+code1=$(inject_run 1 "$s1")
+code4=$(inject_run 4 "$s4")
+if [ "$code1" -ne "$code4" ]; then
+  echo "FAIL injected exit codes differ: jobs 1 -> $code1, jobs 4 -> $code4" >&2
+  fails=$((fails + 1))
+elif [ "$code1" -ne 0 ] && [ "$code1" -ne 3 ]; then
+  echo "FAIL injected run exited $code1 (contract allows 0 or 3)" >&2
+  fails=$((fails + 1))
+else
+  echo "ok   injected exit code identical across jobs (exit $code1)"
+fi
+if ! cmp -s "$s1" "$s4"; then
+  echo "FAIL injected session files differ between --jobs 1 and --jobs 4" >&2
+  fails=$((fails + 1))
+else
+  echo "ok   injected session files byte-identical across jobs"
+fi
+if ! diff -q <(grep -i quarantin "$s1.err" || true) \
+             <(grep -i quarantin "$s4.err" || true) >/dev/null; then
+  echo "FAIL quarantine reports differ between --jobs 1 and --jobs 4" >&2
+  fails=$((fails + 1))
+else
+  echo "ok   quarantine reports identical across jobs"
+fi
+rm -f "$s1" "$s4" "$s1.err" "$s4.err"
+
 exit "$fails"

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Numeric-flag validation of the atpg CLI: out-of-range and garbage
+# values must be rejected with a friendly diagnostic and a nonzero exit,
+# never a crash or a silently-clamped run.
+# Driven from dune (see the rule in test/dune); $1 is the atpg executable.
+set -u
+
+atpg="$1"
+fails=0
+
+# A bad flag must exit nonzero AND say something about the offending
+# value on stderr (cmdliner usage errors exit 124 for bad option values).
+reject() {
+  local label="$1"
+  shift
+  local err
+  err=$("$atpg" "$@" 2>&1 >/dev/null)
+  local got=$?
+  if [ "$got" -eq 0 ]; then
+    echo "FAIL $label: accepted (exit 0)" >&2
+    fails=$((fails + 1))
+  elif [ -z "$err" ]; then
+    echo "FAIL $label: rejected silently (exit $got, no diagnostic)" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok   $label (exit $got)"
+  fi
+}
+
+reject "--jobs -1"           generate --fast --take 1 --jobs -1
+reject "--jobs garbage"      generate --fast --take 1 --jobs banana
+reject "--max-retries -1"    generate --fast --take 1 --max-retries -1
+reject "--max-retries junk"  generate --fast --take 1 --max-retries 1.5
+reject "--campaigns 0"       fuzz --campaigns 0
+reject "--campaigns -3"      fuzz --campaigns -3
+reject "--campaigns garbage" fuzz --campaigns many
+reject "--seed garbage"      fuzz --campaigns 1 --seed pi
+reject "--inject-seed junk"  generate --fast --take 1 --inject execute.observables --inject-seed x
+reject "bad --inject spec"   generate --fast --take 1 --inject "no.such.point=2"
+reject "unknown fuzz check"  fuzz --campaigns 1 --check no-such-invariant
+
+exit "$fails"

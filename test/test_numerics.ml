@@ -517,6 +517,80 @@ let prop_uniform_in_range =
       let x = Rng.uniform rng ~lo ~hi:(lo +. width) in
       x >= lo && x < lo +. width)
 
+(* Pinned fingerprints of the named streams everything deterministic is
+   built on (failpoint sites, fuzz campaigns, scenario value draws): any
+   change to Rng.of_key silently reshuffles recorded campaigns and
+   injection patterns, so the first draws are locked here. *)
+let test_of_key_fingerprints () =
+  let fingerprint key =
+    let rng = Rng.of_key ~seed:42L ~key in
+    Array.init 8 (fun _ -> Rng.int64 rng)
+  in
+  let check key expected =
+    Alcotest.(check (array int64))
+      (Printf.sprintf "of_key %S first 8 draws" key)
+      expected (fingerprint key)
+  in
+  check "alpha"
+    [| 0x1a7ec7a2ef0972ebL; 0xda768488ef070a27L; 0x3f00fd5a9df08787L;
+       0xd848a90f33eb93fcL; 0xddc9cf2d71efa26eL; 0x748549442829d6c6L;
+       0xb6182a2b73f8b6cfL; 0xb29b6e841f0cc343L |];
+  check "beta"
+    [| 0xd0430e964fa18b48L; 0x8c67bfee2df31838L; 0xd0862b90fa927e9cL;
+       0xd4cd60a6594649adL; 0xd94534b1a3046406L; 0x2171d27ad3b450ecL;
+       0x7ab094a28f08b63bL; 0x1efce881d70626aaL |];
+  check "fuzz.campaign.0001"
+    [| 0xda4fd1ca63dedccdL; 0xa9fc11f4a60abc7cL; 0x5fb8a9892d3e0975L;
+       0x6cfc95a17e6c59bcL; 0x4c915e77fbf32761L; 0x362d1f7a8fb7d4e5L;
+       0xd63605ba6fa05320L; 0x5b5e19dc120d67d8L |]
+
+let test_of_key_stable_across_instances () =
+  let draws key =
+    let rng = Rng.of_key ~seed:17L ~key in
+    List.init 16 (fun _ -> Rng.int64 rng)
+  in
+  Alcotest.(check (list int64)) "same (seed, key) twice" (draws "x") (draws "x")
+
+let prop_of_key_pairwise_independent =
+  QCheck.Test.make ~name:"of_key streams pairwise distinct" ~count:200
+    QCheck.(pair small_string small_string)
+    (fun (a, b) ->
+      QCheck.assume (not (String.equal a b));
+      let draws key =
+        let rng = Rng.of_key ~seed:5L ~key in
+        Array.init 8 (fun _ -> Rng.int64 rng)
+      in
+      (* distinct keys must not share a stream: an 8-draw collision is a
+         2^-512 event for independent streams, so any equality is a bug *)
+      draws a <> draws b)
+
+(* ------------------------------------------------------------- Checksum *)
+
+let test_crc32_vectors () =
+  let check msg expected s =
+    Alcotest.(check int32) msg expected (Checksum.crc32 s)
+  in
+  (* the standard CRC-32/ISO-HDLC check value and friends *)
+  check "check value" 0xCBF43926l "123456789";
+  check "empty" 0l "";
+  check "single a" 0xE8B7BE43l "a";
+  check "abc" 0x352441C2l "abc"
+
+let test_crc32_incremental () =
+  let a = "atpg-session 1\n" and b = "result bridge:a-b\nfault ...\n" in
+  Alcotest.(check int32) "crc32 ~crc chains"
+    (Checksum.crc32 (a ^ b))
+    (Checksum.crc32 ~crc:(Checksum.crc32 a) b);
+  Alcotest.(check int32) "crc32_sub matches slice"
+    (Checksum.crc32 b)
+    (Checksum.crc32_sub (a ^ b) ~pos:(String.length a) ~len:(String.length b))
+
+let prop_crc32_split_anywhere =
+  QCheck.Test.make ~name:"crc32 incremental = whole, any split" ~count:200
+    QCheck.(pair small_string small_string)
+    (fun (a, b) ->
+      Checksum.crc32 ~crc:(Checksum.crc32 a) b = Checksum.crc32 (a ^ b))
+
 (* ---------------------------------------------------------------- Stats *)
 
 let test_stats_basic () =
@@ -615,6 +689,17 @@ let () =
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
           Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
           QCheck_alcotest.to_alcotest prop_uniform_in_range;
+          Alcotest.test_case "of_key fingerprints" `Quick
+            test_of_key_fingerprints;
+          Alcotest.test_case "of_key stable" `Quick
+            test_of_key_stable_across_instances;
+          QCheck_alcotest.to_alcotest prop_of_key_pairwise_independent;
+        ] );
+      ( "checksum",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "incremental" `Quick test_crc32_incremental;
+          QCheck_alcotest.to_alcotest prop_crc32_split_anywhere;
         ] );
       ( "stats",
         [

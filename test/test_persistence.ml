@@ -162,6 +162,110 @@ let prop_session_roundtrip =
       | Ok [ loaded ] -> results_equal r loaded
       | Ok _ | Error _ -> false)
 
+(* ------------------------------------------------------------- corruption *)
+
+(* Every corruption mode a mid-write kill or bit rot can leave behind
+   must fail the strict loader with a diagnostic naming the damage, and
+   the lenient loader must recover exactly the trailer-verified prefix. *)
+
+let with_file text f =
+  let path = Filename.temp_file "atpg-corrupt" ".session" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc;
+      f path)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec at i = i + ln <= lh && (String.equal (String.sub hay i ln) needle || at (i + 1)) in
+  at 0
+
+let check_load_fails ~mode text ~diag =
+  with_file text (fun path ->
+      match Session.load ~path with
+      | Ok _ -> Alcotest.fail (mode ^ ": strict load accepted corrupt file")
+      | Error m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: diagnostic %S mentions %S" mode m diag)
+            true (contains m diag))
+
+let check_salvage ~mode text expected_count =
+  with_file text (fun path ->
+      match Session.load_partial ~path with
+      | Error m -> Alcotest.fail (Printf.sprintf "%s: salvage failed: %s" mode m)
+      | Ok rs ->
+          Alcotest.(check int)
+            (mode ^ ": salvaged block count")
+            expected_count (List.length rs))
+
+let checkpoint_text = lazy (Session.to_checkpoint_string sample_results)
+let one_block_text = lazy (Session.to_checkpoint_string [ List.hd sample_results ])
+
+let test_corrupt_zero_length () =
+  check_load_fails ~mode:"zero-length" "" ~diag:"empty";
+  (* a zero-length file holds zero trustworthy blocks, not an error *)
+  check_salvage ~mode:"zero-length" "" 0
+
+let test_corrupt_bad_header () =
+  check_load_fails ~mode:"bad version" "atpg-session 99\n" ~diag:"version";
+  check_load_fails ~mode:"not a session" "totally not a session\n"
+    ~diag:"not an atpg session"
+
+let test_corrupt_truncated_mid_block () =
+  let full = Lazy.force checkpoint_text in
+  let one = Lazy.force one_block_text in
+  (* kill landed while block 2's payload was being written: nothing after
+     block 1's trailer can be trusted *)
+  let torn = String.sub full 0 (String.length one + 25) in
+  check_load_fails ~mode:"truncated" torn ~diag:"torn checkpoint";
+  check_salvage ~mode:"truncated" torn 1
+
+let test_corrupt_torn_trailer () =
+  let full = Lazy.force checkpoint_text in
+  (* kill landed inside the final trailer line itself *)
+  let torn = String.sub full 0 (String.length full - 4) in
+  check_load_fails ~mode:"torn trailer" torn ~diag:"torn checkpoint trailer";
+  check_salvage ~mode:"torn trailer" torn 1
+
+let test_corrupt_flipped_byte () =
+  let full = Lazy.force checkpoint_text in
+  let one = Lazy.force one_block_text in
+  let b = Bytes.of_string full in
+  (* flip a byte inside block 2's payload: the trailer's CRC must catch it *)
+  let pos = String.length one + 10 in
+  Bytes.set b pos (if Bytes.get b pos = 'x' then 'y' else 'x');
+  let corrupt = Bytes.to_string b in
+  check_load_fails ~mode:"flipped byte" corrupt ~diag:"checksum mismatch";
+  check_salvage ~mode:"flipped byte" corrupt 1
+
+let test_corrupt_length_mismatch () =
+  let full = Lazy.force checkpoint_text in
+  (* corrupt the length field of the last block's trailer: same digit
+     count, so every byte offset is preserved and only the recorded
+     length disagrees with the block *)
+  let d = String.rindex full '#' + 4 in
+  let b = Bytes.of_string full in
+  Bytes.set b d (if Bytes.get b d = '9' then '8' else '9');
+  let corrupt = Bytes.to_string b in
+  check_load_fails ~mode:"length mismatch" corrupt ~diag:"mismatch";
+  check_salvage ~mode:"length mismatch" corrupt 1
+
+let test_checkpoint_text_loads_as_session () =
+  (* trailers are comments to the plain parser: a checkpoint file is a
+     valid session file with identical content *)
+  match Session.of_string (Lazy.force checkpoint_text) with
+  | Error m -> Alcotest.fail m
+  | Ok loaded ->
+      Alcotest.(check int) "both blocks" 2 (List.length loaded);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) (a.Generate.fault_id ^ " roundtrips") true
+            (results_equal a b))
+        sample_results loaded
+
 (* ---------------------------------------------------------------- quality *)
 
 let iv_target =
@@ -297,6 +401,19 @@ let () =
           Alcotest.test_case "file roundtrip" `Quick test_session_file_roundtrip;
           Alcotest.test_case "errors" `Quick test_session_errors;
           QCheck_alcotest.to_alcotest prop_session_roundtrip;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "zero-length file" `Quick test_corrupt_zero_length;
+          Alcotest.test_case "bad header" `Quick test_corrupt_bad_header;
+          Alcotest.test_case "truncated mid-block" `Quick
+            test_corrupt_truncated_mid_block;
+          Alcotest.test_case "torn trailer" `Quick test_corrupt_torn_trailer;
+          Alcotest.test_case "flipped byte" `Quick test_corrupt_flipped_byte;
+          Alcotest.test_case "length mismatch" `Quick
+            test_corrupt_length_mismatch;
+          Alcotest.test_case "checkpoint loads as session" `Quick
+            test_checkpoint_text_loads_as_session;
         ] );
       ( "quality",
         [
