@@ -46,29 +46,11 @@ let bitwise_equal a b =
        (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
        a b
 
-(* Every BENCH_*.json report carries the same provenance object: the
-   commit the numbers were measured at, when, and on how many cores —
-   so archived artifacts stay comparable across CI runs. *)
-let provenance_json () =
-  let git_sha =
-    try
-      let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
-      let line = try String.trim (input_line ic) with End_of_file -> "" in
-      match Unix.close_process_in ic with
-      | Unix.WEXITED 0 when line <> "" -> line
-      | _ -> "unknown"
-    with _ -> "unknown"
-  in
-  let tm = Unix.gmtime (Unix.gettimeofday ()) in
-  let stamp =
-    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
-      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
-      tm.Unix.tm_sec
-  in
-  Printf.sprintf
-    "{\"git_sha\": \"%s\", \"generated_utc\": \"%s\", \"host_cores\": %d}"
-    git_sha stamp
-    (Domain.recommended_domain_count ())
+(* Every BENCH_*.json report carries the same provenance object —
+   resolved once per process (Report.Provenance memoizes the git SHA,
+   stamp and core count), so artifacts from one run are byte-identical
+   in their provenance. *)
+let provenance_json () = Report.Provenance.json ()
 
 (* ------------------------------------------------------------------ *)
 (* Reproduction reports                                                 *)
@@ -827,6 +809,154 @@ let run_fuzz_bench ~smoke =
   if not deterministic then fail "re-run was not byte-identical";
   if not self_test_ok then fail "planted violation not found and shrunk"
 
+(* ------------------------------------------------------------------ *)
+(* Adjoint benchmark: gradient-mode generation vs the FD-free oracle.   *)
+(* ------------------------------------------------------------------ *)
+
+(* [bench --adjoint [--smoke]]: run the whole-dictionary generation
+   twice on the DC-levels configurations (#1 Brent, #2 Powell — the two
+   with an analytic adjoint gradient), once with the bracketing oracle
+   and once in gradient mode, and write BENCH_adjoint.json with probe
+   counts, wall-clock and the per-fault verdict-compat ratio.  The
+   non-smoke acceptance bars are a >= 5x reduction in optimizer probes
+   and verdict-compat 1.0; a compat miss exits nonzero even in smoke. *)
+let run_adjoint_bench ~fast ~smoke =
+  let profile =
+    if fast then Execute.fast_profile else Execute.default_profile
+  in
+  prerr_endline "adjoint bench: calibrating tolerance boxes...";
+  let ctx =
+    Experiments.Setup.create ~profile ~macro:Macros.Iv_converter.macro
+      ~configs:
+        [ Experiments.Iv_configs.config1; Experiments.Iv_configs.config2 ]
+      ()
+  in
+  let ctx = if smoke then Experiments.Setup.reduced ctx ~n_faults:8 else ctx in
+  let faults =
+    List.length (Faults.Dictionary.entries ctx.Experiments.Setup.dictionary)
+  in
+  let timed_run label options =
+    Printf.eprintf "adjoint bench: generation run (%s)...\n%!" label;
+    let t0 = Unix.gettimeofday () in
+    let run = Experiments.Runs.engine_run ~options ctx in
+    (run, Unix.gettimeofday () -. t0)
+  in
+  let oracle_run, oracle_dt = timed_run "oracle" Generate.default_options in
+  let grad_run, grad_dt =
+    timed_run "gradient"
+      { Generate.default_options with Generate.use_gradient = true }
+  in
+  (* optimizer probes: every evaluator solve spent inside candidate
+     optimization, summed over faults and configurations (the impact
+     convergence downstream of it is shared by both modes) *)
+  let probes (run : Engine.run) =
+    List.fold_left
+      (fun acc (r : Generate.result) ->
+        List.fold_left
+          (fun acc (c : Generate.candidate) ->
+            acc + c.Generate.optimizer_evaluations)
+          acc r.Generate.candidates)
+      0 run.Engine.results
+  in
+  let oracle_probes = probes oracle_run in
+  let grad_probes = probes grad_run in
+  let reduction =
+    float_of_int oracle_probes /. Float.max 1. (float_of_int grad_probes)
+  in
+  (* verdict compat: the detect verdict (unique vs undetectable) per
+     fault must be identical.  The winning configuration may legitimately
+     flip between near-tied candidates whose optima sit at slightly
+     different points, so config agreement is reported separately and
+     not gated. *)
+  let flavour (r : Generate.result) =
+    match r.Generate.outcome with
+    | Generate.Unique _ -> "unique"
+    | Generate.Undetectable _ -> "undetectable"
+  in
+  let mismatches =
+    List.filter_map Fun.id
+      (List.map2
+         (fun (a : Generate.result) (b : Generate.result) ->
+           if a.Generate.fault_id <> b.Generate.fault_id then
+             Some
+               (Printf.sprintf "fault order: %s vs %s" a.Generate.fault_id
+                  b.Generate.fault_id)
+           else if flavour a <> flavour b then
+             Some
+               (Printf.sprintf "%s: %s vs %s" a.Generate.fault_id (flavour a)
+                  (flavour b))
+           else None)
+         oracle_run.Engine.results grad_run.Engine.results)
+  in
+  let compat =
+    float_of_int (faults - List.length mismatches) /. float_of_int faults
+  in
+  let config_matches =
+    List.fold_left2
+      (fun acc (a : Generate.result) (b : Generate.result) ->
+        if Generate.best_config_id a = Generate.best_config_id b then acc + 1
+        else acc)
+      0 oracle_run.Engine.results grad_run.Engine.results
+  in
+  List.iter
+    (fun m -> Printf.eprintf "adjoint bench: verdict mismatch: %s\n%!" m)
+    mismatches;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"provenance\": %s,\n" (provenance_json ()));
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"profile\": \"%s\",\n"
+       (if fast then "fast" else "default"));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"faults\": %d,\n  \"configs\": [1, 2],\n" faults);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"oracle\": {\"optimizer_probes\": %d, \"wall_seconds\": %.3f},\n"
+       oracle_probes oracle_dt);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"gradient\": {\"optimizer_probes\": %d, \"wall_seconds\": %.3f},\n"
+       grad_probes grad_dt);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"probe_reduction\": %.3f,\n" reduction);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"wall_speedup\": %.3f,\n"
+       (oracle_dt /. Float.max 1e-9 grad_dt));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"verdict_compat\": %.4f,\n" compat);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"winning_config_match\": %.4f,\n"
+       (float_of_int config_matches /. float_of_int faults));
+  Buffer.add_string buf "  \"mismatches\": [";
+  List.iteri
+    (fun i m ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\"%s\"" (if i = 0 then "" else ", ") m))
+    mismatches;
+  Buffer.add_string buf "]\n}\n";
+  let path = "BENCH_adjoint.json" in
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.eprintf
+    "adjoint bench: %d faults, probes %d -> %d (%.2fx), wall %.2fs -> %.2fs, \
+     compat %.4f; wrote %s\n%!"
+    faults oracle_probes grad_probes reduction oracle_dt grad_dt compat path;
+  if List.length mismatches > 0 then begin
+    Printf.eprintf "adjoint bench: FAIL verdict compat %.4f below 1.0\n%!"
+      compat;
+    exit 1
+  end;
+  (* the acceptance bar for the probe contract *)
+  if (not smoke) && reduction < 5. then begin
+    Printf.eprintf
+      "adjoint bench: FAIL probe reduction %.2fx below the 5x bar\n%!"
+      reduction;
+    exit 1
+  end
+
 let () =
   let fast = Array.exists (String.equal "--fast") Sys.argv in
   let reports_only = Array.exists (String.equal "--reports-only") Sys.argv in
@@ -836,7 +966,9 @@ let () =
   let impact = Array.exists (String.equal "--impact") Sys.argv in
   let smoke = Array.exists (String.equal "--smoke") Sys.argv in
   let fuzz = Array.exists (String.equal "--fuzz") Sys.argv in
-  if fuzz then run_fuzz_bench ~smoke
+  let adjoint = Array.exists (String.equal "--adjoint") Sys.argv in
+  if adjoint then run_adjoint_bench ~fast ~smoke
+  else if fuzz then run_fuzz_bench ~smoke
   else if impact then run_impact_bench ~fast ~smoke
   else if hotpath then run_hotpath_bench ~fast ~smoke
   else begin

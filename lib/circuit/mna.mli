@@ -90,6 +90,35 @@ val rank1_direction : t -> rank1_impact -> Numerics.Vec.t -> unit
     [e_i - e_j] (ground terminals contribute nothing).
     @raise Invalid_argument if [u] is not system-sized. *)
 
+type stimulus_site =
+  | S_vsource of int  (** branch-equation row of the source *)
+  | S_isource of int * int  (** from/to node indices, [-1] for ground *)
+      (** Where an independent source's DC level enters the right-hand
+          side: the derivative stamp view [dz/dlevel] resolved once from
+          the compiled plan. *)
+
+val stimulus_site : t -> string -> stimulus_site option
+(** The derivative stamp view of a named independent source, or [None]
+    if the plan has no source of that name. *)
+
+val stimulus_adjoint_dot : stimulus_site -> Numerics.Vec.t -> float
+(** [stimulus_adjoint_dot site lambda] is [lambda^T (dz/dlevel)] — the
+    right-hand-side derivative contracted with an adjoint vector:
+    [lambda.(br)] for a voltage source, [lambda_j - lambda_i] for a
+    current source (ground terminals contribute nothing). *)
+
+val impact_adjoint_dot :
+  t ->
+  device:string ->
+  ohms:float ->
+  lambda:Numerics.Vec.t ->
+  x:Numerics.Vec.t ->
+  float option
+(** [-lambda^T (dA/dr) x] for the named fault-impact resistor at
+    resistance [ohms]: the sensitivity of an adjoint observable to the
+    impact resistance, [(lambda_i - lambda_j)(x_i - x_j) / r^2].
+    [None] if the plan has no resistor of that name. *)
+
 type workspace = {
   w_size : int;
   w_a : Numerics.Mat.t;  (** system matrix, zeroed and restamped per solve *)

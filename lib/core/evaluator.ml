@@ -14,6 +14,10 @@ type t = {
   mode : mode;
   continuation : bool;
   nominal_cache : (string, float array) Hashtbl.t;
+  (* Memoized nominal observables *and* their parameter gradients, keyed
+     like [nominal_cache]: the nominal response at a parameter point is
+     shared by every fault's gradient probe at that point. *)
+  ngrad_cache : (string, float array * float array array) Hashtbl.t;
   compiled_cache : (string, Execute.compiled) Hashtbl.t;
   (* Warm-start stores keyed like the plan cache (per fault site): the
      ladder of probes of one fault continues through one store, so each
@@ -44,6 +48,7 @@ let create ?(profile = Execute.default_profile) ?(mode = `Compiled)
     mode;
     continuation;
     nominal_cache = Hashtbl.create 64;
+    ngrad_cache = Hashtbl.create 64;
     compiled_cache = Hashtbl.create 16;
     cont_cache = Hashtbl.create 16;
     evals = Obs.Counter.unregistered "evaluator.evals";
@@ -59,7 +64,13 @@ let create ?(profile = Execute.default_profile) ?(mode = `Compiled)
    are profile-dependent.  The compiled-plan cache is shared: plans
    capture topology only, not profile, and the derived evaluator runs in
    the same domain as its parent (the retry ladder is sequential). *)
-let with_profile t profile = { t with profile; nominal_cache = Hashtbl.create 64 }
+let with_profile t profile =
+  {
+    t with
+    profile;
+    nominal_cache = Hashtbl.create 64;
+    ngrad_cache = Hashtbl.create 64;
+  }
 
 (* A worker's private view of an evaluator: same (immutable)
    configuration, target, box model and profile, but its own cache and
@@ -73,6 +84,7 @@ let fork t =
   {
     t with
     nominal_cache = Hashtbl.copy t.nominal_cache;
+    ngrad_cache = Hashtbl.copy t.ngrad_cache;
     compiled_cache = Hashtbl.create 16;
     cont_cache = Hashtbl.create 16;
     evals = Obs.Counter.fork t.evals;
@@ -96,7 +108,12 @@ let absorb ~into child =
       (fun key obs ->
         if not (Hashtbl.mem into.nominal_cache key) then
           Hashtbl.replace into.nominal_cache key obs)
-      child.nominal_cache
+      child.nominal_cache;
+    Hashtbl.iter
+      (fun key g ->
+        if not (Hashtbl.mem into.ngrad_cache key) then
+          Hashtbl.replace into.ngrad_cache key g)
+      child.ngrad_cache
   end
 
 let config t = t.config
@@ -233,6 +250,62 @@ let sensitivity_and_deviation ?continue t fault values =
 
 let sensitivity ?continue t fault values =
   fst (sensitivity_and_deviation ?continue t fault values)
+
+(* Adjoint sensitivity gradient: [Some (s, dS/dp)] when both responses
+   admit the analytic gradient (compiled mode, Dc_levels analysis),
+   [None] when the caller must fall back to finite-difference probing.
+   The value part is bit-identical to {!sensitivity}: same solver
+   trajectories, same box arithmetic — only the gradient rides along.
+   Nominal gradients are memoized like nominal observables (and seed the
+   observables cache with their identical value part); injection is
+   masked around the nominal for the same determinism reason.  A faulty
+   gradient costs exactly one {!charge}, so [optimizer_evaluations]
+   accounting compares probe-for-probe with the oracle path. *)
+let nominal_gradient t values =
+  match t.mode with
+  | `Legacy -> None
+  | `Compiled -> (
+      let key = cache_key values in
+      match Hashtbl.find_opt t.ngrad_cache key with
+      | Some g -> Some g
+      | None -> (
+          let g =
+            Numerics.Failpoint.without (fun () ->
+                Execute.compiled_gradient ~profile:t.profile
+                  (compiled_plan t ~key:nominal_plan_key (fun () -> t.nominal))
+                  values)
+          in
+          match g with
+          | None -> None
+          | Some g ->
+              if not (Hashtbl.mem t.nominal_cache key) then
+                Hashtbl.replace t.nominal_cache key g.Execute.g_obs;
+              let entry = (g.Execute.g_obs, g.Execute.g_dobs) in
+              Hashtbl.replace t.ngrad_cache key entry;
+              Some entry))
+
+let sensitivity_gradient t fault values =
+  match nominal_gradient t values with
+  | None -> None
+  | Some (nominal, dnominal) -> (
+      charge t;
+      let epoch = Numerics.Failpoint.epoch () in
+      let key = Faults.Fault.id fault in
+      let plan = compiled_plan t ~key (fun () -> faulty_target t fault) in
+      match
+        Execute.compiled_gradient ~profile:t.profile
+          ~impact:(Faults.Inject.impact_override fault) plan values
+      with
+      | None -> None
+      | Some g ->
+          let box, dbox = Tolerance.box_gradient t.box_model values in
+          Some
+            (Sensitivity.compute_gradient t.config ~box ~dbox ~nominal
+               ~dnominal ~faulty:g.Execute.g_obs ~dfaulty:g.Execute.g_dobs)
+      | exception Execute.Execution_failure _
+        when Numerics.Failpoint.epoch () = epoch ->
+          (* trivially detected, and flat: the descent stops here *)
+          Some (detected_sentinel, Array.make (Numerics.Vec.dim values) 0.))
 
 let sensitivity_of_target t target values =
   let nominal = nominal_observables t values in

@@ -211,8 +211,8 @@ let fig7 () =
          expansion)
   ^ "\n"
 
-let engine_run ?progress ?policy ?resume ?checkpoint ?executor ctx =
-  Engine.run ?policy ?resume ?checkpoint ?progress ?executor
+let engine_run ?progress ?options ?policy ?resume ?checkpoint ?executor ctx =
+  Engine.run ?options ?policy ?resume ?checkpoint ?progress ?executor
     ~evaluators:ctx.Setup.evaluators ctx.Setup.dictionary
 
 let tab2 _ctx run =

@@ -35,6 +35,7 @@ val fig7 : unit -> string
 
 val engine_run :
   ?progress:(done_:int -> total:int -> fault_id:string -> unit) ->
+  ?options:Testgen.Generate.options ->
   ?policy:Testgen.Resilience.policy ->
   ?resume:Testgen.Generate.result list ->
   ?checkpoint:(Testgen.Generate.result -> unit) ->
@@ -42,9 +43,9 @@ val engine_run :
   Setup.t ->
   Testgen.Engine.run
 (** The 55-fault generation run feeding tab2/fig8/tab3/tab4/xbase.
-    [policy], [resume], [checkpoint] and [executor] (e.g.
-    [Testgen.Parallel.executor ~jobs]) are passed through to
-    {!Testgen.Engine.run}. *)
+    [options] (e.g. the gradient optimizer mode), [policy], [resume],
+    [checkpoint] and [executor] (e.g. [Testgen.Parallel.executor
+    ~jobs]) are passed through to {!Testgen.Engine.run}. *)
 
 val tab2 : Setup.t -> Testgen.Engine.run -> string
 (** Table 2: distribution of best tests over the configurations, split

@@ -1,0 +1,29 @@
+(* Provenance block for benchmark artifacts.  The git lookup shells out
+   once per process: every BENCH_*.json written by one run must carry
+   the same block, and re-resolving the SHA per sub-bench both wasted a
+   process spawn and let a mid-run commit (or a midnight rollover of
+   the clock) split the artifacts' provenance. *)
+
+let git_sha () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let block =
+  lazy
+    (let tm = Unix.gmtime (Unix.gettimeofday ()) in
+     let stamp =
+       Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+         (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+         tm.Unix.tm_sec
+     in
+     Printf.sprintf
+       "{\"git_sha\": \"%s\", \"generated_utc\": \"%s\", \"host_cores\": %d}"
+       (git_sha ()) stamp
+       (Domain.recommended_domain_count ()))
+
+let json () = Lazy.force block

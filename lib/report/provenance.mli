@@ -1,0 +1,16 @@
+(** Shared provenance block for benchmark artifacts.
+
+    Every BENCH_*.json report carries the same provenance object — the
+    commit the numbers were measured at, when, and on how many cores —
+    so archived artifacts stay comparable across CI runs. *)
+
+val json : unit -> string
+(** The provenance JSON object.  Resolved once per process (the git
+    SHA lookup, the UTC stamp and the core count are all memoized), so
+    every artifact written by one benchmark run carries byte-identical
+    provenance. *)
+
+val git_sha : unit -> string
+(** The current commit's SHA via [git rev-parse HEAD], or ["unknown"]
+    outside a repository.  Unmemoized primitive behind {!json},
+    exposed for tests. *)

@@ -1,0 +1,238 @@
+(* Unit tests for the sensitivity cost function: pinned values for a
+   hand-solved resistive divider with a bridge fault, sign/monotonicity
+   properties of the paper's S_f(T) = 1 - |delta r|/box, and the
+   compute_gradient chain rule checked against finite differences of
+   compute for every return mode. *)
+
+open Testgen
+
+let approx = Alcotest.float 1e-12
+
+let config_of ?(levels = 1) returns names =
+  Test_config.create ~id:77 ~name:"sensitivity unit" ~macro_type:"unit"
+    ~control_node:"in"
+    ~params:
+      [
+        Test_param.create ~name:"p" ~units:"V" ~lower:0. ~upper:1. ~seed:0.5;
+      ]
+    ~analysis:
+      (Test_config.Dc_levels
+         (fun v -> List.init levels (fun _ -> Circuit.Waveform.Dc v.(0))))
+    ~returns ~return_names:names
+    ~accuracy_floor:(List.map (fun _ -> 1e-3) names)
+    ~summary:"sensitivity unit fixture"
+
+let one_return = config_of Test_config.Per_component [ "V(out)" ]
+
+(* -------------------------------------------------- basic algebra *)
+
+let test_of_deviation () =
+  Alcotest.check approx "zero deviation costs 1" 1.
+    (Sensitivity.of_deviation ~deviation:0. ~box:0.1);
+  Alcotest.check approx "deviation at the box edge costs 0" 0.
+    (Sensitivity.of_deviation ~deviation:0.1 ~box:0.1);
+  Alcotest.check approx "twice the box costs -1" (-1.)
+    (Sensitivity.of_deviation ~deviation:0.2 ~box:0.1);
+  Alcotest.check approx "sign of the deviation is irrelevant"
+    (Sensitivity.of_deviation ~deviation:0.07 ~box:0.1)
+    (Sensitivity.of_deviation ~deviation:(-0.07) ~box:0.1);
+  Alcotest.check_raises "non-positive box rejected"
+    (Invalid_argument "Sensitivity.of_deviation: box <= 0")
+    (fun () -> ignore (Sensitivity.of_deviation ~deviation:0.1 ~box:0.))
+
+let test_combine_and_detects () =
+  Alcotest.check approx "combine takes the minimum" (-0.25)
+    (Sensitivity.combine [| 0.9; -0.25; 0.1 |]);
+  Alcotest.(check bool) "negative sensitivity detects" true
+    (Sensitivity.detects (-1e-9));
+  Alcotest.(check bool) "zero sensitivity does not detect" false
+    (Sensitivity.detects 0.);
+  Alcotest.(check bool) "positive sensitivity does not detect" false
+    (Sensitivity.detects 0.4)
+
+(* ------------------------------------------- hand-solved divider *)
+
+(* Resistive divider vin -R1- vout -R2- gnd driven at V, with a bridge
+   of rf ohms across R2: vout = V * (R2 || rf) / (R1 + (R2 || rf)).
+   Everything solvable on paper — the pinned values below come from
+   V = 5, R1 = R2 = 10k. *)
+let divider_vout ~rf =
+  let v = 5. and r1 = 10e3 and r2 = 10e3 in
+  let r2' = if Float.is_finite rf then r2 *. rf /. (r2 +. rf) else r2 in
+  v *. r2' /. (r1 +. r2')
+
+let test_divider_pinned () =
+  let nominal = divider_vout ~rf:infinity in
+  Alcotest.check approx "nominal divider voltage" 2.5 nominal;
+  (* rf = 10k makes R2' = 5k: vout = 5 * 5/15 = 5/3, deviation -5/6 *)
+  let faulty = divider_vout ~rf:10e3 in
+  Alcotest.check approx "faulty divider voltage" (5. /. 3.) faulty;
+  let s =
+    Sensitivity.compute one_return ~box:[| 0.1 |] ~nominal:[| nominal |]
+      ~faulty:[| faulty |]
+  in
+  Alcotest.check approx "S = 1 - (5/6)/0.1"
+    (1. -. (5. /. 6. /. 0.1))
+    s;
+  Alcotest.(check bool) "well outside the box: detected" true
+    (Sensitivity.detects s);
+  (* a 1 MOhm bridge barely moves the divider: inside a 0.1 V box *)
+  let soft =
+    Sensitivity.compute one_return ~box:[| 0.1 |] ~nominal:[| nominal |]
+      ~faulty:[| divider_vout ~rf:1e6 |]
+  in
+  Alcotest.(check bool) "soft fault stays undetected" false
+    (Sensitivity.detects soft)
+
+(* Intensifying the bridge (smaller rf) monotonically lowers the
+   divider sensitivity; weakening it drives S toward 1. *)
+let test_divider_monotone () =
+  let nominal = divider_vout ~rf:infinity in
+  let s_at rf =
+    Sensitivity.compute one_return ~box:[| 0.1 |] ~nominal:[| nominal |]
+      ~faulty:[| divider_vout ~rf |]
+  in
+  let ladder = [ 1e6; 300e3; 100e3; 30e3; 10e3; 3e3; 1e3 ] in
+  let values = List.map s_at ladder in
+  List.iter2
+    (fun (weaker, stronger) rf ->
+      Alcotest.(check bool)
+        (Printf.sprintf "S strictly decreases through rf = %g" rf)
+        true (stronger < weaker))
+    (List.combine
+       (List.filteri (fun i _ -> i < List.length values - 1) values)
+       (List.tl values))
+    (List.tl ladder);
+  Alcotest.(check bool) "S approaches 1 from below as rf grows" true
+    (let s = s_at 1e9 in
+     s < 1. && s > 1. -. 1e-3)
+
+let test_multi_return_minimum () =
+  let config =
+    config_of ~levels:2 Test_config.Per_component [ "a"; "b" ]
+  in
+  let s =
+    Sensitivity.compute config ~box:[| 0.1; 0.1 |] ~nominal:[| 1.; 2. |]
+      ~faulty:[| 1.05; 2.3 |]
+  in
+  (* component sensitivities are 0.5 and -2: the worse one wins *)
+  Alcotest.check approx "minimum over return values" (-2.) s
+
+(* --------------------------------------- compute_gradient chain *)
+
+let test_gradient_pinned () =
+  (* S(p) = 1 - |f - n| / b with n = 2 + 3p, f = 1 + p, b = 0.5 + 0.1p
+     at p = 0.2: dev = -(1 + 2p), S = 1 - (1 + 2p)/(0.5 + 0.1p) and
+     dS/dp = -(2 b - (1 + 2p) 0.1)/b^2 = -0.9/0.2704. *)
+  let p = 0.2 in
+  let s, grad =
+    Sensitivity.compute_gradient one_return
+      ~box:[| 0.5 +. (0.1 *. p) |]
+      ~dbox:[| [| 0.1 |] |]
+      ~nominal:[| 2. +. (3. *. p) |]
+      ~dnominal:[| [| 3. |] |]
+      ~faulty:[| 1. +. p |]
+      ~dfaulty:[| [| 1. |] |]
+  in
+  Alcotest.check approx "pinned value" (1. -. (1.4 /. 0.52)) s;
+  Alcotest.check approx "pinned gradient" (-0.9 /. (0.52 *. 0.52)) grad.(0)
+
+let test_gradient_value_matches_compute () =
+  let config = config_of ~levels:3 Test_config.Per_component [ "a"; "b"; "c" ] in
+  let rng = Numerics.Rng.create 21L in
+  for _ = 1 to 50 do
+    let arr n lo hi = Array.init n (fun _ -> Numerics.Rng.uniform rng ~lo ~hi) in
+    let box = arr 3 0.05 0.5
+    and nominal = arr 3 (-1.) 1.
+    and faulty = arr 3 (-1.) 1. in
+    let dzero = Array.init 3 (fun _ -> [| 0. |]) in
+    let s, _ =
+      Sensitivity.compute_gradient config ~box ~dbox:dzero ~nominal
+        ~dnominal:dzero ~faulty ~dfaulty:dzero
+    in
+    Alcotest.(check int64) "value part bit-identical to compute"
+      (Int64.bits_of_float
+         (Sensitivity.compute config ~box ~nominal ~faulty))
+      (Int64.bits_of_float s)
+  done
+
+(* Every return mode: the analytic gradient must match a central
+   difference of [compute] along a random linear parameterization of
+   the inputs (responses and box all moving with p). *)
+let prop_gradient_matches_fd =
+  let modes =
+    [
+      (config_of ~levels:3 Test_config.Per_component [ "a"; "b"; "c" ], 3, 3);
+      (config_of ~levels:4 Test_config.Max_abs_delta [ "max" ], 4, 1);
+      (config_of ~levels:4 Test_config.Sum_abs_delta [ "sum" ], 4, 1);
+    ]
+  in
+  QCheck.Test.make ~name:"compute_gradient matches FD of compute" ~count:300
+    QCheck.(pair (int_bound 1_000_000) (int_bound 2))
+    (fun (seed, mode) ->
+      let config, samples, returns = List.nth modes mode in
+      let rng = Numerics.Rng.create (Int64.of_int ((seed * 3) + mode)) in
+      let arr n lo hi =
+        Array.init n (fun _ -> Numerics.Rng.uniform rng ~lo ~hi)
+      in
+      let nominal0 = arr samples (-1.) 1.
+      and dnominal = arr samples (-0.5) 0.5
+      and faulty0 = arr samples (-1.) 1.
+      and dfaulty = arr samples (-0.5) 0.5
+      and box0 = arr returns 0.2 0.6
+      and dbox = arr returns (-0.05) 0.05 in
+      let at t =
+        ( Array.mapi (fun i x -> x +. (t *. dnominal.(i))) nominal0,
+          Array.mapi (fun i x -> x +. (t *. dfaulty.(i))) faulty0,
+          Array.mapi (fun i x -> x +. (t *. dbox.(i))) box0 )
+      in
+      let value t =
+        let nominal, faulty, box = at t in
+        Sensitivity.compute config ~box ~nominal ~faulty
+      in
+      let s, grad =
+        let nominal, faulty, box = at 0. in
+        Sensitivity.compute_gradient config ~box
+          ~dbox:(Array.map (fun d -> [| d |]) dbox)
+          ~nominal
+          ~dnominal:(Array.map (fun d -> [| d |]) dnominal)
+          ~faulty
+          ~dfaulty:(Array.map (fun d -> [| d |]) dfaulty)
+      in
+      if Int64.bits_of_float s <> Int64.bits_of_float (value 0.) then false
+      else
+        let h = 1e-6 in
+        let fd = (value h -. value (-.h)) /. (2. *. h) in
+        let fd2 = (value (h /. 2.) -. value (-.h /. 2.)) /. h in
+        (* piecewise-linear surface: away from the kinks (min switch,
+           |dev| zero crossing, argmax switch) both steps agree and the
+           FD is exact; on a kink they differ — skip the draw. *)
+        QCheck.assume (Float.abs (fd -. fd2) <= 1e-9 *. Float.max 1. (Float.abs fd));
+        Float.abs (fd -. grad.(0)) <= 1e-6 *. Float.max 1. (Float.abs fd))
+
+let () =
+  Alcotest.run "sensitivity"
+    [
+      ( "algebra",
+        [
+          Alcotest.test_case "of_deviation" `Quick test_of_deviation;
+          Alcotest.test_case "combine and detects" `Quick
+            test_combine_and_detects;
+        ] );
+      ( "divider",
+        [
+          Alcotest.test_case "pinned hand-solved values" `Quick
+            test_divider_pinned;
+          Alcotest.test_case "impact monotonicity" `Quick
+            test_divider_monotone;
+          Alcotest.test_case "multi-return minimum" `Quick
+            test_multi_return_minimum;
+        ] );
+      ( "gradient",
+        [
+          Alcotest.test_case "pinned chain rule" `Quick test_gradient_pinned;
+          Alcotest.test_case "value part matches compute" `Quick
+            test_gradient_value_matches_compute;
+          QCheck_alcotest.to_alcotest prop_gradient_matches_fd;
+        ] );
+    ]
