@@ -957,6 +957,245 @@ let run_adjoint_bench ~fast ~smoke =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Sparse-backend benchmark: dense vs sparse MNA engines.               *)
+(* ------------------------------------------------------------------ *)
+
+(* [bench --sparse [--smoke]]: three measurements against the dense
+   baseline, written to BENCH_sparse.json.
+   1. A fault-impact restamp sweep (assemble + factor + solve) on
+      filter-chain macros of ~16, ~64 and ~128 unknowns; the non-smoke
+      acceptance bar is a >= 5x sparse speedup at the largest size.
+   2. A batched multi-fault DC-levels solve (one pattern-reuse
+      refactorization per fault, blocked RHS sweep) against the
+      sequential per-fault path, with a tolerance agreement check.
+   3. The end-to-end generation run on the paper's 55-fault dictionary
+      on both backends: detect verdicts and session bytes must be
+      identical — gated even in smoke mode. *)
+let run_sparse_bench ~fast ~smoke =
+  let profile =
+    if fast then Execute.fast_profile else Execute.default_profile
+  in
+  let window = if smoke then 0.2 else 1.0 in
+  let gmin = Circuit.Dc.default_options.Circuit.Dc.gmin in
+  (* 1: restamp sweep over an impact ladder on one stage resistor *)
+  let impact_ladder =
+    [| 10e3; 5e3; 2e3; 1e3; 500.; 8e3; 20e3; 100. |]
+  in
+  let restamp_row stages =
+    let macro = Macros.Filter_chain.sk_chain ~stages in
+    let nl = macro.Macros.Macro.build Macros.Process.nominal in
+    let sweep backend =
+      let sys = Circuit.Mna.build ~backend nl in
+      let ws = Circuit.Mna.workspace sys in
+      let x0 = Numerics.Vec.create (Circuit.Mna.size sys) 0. in
+      let k = ref 0 in
+      let cycle () =
+        let r = impact_ladder.(!k mod Array.length impact_ladder) in
+        incr k;
+        Circuit.Mna.assemble_into sys ws ~x:x0 ~time:`Dc
+          ~restamp:
+            { Circuit.Mna.stimulus = None; impact = Some ("r1a", r) }
+          ~gmin ();
+        ignore (Circuit.Mna.ws_factor ws : bool);
+        Circuit.Mna.ws_solve_into ws ws.Circuit.Mna.w_z ws.Circuit.Mna.w_x_new
+      in
+      (sys, ws, rate ~seconds:window cycle)
+    in
+    Printf.eprintf "sparse bench: restamp sweep (%d stages, dense)...\n%!"
+      stages;
+    let dsys, _, dense_rate = sweep Circuit.Mna.Dense in
+    Printf.eprintf "sparse bench: restamp sweep (%d stages, sparse)...\n%!"
+      stages;
+    let _, sws, sparse_rate = sweep Circuit.Mna.Sparse in
+    let stats =
+      match Circuit.Mna.ws_sparse_stats sws with
+      | Some s -> s
+      | None -> assert false
+    in
+    let speedup = sparse_rate /. Float.max 1e-9 dense_rate in
+    Printf.eprintf
+      "sparse bench: %d unknowns: dense %.1f/s, sparse %.1f/s (%.2fx), \
+       reuses %d/%d\n\
+       %!"
+      (Circuit.Mna.size dsys) dense_rate sparse_rate speedup
+      stats.Numerics.Smat.pattern_reuses
+      (stats.Numerics.Smat.pattern_reuses
+      + stats.Numerics.Smat.full_factorizations);
+    ( macro.Macros.Macro.macro_name,
+      Circuit.Mna.size dsys,
+      dense_rate,
+      sparse_rate,
+      speedup,
+      stats )
+  in
+  let rows = List.map restamp_row [ 4; 16; 32 ] in
+  let _, _, _, _, top_speedup, _ = List.nth rows (List.length rows - 1) in
+  (* 2: batched multi-fault DC levels vs the sequential path *)
+  let batch_stages = 16 in
+  let batch_macro = Macros.Filter_chain.sk_chain ~stages:batch_stages in
+  let n_levels = 4 in
+  let batch_config =
+    Test_config.create ~id:950 ~name:"Sparse bench DC sweep"
+      ~macro_type:batch_macro.Macros.Macro.macro_type ~control_node:"in"
+      ~params:
+        [
+          Test_param.create ~name:"v" ~units:"V" ~lower:1.0 ~upper:4.0
+            ~seed:2.5;
+        ]
+      ~analysis:
+        (Test_config.Dc_levels
+           (fun v ->
+             List.init n_levels (fun k ->
+                 Circuit.Waveform.Dc (v.(0) +. (0.25 *. float_of_int k)))))
+      ~returns:Test_config.Per_component
+      ~return_names:(List.init n_levels (Printf.sprintf "V(out)@%d"))
+      ~accuracy_floor:(List.init n_levels (fun _ -> 1e-3))
+      ~summary:"dc levels for the batched-solve benchmark"
+  in
+  let batch_ev =
+    Evaluator.create ~profile ~backend:Circuit.Mna.Sparse batch_config
+      ~nominal:
+        (Experiments.Setup.target_of_macro batch_macro
+           Macros.Process.nominal)
+      ~box_model:(Tolerance.floor_only batch_config)
+  in
+  let base_fault = Faults.Fault.bridge "in" "s4o" ~resistance:10e3 in
+  let batch_faults =
+    List.map (Faults.Fault.with_impact base_fault) (Array.to_list impact_ladder)
+  in
+  let values = Test_param.seeds_of batch_config.Test_config.params in
+  Printf.eprintf "sparse bench: batched multi-fault solve...\n%!";
+  let t0 = Unix.gettimeofday () in
+  let batched =
+    match Evaluator.batched_sensitivities batch_ev ~faults:batch_faults values with
+    | Some rows -> rows
+    | None ->
+        Printf.eprintf "sparse bench: FAIL batched path refused the plan\n%!";
+        exit 1
+  in
+  let batched_dt = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let sequential =
+    List.map
+      (fun f -> Evaluator.sensitivity_and_deviation batch_ev f values)
+      batch_faults
+  in
+  let sequential_dt = Unix.gettimeofday () -. t0 in
+  let max_diff =
+    List.fold_left2
+      (fun acc (sb, _) (ss, _) -> Float.max acc (Float.abs (sb -. ss)))
+      0.
+      (Array.to_list batched |> List.map (fun (s, d) -> (s, d)))
+      sequential
+  in
+  let batch_tol = 1e-6 in
+  Printf.eprintf
+    "sparse bench: batch %d faults x %d levels: %.4fs vs %.4fs sequential, \
+     max |dS| %.2e\n\
+     %!"
+    (List.length batch_faults) n_levels batched_dt sequential_dt max_diff;
+  (* 3: end-to-end generation, dense vs sparse *)
+  let end_to_end backend =
+    let ctx = Experiments.Setup.iv ~profile ~backend () in
+    let ctx =
+      if smoke then Experiments.Setup.reduced ctx ~n_faults:4 else ctx
+    in
+    let t0 = Unix.gettimeofday () in
+    let run = Experiments.Runs.engine_run ctx in
+    (Unix.gettimeofday () -. t0, run)
+  in
+  prerr_endline "sparse bench: end-to-end generation (dense)...";
+  let dense_dt, dense_run = end_to_end Circuit.Mna.Dense in
+  prerr_endline "sparse bench: end-to-end generation (sparse)...";
+  let sparse_dt, sparse_run = end_to_end Circuit.Mna.Sparse in
+  let n_faults = List.length dense_run.Engine.results in
+  let flavour (r : Generate.result) =
+    match r.Generate.outcome with
+    | Generate.Unique _ -> "unique"
+    | Generate.Undetectable _ -> "undetectable"
+  in
+  let verdict_matches =
+    List.fold_left2
+      (fun acc (a : Generate.result) (b : Generate.result) ->
+        if
+          a.Generate.fault_id = b.Generate.fault_id
+          && flavour a = flavour b
+        then acc + 1
+        else acc)
+      0 dense_run.Engine.results sparse_run.Engine.results
+  in
+  let verdict_compat = float_of_int verdict_matches /. float_of_int n_faults in
+  let bytes_identical =
+    Session.to_string dense_run.Engine.results
+    = Session.to_string sparse_run.Engine.results
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"provenance\": %s,\n" (provenance_json ()));
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"profile\": \"%s\",\n"
+       (if fast then "fast" else "default"));
+  Buffer.add_string buf "  \"restamp_sweep\": [\n";
+  List.iteri
+    (fun i (name, unknowns, dense_rate, sparse_rate, speedup, stats) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"macro\": \"%s\", \"unknowns\": %d, \"dense_per_sec\": \
+            %.1f, \"sparse_per_sec\": %.1f, \"speedup\": %.3f, \
+            \"sparse_full_factorizations\": %d, \"sparse_pattern_reuses\": \
+            %d, \"factor_nnz\": %d}%s\n"
+           name unknowns dense_rate sparse_rate speedup
+           stats.Numerics.Smat.full_factorizations
+           stats.Numerics.Smat.pattern_reuses stats.Numerics.Smat.factor_nnz
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"factorization_speedup_largest\": %.3f,\n" top_speedup);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"batched\": {\"macro\": \"%s\", \"faults\": %d, \"levels\": %d, \
+        \"sequential_seconds\": %.4f, \"batched_seconds\": %.4f, \
+        \"speedup\": %.3f, \"max_abs_diff\": %.3e, \"agrees\": %b},\n"
+       batch_macro.Macros.Macro.macro_name (List.length batch_faults)
+       n_levels sequential_dt batched_dt
+       (sequential_dt /. Float.max 1e-9 batched_dt)
+       max_diff
+       (max_diff <= batch_tol));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"generation\": {\"faults\": %d, \"dense_seconds\": %.3f, \
+        \"sparse_seconds\": %.3f, \"verdict_compat\": %.4f, \
+        \"identical_session_bytes\": %b}\n"
+       n_faults dense_dt sparse_dt verdict_compat bytes_identical);
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_sparse.json" in
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.eprintf
+    "sparse bench: largest-size speedup %.2fx, verdict compat %.4f, \
+     session bytes identical %b; wrote %s\n%!"
+    top_speedup verdict_compat bytes_identical path;
+  let fail msg =
+    Printf.eprintf "sparse bench: FAIL %s\n%!" msg;
+    exit 1
+  in
+  if not bytes_identical then fail "session bytes differ across backends";
+  if verdict_compat < 1.0 then
+    fail (Printf.sprintf "verdict compat %.4f below 1.0" verdict_compat);
+  if max_diff > batch_tol then
+    fail
+      (Printf.sprintf "batched sensitivities diverged (max |dS| %.2e)"
+         max_diff);
+  if (not smoke) && top_speedup < 5. then
+    fail
+      (Printf.sprintf "factorization speedup %.2fx below the 5x bar"
+         top_speedup)
+
 let () =
   let fast = Array.exists (String.equal "--fast") Sys.argv in
   let reports_only = Array.exists (String.equal "--reports-only") Sys.argv in
@@ -967,7 +1206,9 @@ let () =
   let smoke = Array.exists (String.equal "--smoke") Sys.argv in
   let fuzz = Array.exists (String.equal "--fuzz") Sys.argv in
   let adjoint = Array.exists (String.equal "--adjoint") Sys.argv in
-  if adjoint then run_adjoint_bench ~fast ~smoke
+  let sparse = Array.exists (String.equal "--sparse") Sys.argv in
+  if sparse then run_sparse_bench ~fast ~smoke
+  else if adjoint then run_adjoint_bench ~fast ~smoke
   else if fuzz then run_fuzz_bench ~smoke
   else if impact then run_impact_bench ~fast ~smoke
   else if hotpath then run_hotpath_bench ~fast ~smoke

@@ -3,15 +3,75 @@
 open Cmdliner
 open Testgen
 
-let macro_of_name = function
+let parametric_macro name ~prefix ~make =
+  let n = String.length prefix in
+  if String.length name > n && String.sub name 0 n = prefix then
+    match int_of_string_opt (String.sub name n (String.length name - n)) with
+    | Some k -> ( try Some (Ok (make k)) with Invalid_argument e -> Some (Error e))
+    | None -> None
+  else None
+
+let macro_of_name name =
+  match name with
   | "iv" -> Ok Macros.Iv_converter.macro
   | "ota" -> Ok Macros.Ota.macro
   | "sk" -> Ok Macros.Sallen_key.macro
-  | other -> Error (Printf.sprintf "unknown macro %S (try iv, ota or sk)" other)
+  | other -> (
+      let families =
+        [
+          parametric_macro other ~prefix:"rc" ~make:(fun n ->
+              Macros.Rc_ladder.macro ~sections:n);
+          parametric_macro other ~prefix:"skc" ~make:(fun n ->
+              Macros.Filter_chain.sk_chain ~stages:n);
+          parametric_macro other ~prefix:"otac" ~make:(fun n ->
+              Macros.Filter_chain.ota_cascade ~stages:n);
+        ]
+      in
+      match List.find_map Fun.id families with
+      | Some r -> r
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown macro %S (try iv, ota, sk, rc<N>, skc<N> or otac<N>)"
+               other))
 
 let macro_arg =
-  let doc = "Target macro: $(b,iv) (the paper's IV-converter), $(b,ota) or $(b,sk)." in
+  let doc =
+    "Target macro: $(b,iv) (the paper's IV-converter), $(b,ota), $(b,sk), \
+     or a parametric family — $(b,rc)$(i,N) (RC ladder), $(b,skc)$(i,N) \
+     (Sallen-Key filter chain), $(b,otac)$(i,N) (OTA cascade)."
+  in
   Arg.(value & opt string "iv" & info [ "macro" ] ~docv:"NAME" ~doc)
+
+let backend_arg =
+  let doc =
+    "Linear-algebra backend: $(b,dense) factors the full MNA matrix, \
+     $(b,sparse) compiles the stamp pattern once and factors in \
+     compressed form. Detect verdicts and session bytes are \
+     bit-identical across backends."
+  in
+  Arg.(
+    value
+    & opt
+        (enum [ ("dense", Circuit.Mna.Dense); ("sparse", Circuit.Mna.Sparse) ])
+        Circuit.Mna.Dense
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+(* Above this node count a dense factorization is paying O(n^3) per
+   Newton step for a matrix that is almost all structural zeros. *)
+let dense_guard_nodes = 48
+
+let warn_dense_backend ~backend nl =
+  if backend = Circuit.Mna.Dense then begin
+    let nodes = List.length (Circuit.Netlist.nodes nl) in
+    if nodes > dense_guard_nodes then
+      Printf.eprintf
+        "atpg: note: netlist has %d nodes (> %d) on the dense backend; \
+         dense LU is O(n^3) per factorization — consider --backend sparse \
+         (bit-identical results)\n\
+         %!"
+        nodes dense_guard_nodes
+  end
 
 let fast_arg =
   let doc = "Use the fast execution profile (coarser THD windows)." in
@@ -81,10 +141,11 @@ let netlist_cmd =
 (* -- op ---------------------------------------------------------------- *)
 
 let op_cmd =
-  let run macro_name =
+  let run macro_name backend =
     with_macro macro_name (fun macro ->
         let nl = Macros.Macro.nominal_netlist macro in
-        let sys = Circuit.Mna.build nl in
+        warn_dense_backend ~backend nl;
+        let sys = Circuit.Mna.build ~backend nl in
         let report = Circuit.Dc.solve sys ~time:`Dc in
         let x = report.Circuit.Dc.solution in
         Printf.printf
@@ -109,7 +170,7 @@ let op_cmd =
   in
   Cmd.v
     (Cmd.info "op" ~doc:"Solve and print the macro's DC operating point.")
-    Term.(const run $ macro_arg)
+    Term.(const run $ macro_arg $ backend_arg)
 
 (* -- faults ------------------------------------------------------------ *)
 
@@ -296,11 +357,12 @@ let noise_cmd =
 
 (* -- context-backed commands ------------------------------------------ *)
 
-let iv_context ?(legacy = false) ?(continuation = false) ~fast () =
+let iv_context ?(legacy = false) ?(continuation = false)
+    ?(backend = Circuit.Mna.Dense) ~fast () =
   prerr_endline "calibrating tolerance boxes...";
   Experiments.Setup.iv ~profile:(profile_of fast)
     ~mode:(if legacy then `Legacy else `Compiled)
-    ~continuation ()
+    ~continuation ~backend ()
 
 let progress ~done_ ~total ~fault_id =
   Printf.eprintf "  [%2d/%2d] %s\n%!" done_ total fault_id
@@ -625,13 +687,17 @@ let grad_arg =
 
 let generate_cmd =
   let run fast fault_id take save max_retries fail_fast resume inject
-      inject_seed jobs legacy continuation grad trace =
+      inject_seed jobs legacy continuation grad backend trace =
     if legacy && continuation then begin
       prerr_endline "atpg: --continuation requires the compiled path";
       exit 2
     end;
     if legacy && grad then begin
       prerr_endline "atpg: --grad requires the compiled path";
+      exit 2
+    end;
+    if legacy && backend = Circuit.Mna.Sparse then begin
+      prerr_endline "atpg: --backend sparse requires the compiled path";
       exit 2
     end;
     match parse_inject_specs inject with
@@ -642,7 +708,7 @@ let generate_cmd =
         with_trace trace (fun () ->
             (* calibrate the context first: injection targets the resilient
                generation run, not the tolerance-box setup *)
-            let ctx = iv_context ~legacy ~continuation ~fast () in
+            let ctx = iv_context ~legacy ~continuation ~backend ~fast () in
             Numerics.Failpoint.configure ~seed:inject_seed specs;
             Fun.protect ~finally:Numerics.Failpoint.disable (fun () ->
                 let policy = policy_of ~max_retries ~fail_fast in
@@ -683,7 +749,8 @@ let generate_cmd =
     Term.(
       const run $ fast_arg $ fault_arg $ take_arg $ save_arg $ max_retries_arg
       $ fail_fast_arg $ resume_arg $ inject_arg $ inject_seed_arg $ jobs_arg
-      $ legacy_eval_arg $ continuation_arg $ grad_arg $ trace_arg)
+      $ legacy_eval_arg $ continuation_arg $ grad_arg $ backend_arg
+      $ trace_arg)
 
 let compact_cmd =
   let run fast take delta load save max_retries fail_fast resume jobs trace =

@@ -17,6 +17,7 @@ type report = {
   solution : Vec.t;
   newton_iterations : int;
   factorizations : int;
+  pattern_reuses : int;
   gmin_steps : int;
   source_steps : int;
 }
@@ -54,6 +55,7 @@ let h_newton =
 (* Continuation counters: bumped (active-guarded) once per solve from the
    continuation bookkeeping, never inside the Newton loop. *)
 let c_rank1 = Obs.Counter.create "solver.dc.rank1_solves"
+let c_reuse = Obs.Counter.create "solver.dc.pattern_reuses"
 let c_rank1_fb = Obs.Counter.create "solver.dc.rank1_fallbacks"
 let c_warm_saved = Obs.Counter.create "solver.dc.warm_start_iters_saved"
 
@@ -71,10 +73,8 @@ type continuation = {
   ct_size : int;
   mutable ct_have_x : bool;
   ct_x : Vec.t;
-  ct_lu : Mat.lu;
-  mutable ct_have_lu : bool;
+  ct_held : Mna.held;
   mutable ct_impact : (string * float) option;
-  ct_r1 : Mat.rank1;
   ct_u : Vec.t;
   mutable ct_cold_iters : int;
 }
@@ -85,10 +85,8 @@ let continuation sys =
     ct_size = n;
     ct_have_x = false;
     ct_x = Vec.create n 0.;
-    ct_lu = Mat.lu_workspace n;
-    ct_have_lu = false;
+    ct_held = Mna.held sys;
     ct_impact = None;
-    ct_r1 = Mat.rank1_workspace n;
     ct_u = Vec.create n 0.;
     ct_cold_iters = 0;
   }
@@ -96,8 +94,7 @@ let continuation sys =
 (* Per-solve rank-1 context handed to the workspace Newton loop for its
    first iteration only. *)
 type rank1_ctx = {
-  rk_lu : Mat.lu;
-  rk_scratch : Mat.rank1;
+  rk_held : Mna.held;
   rk_u : Vec.t;
   rk_dg : float;
   mutable rk_used : int;
@@ -171,6 +168,7 @@ let newton_ws ~options ~companions ~source_scale ~restamp ~gmin ?rank1 sys ws
   let converged = ref false in
   let iters = ref 0 in
   let factors = ref 0 in
+  let reuses = ref 0 in
   (try
      while (not !converged) && !iters < options.max_newton do
        incr iters;
@@ -185,7 +183,7 @@ let newton_ws ~options ~companions ~source_scale ~restamp ~gmin ?rank1 sys ws
          match rank1 with
          | Some rk when !iters = 1 ->
              if
-               Mat.rank1_solve rk.rk_lu rk.rk_scratch ~u:rk.rk_u ~v:rk.rk_u
+               Mna.held_rank1_solve rk.rk_held ~u:rk.rk_u ~v:rk.rk_u
                  ~dg:rk.rk_dg ~b:ws.Mna.w_z ~x:ws.Mna.w_x_new
              then begin
                rk.rk_used <- rk.rk_used + 1;
@@ -198,9 +196,9 @@ let newton_ws ~options ~companions ~source_scale ~restamp ~gmin ?rank1 sys ws
          | Some _ | None -> false
        in
        if not solved_rank1 then begin
-         Mat.factor_in_place ws.Mna.w_a ws.Mna.w_lu;
+         if Mna.ws_factor ws then incr reuses;
          incr factors;
-         Mat.solve_into ws.Mna.w_lu ws.Mna.w_z ws.Mna.w_x_new
+         Mna.ws_solve_into ws ws.Mna.w_z ws.Mna.w_x_new
        end;
        let x = ws.Mna.w_x and x_new = ws.Mna.w_x_new in
        if Failpoint.should_fail "dc.nan_solution" then
@@ -229,7 +227,8 @@ let newton_ws ~options ~companions ~source_scale ~restamp ~gmin ?rank1 sys ws
        ws.Mna.w_x_new <- x
      done
    with Mat.Singular _ | Diverged -> converged := false);
-  if !converged then Some (Vec.copy ws.Mna.w_x, !iters, !factors) else None
+  if !converged then Some (Vec.copy ws.Mna.w_x, !iters, !factors, !reuses)
+  else None
 
 let solve_u ?(options = default_options) ?guess ?companions
     ?(source_scale = 1.) ?workspace ?restamp ?continuation sys ~time =
@@ -268,7 +267,7 @@ let solve_u ?(options = default_options) ?guess ?companions
   let rank1_ctx =
     match (continuation, workspace, restamp) with
     | Some ct, Some _, Some { Mna.impact = Some (dev, r_new); _ }
-      when ct.ct_have_lu -> begin
+      when Mna.held_factored ct.ct_held -> begin
         match ct.ct_impact with
         | Some (dev0, r_old) when String.equal dev dev0 && r_new <> r_old
           -> begin
@@ -278,8 +277,7 @@ let solve_u ?(options = default_options) ?guess ?companions
                 Mna.rank1_direction sys r1 ct.ct_u;
                 Some
                   {
-                    rk_lu = ct.ct_lu;
-                    rk_scratch = ct.ct_r1;
+                    rk_held = ct.ct_held;
                     rk_u = ct.ct_u;
                     rk_dg = r1.Mna.r1_dg;
                     rk_used = 0;
@@ -303,7 +301,7 @@ let solve_u ?(options = default_options) ?guess ?companions
           newton_alloc ~options ~companions ~source_scale ~restamp ~gmin sys
             ~time ~start
         with
-        | Some (x, it) -> Some (x, it, it)
+        | Some (x, it) -> Some (x, it, it, 0)
         | None -> None)
   in
   (* Continuation bookkeeping for a converged solve: retain the solution
@@ -313,15 +311,14 @@ let solve_u ?(options = default_options) ?guess ?companions
      leaves the previously held factorization in place, which stays
      consistent because the next delta is always computed against the
      held impact. *)
-  let finish ~x ~it ~factors ~gmin_steps ~source_steps =
+  let finish ~x ~it ~factors ~reuses ~gmin_steps ~source_steps =
     (match continuation with
     | Some ct ->
         Array.blit x 0 ct.ct_x 0 ct.ct_size;
         ct.ct_have_x <- true;
         (match workspace with
         | Some ws when factors > 0 ->
-            Mat.lu_blit ~src:ws.Mna.w_lu ~dst:ct.ct_lu;
-            ct.ct_have_lu <- true;
+            Mna.hold ws ct.ct_held;
             ct.ct_impact <-
               (match restamp with Some r -> r.Mna.impact | None -> None)
         | Some _ | None -> ());
@@ -340,6 +337,7 @@ let solve_u ?(options = default_options) ?guess ?companions
       solution = x;
       newton_iterations = it;
       factorizations = factors;
+      pattern_reuses = reuses;
       gmin_steps;
       source_steps;
     }
@@ -358,8 +356,8 @@ let solve_u ?(options = default_options) ?guess ?companions
     | None -> None
   in
   match direct with
-  | Some (x, it, factors) ->
-      finish ~x ~it ~factors ~gmin_steps:0 ~source_steps:0
+  | Some (x, it, factors, reuses) ->
+      finish ~x ~it ~factors ~reuses ~gmin_steps:0 ~source_steps:0
   | None -> begin
       (* gmin stepping: relax then tighten — seeded from the cold start,
          like the cold path, never from a failed warm iterate *)
@@ -369,7 +367,7 @@ let solve_u ?(options = default_options) ?guess ?companions
         | [] -> (x_opt, steps)
         | g :: rest -> begin
             let start =
-              match x_opt with Some (x, _, _) -> x | None -> start
+              match x_opt with Some (x, _, _, _) -> x | None -> start
             in
             match attempt ~gmin:g ~scale:1. ~start () with
             | Some r -> gmin_walk (Some r) (steps + 1) rest
@@ -377,8 +375,8 @@ let solve_u ?(options = default_options) ?guess ?companions
           end
       in
       match gmin_walk None 0 gmins with
-      | Some (x, it, factors), steps ->
-          finish ~x ~it ~factors ~gmin_steps:steps ~source_steps:0
+      | Some (x, it, factors, reuses), steps ->
+          finish ~x ~it ~factors ~reuses ~gmin_steps:steps ~source_steps:0
       | None, _ -> begin
           (* source stepping at final gmin *)
           let scales = [ 0.; 0.1; 0.2; 0.35; 0.5; 0.65; 0.8; 0.9; 1. ] in
@@ -386,7 +384,7 @@ let solve_u ?(options = default_options) ?guess ?companions
             | [] -> (x_opt, steps)
             | s :: rest -> begin
                 let start =
-                  match x_opt with Some (x, _, _) -> x | None -> start
+                  match x_opt with Some (x, _, _, _) -> x | None -> start
                 in
                 match attempt ~gmin:options.gmin ~scale:s ~start () with
                 | Some r -> src_walk (Some r) (steps + 1) rest
@@ -394,8 +392,8 @@ let solve_u ?(options = default_options) ?guess ?companions
               end
           in
           match src_walk None 0 scales with
-          | Some (x, it, factors), steps ->
-              finish ~x ~it ~factors ~gmin_steps:(List.length gmins)
+          | Some (x, it, factors, reuses), steps ->
+              finish ~x ~it ~factors ~reuses ~gmin_steps:(List.length gmins)
                 ~source_steps:steps
           | None, _ ->
               raise
@@ -421,6 +419,7 @@ let solve ?options ?guess ?companions ?source_scale ?workspace ?restamp
         Obs.Counter.add c_solves 1;
         Obs.Counter.add c_newton report.newton_iterations;
         Obs.Counter.add c_lu report.factorizations;
+        Obs.Counter.add c_reuse report.pattern_reuses;
         Obs.Counter.add c_gmin report.gmin_steps;
         Obs.Counter.add c_src report.source_steps;
         Obs.Histogram.observe h_newton report.newton_iterations;
@@ -460,8 +459,8 @@ let solve_adjoint ?(options = default_options) ?companions ?restamp ?workspace
         invalid_arg "Dc.solve_adjoint: workspace size mismatch";
       Mna.assemble_into sys ws ~x ~time ?companions ?restamp ~gmin:options.gmin
         ();
-      Mat.factor_in_place ws.Mna.w_a ws.Mna.w_lu;
-      Mat.solve_transpose_into ws.Mna.w_lu e lambda
+      ignore (Mna.ws_factor ws : bool);
+      Mna.ws_solve_transpose_into ws e lambda
   | None ->
       let a, _ =
         Mna.assemble sys ~x ~time ?companions ?restamp ~gmin:options.gmin ()

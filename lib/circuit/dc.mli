@@ -32,6 +32,10 @@ type report = {
       (** full LU factorizations of the successful attempt — equal to
           [newton_iterations] except when a continuation's rank-1 first
           step replaced one *)
+  pattern_reuses : int;
+      (** of those factorizations, how many the sparse backend served by
+          numeric replay on a held pattern ({!Numerics.Smat.refactor});
+          always 0 on the dense backend *)
   gmin_steps : int;  (** gmin-stepping stages used (0 = direct success) *)
   source_steps : int;  (** source-stepping stages used *)
 }

@@ -22,6 +22,13 @@ type rstamp =
       l : float;
     }
 
+(* Linear-algebra backend of a compiled topology.  Both factorize with
+   the same pivot rule and per-entry update sequence ({!Smat} skips only
+   structurally-zero work), so detect verdicts and session bytes are
+   bit-identical across backends — the backend is a pure time/space
+   trade, invisible to results. *)
+type backend = Dense | Sparse
+
 type t = {
   netlist : Netlist.t;
   node_tbl : (string, int) Hashtbl.t;  (* non-ground nodes -> 0..n-1 *)
@@ -30,9 +37,67 @@ type t = {
   size : int;
   device_array : Device.t array;
   stamp_plan : rstamp array;
+  backend : backend;
+  sparse_pattern : (int * int) list;  (* [] on the dense backend *)
 }
 
-let build nl =
+(* Every (row, col) slot the plan's stamps can touch, resolved once at
+   compile time — the symbolic half of the sparse backend.  Mirrors
+   [assemble_core] stamp for stamp (ground terminals dropped), plus the
+   full diagonal: gmin lands there for nodes, and branch rows need their
+   structurally-zero diagonal present so sparse elimination visits the
+   same slots dense partial pivoting can reach. *)
+let plan_pattern ~size ~stamp_plan =
+  let acc = ref [] in
+  let p i j = if i >= 0 && j >= 0 then acc := (i, j) :: !acc in
+  let conductance i j =
+    p i i;
+    p j j;
+    p i j;
+    p j i
+  in
+  for i = 0 to size - 1 do
+    p i i
+  done;
+  Array.iter
+    (fun r ->
+      match r with
+      | R_resistor { i; j; _ } | R_capacitor { i; j; _ } -> conductance i j
+      | R_inductor { i; j; br; _ } ->
+          p i br;
+          p j br;
+          p br i;
+          p br j;
+          p br br
+      | R_vsource { i; j; br; _ } ->
+          p i br;
+          p j br;
+          p br i;
+          p br j
+      | R_isource _ -> ()  (* right-hand side only *)
+      | R_vcvs { i; j; cp; cn; br; _ } ->
+          p i br;
+          p j br;
+          p br i;
+          p br j;
+          p br cp;
+          p br cn
+      | R_vccs { i; j; cp; cn; _ } ->
+          p i cp;
+          p i cn;
+          p j cp;
+          p j cn
+      | R_mosfet { di; gi; si; _ } ->
+          p di gi;
+          p di di;
+          p di si;
+          p si gi;
+          p si di;
+          p si si)
+    stamp_plan;
+  !acc
+
+let build ?(backend = Dense) nl =
   (match Netlist.connectivity_check nl with
   | Ok () -> ()
   | Error e -> invalid_arg ("Mna.build: " ^ e));
@@ -81,6 +146,12 @@ let build nl =
         R_mosfet { di = node drain; gi = node gate; si = node source; model; w; l }
   in
   let device_array = Array.of_list (Netlist.devices nl) in
+  let stamp_plan = Array.map resolve device_array in
+  let sparse_pattern =
+    match backend with
+    | Dense -> []
+    | Sparse -> plan_pattern ~size:!next ~stamp_plan
+  in
   {
     netlist = nl;
     node_tbl;
@@ -88,10 +159,13 @@ let build nl =
     n_nodes;
     size = !next;
     device_array;
-    stamp_plan = Array.map resolve device_array;
+    stamp_plan;
+    backend;
+    sparse_pattern;
   }
 
 let netlist t = t.netlist
+let backend t = t.backend
 let n_nodes t = t.n_nodes
 let size t = t.size
 
@@ -151,24 +225,25 @@ let idx t n =
     | Some i -> i
     | None -> raise Not_found
 
-let stamp a i j v = if i >= 0 && j >= 0 then Mat.add_to a i j v
 let inject z i v = if i >= 0 then z.(i) <- z.(i) +. v
-
-let stamp_conductance a i j g =
-  stamp a i i g;
-  stamp a j j g;
-  stamp a i j (-.g);
-  stamp a j i (-.g)
-
 let volt x i = if i < 0 then 0. else x.(i)
 
 (* Stamping walks the resolved plan in device order — the same float
    operations, in the same order, as stamping straight off the device
    records, so the assembled system is bit-identical whichever value
-   overrides are active. *)
-let assemble_core t ~a ~z ~x ~time ~companions ~source_scale ~restamp ~gmin =
+   overrides are active.  [add] is the backend's accumulate-into-slot
+   primitive ({!Mat.add_to} or {!Smat.add_to}); generalising over it is
+   what keeps both backends on one stamp sequence. *)
+let assemble_core t ~add ~z ~x ~time ~companions ~source_scale ~restamp ~gmin =
+  let stamp i j v = if i >= 0 && j >= 0 then add i j v in
+  let stamp_conductance i j g =
+    stamp i i g;
+    stamp j j g;
+    stamp i j (-.g);
+    stamp j i (-.g)
+  in
   for i = 0 to t.n_nodes - 1 do
-    Mat.add_to a i i gmin
+    add i i gmin
   done;
   let companion_of name =
     match companions with
@@ -180,11 +255,11 @@ let assemble_core t ~a ~z ~x ~time ~companions ~source_scale ~restamp ~gmin =
       match r with
       | R_resistor { name; i; j; ohms } ->
           let ohms = restamp_ohms restamp name ohms in
-          stamp_conductance a i j (1. /. ohms)
+          stamp_conductance i j (1. /. ohms)
       | R_capacitor { name; i; j } -> begin
           match companion_of name with
           | Some (Cap_companion { geq; ieq }) ->
-              stamp_conductance a i j geq;
+              stamp_conductance i j geq;
               inject z i ieq;
               inject z j (-.ieq)
           | Some (Ind_companion _) ->
@@ -193,14 +268,14 @@ let assemble_core t ~a ~z ~x ~time ~companions ~source_scale ~restamp ~gmin =
         end
       | R_inductor { name; i; j; br } -> begin
           (* branch current contribution to KCL *)
-          stamp a i br 1.;
-          stamp a j br (-1.);
+          stamp i br 1.;
+          stamp j br (-1.);
           (* branch equation: va - vb - req*i = veq (req = 0 in DC) *)
-          stamp a br i 1.;
-          stamp a br j (-1.);
+          stamp br i 1.;
+          stamp br j (-1.);
           match companion_of name with
           | Some (Ind_companion { req; veq }) ->
-              Mat.add_to a br br (-.req);
+              add br br (-.req);
               z.(br) <- z.(br) +. veq
           | Some (Cap_companion _) ->
               invalid_arg "Mna.assemble: capacitor companion on an inductor"
@@ -208,10 +283,10 @@ let assemble_core t ~a ~z ~x ~time ~companions ~source_scale ~restamp ~gmin =
         end
       | R_vsource { name; i; j; br; wave } ->
           let wave = restamp_wave restamp name wave in
-          stamp a i br 1.;
-          stamp a j br (-1.);
-          stamp a br i 1.;
-          stamp a br j (-1.);
+          stamp i br 1.;
+          stamp j br (-1.);
+          stamp br i 1.;
+          stamp br j (-1.);
           z.(br) <- z.(br) +. (source_scale *. wave_value time wave)
       | R_isource { name; i; j; wave } ->
           let wave = restamp_wave restamp name wave in
@@ -219,17 +294,17 @@ let assemble_core t ~a ~z ~x ~time ~companions ~source_scale ~restamp ~gmin =
           inject z i (-.value);
           inject z j value
       | R_vcvs { i; j; cp; cn; br; gain } ->
-          stamp a i br 1.;
-          stamp a j br (-1.);
-          stamp a br i 1.;
-          stamp a br j (-1.);
-          stamp a br cp (-.gain);
-          stamp a br cn gain
+          stamp i br 1.;
+          stamp j br (-1.);
+          stamp br i 1.;
+          stamp br j (-1.);
+          stamp br cp (-.gain);
+          stamp br cn gain
       | R_vccs { i; j; cp; cn; gm } ->
-          stamp a i cp gm;
-          stamp a i cn (-.gm);
-          stamp a j cp (-.gm);
-          stamp a j cn gm
+          stamp i cp gm;
+          stamp i cn (-.gm);
+          stamp j cp (-.gm);
+          stamp j cn gm
       | R_mosfet { di; gi; si; model; w; l } ->
           let vd = volt x di and vg = volt x gi and vs = volt x si in
           let op = Mos_model.eval model ~w ~l ~vg ~vd ~vs in
@@ -238,12 +313,12 @@ let assemble_core t ~a ~z ~x ~time ~companions ~source_scale ~restamp ~gmin =
             op.ids -. (op.d_gate *. vg) -. (op.d_drain *. vd)
             -. (op.d_source *. vs)
           in
-          stamp a di gi op.d_gate;
-          stamp a di di op.d_drain;
-          stamp a di si op.d_source;
-          stamp a si gi (-.op.d_gate);
-          stamp a si di (-.op.d_drain);
-          stamp a si si (-.op.d_source);
+          stamp di gi op.d_gate;
+          stamp di di op.d_drain;
+          stamp di si op.d_source;
+          stamp si gi (-.op.d_gate);
+          stamp si di (-.op.d_drain);
+          stamp si si (-.op.d_source);
           inject z di (-.i0);
           inject z si i0)
     t.stamp_plan
@@ -328,44 +403,177 @@ let impact_adjoint_dot t ~device ~ohms ~lambda ~x =
       and dx = volt x i -. volt x j in
       Some (dl *. dx /. (ohms *. ohms))
 
+(* The backend's system-matrix and factorization state, paired so a
+   mismatch cannot be constructed through {!workspace}. *)
+type engine =
+  | E_dense of { ea : Mat.t; elu : Mat.lu }
+  | E_sparse of { es : Smat.t; eslu : Smat.lu }
+
 (* Preallocated per-analysis solve state: system matrix, right-hand
    side, LU workspace, and the two Newton iterate buffers.  One
    workspace is owned by exactly one running analysis at a time — under
    parallel execution each domain compiles (or forks) its own. *)
 type workspace = {
   w_size : int;
-  w_a : Mat.t;
+  w_eng : engine;
   w_z : Vec.t;
-  w_lu : Mat.lu;
   mutable w_x : Vec.t;
   mutable w_x_new : Vec.t;
 }
 
 let workspace t =
+  let w_eng =
+    match t.backend with
+    | Dense ->
+        E_dense { ea = Mat.create t.size t.size; elu = Mat.lu_workspace t.size }
+    | Sparse ->
+        E_sparse
+          {
+            es = Smat.create t.size t.sparse_pattern;
+            eslu = Smat.lu_workspace t.size;
+          }
+  in
   {
     w_size = t.size;
-    w_a = Mat.create t.size t.size;
+    w_eng;
     w_z = Vec.create t.size 0.;
-    w_lu = Mat.lu_workspace t.size;
     w_x = Vec.create t.size 0.;
     w_x_new = Vec.create t.size 0.;
   }
+
+let ws_factor ws =
+  match ws.w_eng with
+  | E_dense { ea; elu } ->
+      Mat.factor_in_place ea elu;
+      false
+  | E_sparse { es; eslu } ->
+      (* numeric replay on the held pattern when the pivot guard admits
+         it; the fallback is the full symbolic pass.  Both produce the
+         same factorization bit for bit, so which one ran is observable
+         only through the stats. *)
+      if Smat.refactor es eslu then true
+      else begin
+        Smat.factor_in_place es eslu;
+        false
+      end
+
+let ws_solve_into ws b x =
+  match ws.w_eng with
+  | E_dense { elu; _ } -> Mat.solve_into elu b x
+  | E_sparse { eslu; _ } -> Smat.solve_into eslu b x
+
+let ws_solve_transpose_into ws b x =
+  match ws.w_eng with
+  | E_dense { elu; _ } -> Mat.solve_transpose_into elu b x
+  | E_sparse { eslu; _ } -> Smat.solve_transpose_into eslu b x
+
+let ws_sparse_stats ws =
+  match ws.w_eng with
+  | E_dense _ -> None
+  | E_sparse { eslu; _ } -> Some (Smat.stats eslu)
+
+let ws_sparse_lu ws =
+  match ws.w_eng with
+  | E_dense _ -> None
+  | E_sparse { eslu; _ } -> Some eslu
+
+(* A retained factorization plus the scratch its rank-1 solve needs —
+   the backend-agnostic face of the continuation's held state. *)
+type held =
+  | H_dense of { hlu : Mat.lu; hr1 : Mat.rank1; mutable hd_ok : bool }
+  | H_sparse of {
+      hslu : Smat.lu;
+      hy : Vec.t;
+      hw : Vec.t;
+      mutable hs_ok : bool;
+    }
+
+let held t =
+  match t.backend with
+  | Dense ->
+      H_dense
+        {
+          hlu = Mat.lu_workspace t.size;
+          hr1 = Mat.rank1_workspace t.size;
+          hd_ok = false;
+        }
+  | Sparse ->
+      H_sparse
+        {
+          hslu = Smat.lu_workspace t.size;
+          hy = Vec.create t.size 0.;
+          hw = Vec.create t.size 0.;
+          hs_ok = false;
+        }
+
+let held_factored = function
+  | H_dense { hd_ok; _ } -> hd_ok
+  | H_sparse { hs_ok; _ } -> hs_ok
+
+let hold ws hd =
+  match (ws.w_eng, hd) with
+  | E_dense { elu; _ }, H_dense h ->
+      Mat.lu_blit ~src:elu ~dst:h.hlu;
+      h.hd_ok <- true
+  | E_sparse { eslu; _ }, H_sparse h ->
+      Smat.lu_blit ~src:eslu ~dst:h.hslu;
+      h.hs_ok <- true
+  | E_dense _, H_sparse _ | E_sparse _, H_dense _ ->
+      invalid_arg "Mna.hold: workspace/held backend mismatch"
+
+(* Sherman-Morrison against the held factorization.  The sparse arm
+   replays {!Mat.rank1_solve}'s float sequence operation for operation
+   (two solves, two dots, the same cancellation guard, the same update
+   loop), so continuation solves stay bit-identical across backends. *)
+let held_rank1_solve hd ~u ~v ~dg ~b ~x =
+  match hd with
+  | H_dense { hlu; hr1; hd_ok } ->
+      if not hd_ok then invalid_arg "Mna.held_rank1_solve: nothing held";
+      Mat.rank1_solve hlu hr1 ~u ~v ~dg ~b ~x
+  | H_sparse { hslu; hy; hw; hs_ok } ->
+      if not hs_ok then invalid_arg "Mna.held_rank1_solve: nothing held";
+      if b == x then invalid_arg "Mna.held_rank1_solve: aliased input/output";
+      Smat.solve_into hslu b hy;
+      Smat.solve_into hslu u hw;
+      let vty = Vec.dot v hy in
+      let vtw = Vec.dot v hw in
+      let denom = 1. +. (dg *. vtw) in
+      if
+        (not (Float.is_finite denom))
+        || Float.abs denom <= 1e-10 *. (1. +. Float.abs (dg *. vtw))
+      then false
+      else begin
+        let coef = dg *. vty /. denom in
+        for i = 0 to Vec.dim x - 1 do
+          x.(i) <- hy.(i) -. (coef *. hw.(i))
+        done;
+        true
+      end
 
 let assemble t ~x ~time ?companions ?(source_scale = 1.) ?restamp ~gmin () =
   if Vec.dim x <> t.size then invalid_arg "Mna.assemble: bad iterate size";
   let a = Mat.create t.size t.size in
   let z = Vec.create t.size 0. in
-  assemble_core t ~a ~z ~x ~time ~companions ~source_scale ~restamp ~gmin;
+  assemble_core t ~add:(Mat.add_to a) ~z ~x ~time ~companions ~source_scale
+    ~restamp ~gmin;
   (a, z)
 
 let assemble_into t ws ~x ~time ?companions ?(source_scale = 1.) ?restamp ~gmin
     () =
   if Vec.dim x <> t.size then invalid_arg "Mna.assemble_into: bad iterate size";
   if ws.w_size <> t.size then invalid_arg "Mna.assemble_into: workspace size";
-  Mat.fill ws.w_a 0.;
+  let add =
+    match ws.w_eng with
+    | E_dense { ea; _ } ->
+        Mat.fill ea 0.;
+        Mat.add_to ea
+    | E_sparse { es; _ } ->
+        Smat.clear es;
+        Smat.add_to es
+  in
   Array.fill ws.w_z 0 (Vec.dim ws.w_z) 0.;
-  assemble_core t ~a:ws.w_a ~z:ws.w_z ~x ~time ~companions ~source_scale
-    ~restamp ~gmin
+  assemble_core t ~add ~z:ws.w_z ~x ~time ~companions ~source_scale ~restamp
+    ~gmin
 
 let mosfet_operating_points t ~x =
   Array.to_list t.device_array

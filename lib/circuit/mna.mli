@@ -9,10 +9,20 @@
 
 type t
 
-val build : Netlist.t -> t
-(** Index the netlist.  @raise Invalid_argument if the netlist fails
+type backend = Dense | Sparse
+(** Linear-algebra backend of a compiled topology.  [Dense] factors
+    through {!Numerics.Mat}; [Sparse] compiles the stamp plan's slot
+    pattern once and factors through {!Numerics.Smat}.  Both perform the
+    same pivot choices and the same per-entry update sequence, so detect
+    verdicts and session bytes are bit-identical across backends — the
+    backend is a pure time/space trade, invisible to results. *)
+
+val build : ?backend:backend -> Netlist.t -> t
+(** Index the netlist ([backend] defaults to [Dense]).
+    @raise Invalid_argument if the netlist fails
     {!Netlist.connectivity_check}. *)
 
+val backend : t -> backend
 val netlist : t -> Netlist.t
 val n_nodes : t -> int
 val size : t -> int
@@ -119,20 +129,77 @@ val impact_adjoint_dot :
     impact resistance, [(lambda_i - lambda_j)(x_i - x_j) / r^2].
     [None] if the plan has no resistor of that name. *)
 
+type engine
+(** A backend's paired system matrix and factorization state. *)
+
 type workspace = {
   w_size : int;
-  w_a : Numerics.Mat.t;  (** system matrix, zeroed and restamped per solve *)
+  w_eng : engine;  (** system matrix + factorization, backend-matched *)
   w_z : Numerics.Vec.t;  (** right-hand side *)
-  w_lu : Numerics.Mat.lu;  (** in-place factorization workspace *)
   mutable w_x : Numerics.Vec.t;  (** Newton iterate *)
   mutable w_x_new : Numerics.Vec.t;  (** Newton solve output / next iterate *)
 }
 (** Preallocated solve state sized for one compiled topology.  The two
     iterate buffers are swapped (never reallocated) by the Newton loop.
     A workspace is owned by exactly one running analysis at a time;
-    under parallel execution each domain creates its own. *)
+    under parallel execution each domain creates its own.  The system
+    matrix and factorization live behind {!engine} so the Newton loop is
+    backend-agnostic through {!ws_factor} / {!ws_solve_into}. *)
 
 val workspace : t -> workspace
+(** A workspace on the topology's backend. *)
+
+val ws_factor : workspace -> bool
+(** Factor the workspace's assembled system in place.  Returns [true]
+    when the sparse backend replayed a held pattern ({!Numerics.Smat.refactor})
+    instead of paying the full symbolic pass — a pure optimization,
+    bit-identical either way; always [false] on the dense backend.
+    @raise Numerics.Mat.Singular if the system is numerically singular
+    (same payload on both backends). *)
+
+val ws_solve_into : workspace -> Numerics.Vec.t -> Numerics.Vec.t -> unit
+(** Solve against the last {!ws_factor} — {!Numerics.Mat.solve_into} or
+    its bit-identical sparse counterpart. *)
+
+val ws_solve_transpose_into :
+  workspace -> Numerics.Vec.t -> Numerics.Vec.t -> unit
+(** Transpose (adjoint) solve against the last {!ws_factor}. *)
+
+val ws_sparse_stats : workspace -> Numerics.Smat.stats option
+(** Factor/reuse counters of the sparse engine; [None] on dense. *)
+
+val ws_sparse_lu : workspace -> Numerics.Smat.lu option
+(** The sparse factorization workspace, for blocked multi-RHS solves
+    ({!Numerics.Smat.solve_block}); [None] on dense. *)
+
+type held
+(** A retained factorization plus rank-1 solve scratch — the
+    backend-agnostic face of the continuation's held state. *)
+
+val held : t -> held
+(** An (empty) held slot on the topology's backend. *)
+
+val held_factored : held -> bool
+
+val hold : workspace -> held -> unit
+(** Copy the workspace's current factorization into the held slot.
+    @raise Invalid_argument on a backend mismatch or if the workspace
+    was never factored. *)
+
+val held_rank1_solve :
+  held ->
+  u:Numerics.Vec.t ->
+  v:Numerics.Vec.t ->
+  dg:float ->
+  b:Numerics.Vec.t ->
+  x:Numerics.Vec.t ->
+  bool
+(** Sherman-Morrison solve of [(A + dg u v^T) x = b] against the held
+    factorization of [A] — {!Numerics.Mat.rank1_solve} semantics on
+    either backend, bit-identical across them (same solves, same dots,
+    same cancellation guard).  [false] means the conditioning guard
+    declined and the caller must factor fresh.
+    @raise Invalid_argument if nothing is held or [b == x]. *)
 
 val assemble :
   t ->

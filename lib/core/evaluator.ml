@@ -13,6 +13,7 @@ type t = {
   box_model : Tolerance.t;
   mode : mode;
   continuation : bool;
+  backend : Circuit.Mna.backend;
   nominal_cache : (string, float array) Hashtbl.t;
   (* Memoized nominal observables *and* their parameter gradients, keyed
      like [nominal_cache]: the nominal response at a parameter point is
@@ -39,7 +40,8 @@ let g_plan_misses = Obs.Counter.create "evaluator.plan_cache.misses"
 exception Budget_exhausted of { config_id : int; budget : int }
 
 let create ?(profile = Execute.default_profile) ?(mode = `Compiled)
-    ?(continuation = false) config ~nominal ~box_model =
+    ?(continuation = false) ?(backend = Circuit.Mna.Dense) config ~nominal
+    ~box_model =
   {
     config;
     profile;
@@ -47,6 +49,7 @@ let create ?(profile = Execute.default_profile) ?(mode = `Compiled)
     box_model;
     mode;
     continuation;
+    backend;
     nominal_cache = Hashtbl.create 64;
     ngrad_cache = Hashtbl.create 64;
     compiled_cache = Hashtbl.create 16;
@@ -156,7 +159,7 @@ let compiled_plan t ~key target =
       plan
   | None ->
       Obs.Counter.bump g_plan_misses 1;
-      let plan = Execute.compile t.config (target ()) in
+      let plan = Execute.compile ~backend:t.backend t.config (target ()) in
       Hashtbl.replace t.compiled_cache key plan;
       plan
 
@@ -306,6 +309,49 @@ let sensitivity_gradient t fault values =
         when Numerics.Failpoint.epoch () = epoch ->
           (* trivially detected, and flat: the descent stops here *)
           Some (detected_sentinel, Array.make (Numerics.Vec.dim values) 0.))
+
+(* Batched evaluation of faults sharing one site (same {!Faults.Fault.id},
+   hence one compiled topology and one stamp pattern): the whole group is
+   swept through {!Execute.compiled_dc_levels_batch}, each fault still
+   paying one {!charge}.  [None] sends the caller back to the sequential
+   per-fault path: legacy mode, an empty or mixed-site group, or a plan
+   outside the batchable (linear, DC-levels) family. *)
+let batched_sensitivities t ~faults values =
+  match (t.mode, faults) with
+  | `Legacy, _ | _, [] -> None
+  | `Compiled, f0 :: rest ->
+      let key = Faults.Fault.id f0 in
+      if
+        not
+          (List.for_all (fun f -> String.equal (Faults.Fault.id f) key) rest)
+      then None
+      else begin
+        let plan = compiled_plan t ~key (fun () -> faulty_target t f0) in
+        let impacts =
+          Array.of_list
+            (List.map (fun f -> Some (Faults.Inject.impact_override f)) faults)
+        in
+        match
+          Execute.compiled_dc_levels_batch ~profile:t.profile plan ~impacts
+            values
+        with
+        | None -> None
+        | Some rows ->
+            let nominal = nominal_observables t values in
+            let box = box t values in
+            Some
+              (Array.map
+                 (fun faulty ->
+                   charge t;
+                   let dev =
+                     Execute.deviations t.config ~nominal ~faulty
+                   in
+                   let s =
+                     Sensitivity.compute t.config ~box ~nominal ~faulty
+                   in
+                   (s, dev))
+                 rows)
+      end
 
 let sensitivity_of_target t target values =
   let nominal = nominal_observables t values in

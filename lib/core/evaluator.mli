@@ -29,11 +29,16 @@ val create :
   ?profile:Execute.profile ->
   ?mode:mode ->
   ?continuation:bool ->
+  ?backend:Circuit.Mna.backend ->
   Test_config.t ->
   nominal:Execute.target ->
   box_model:Tolerance.t ->
   t
-(** [continuation] (default [false]) opts impact-ladder probes
+(** [backend] (default [Dense]) selects the linear-algebra engine every
+    compiled plan of this evaluator is built on; results are
+    bit-identical across backends (see {!Circuit.Mna.backend}).
+
+    [continuation] (default [false]) opts impact-ladder probes
     ({!sensitivity} with [~continue:true]) on the compiled path into
     warm-start continuation: ladder probes of one fault site share an
     {!Execute.continuation} store, so the impact ladder's solves seed
@@ -141,6 +146,24 @@ val faulty_observables :
 (** Raw faulty measurement (no memoization).  [continue] as in
     {!sensitivity}.
     @raise Execute.Execution_failure on simulator failure. *)
+
+val batched_sensitivities :
+  t ->
+  faults:Faults.Fault.t list ->
+  Numerics.Vec.t ->
+  (float * float array) array option
+(** Batched sensitivities-and-deviations for faults sharing one site
+    (one {!Faults.Fault.id}, hence one compiled topology and stamp
+    pattern): the whole group is swept through
+    {!Execute.compiled_dc_levels_batch} — per fault one restamp and one
+    pattern-reuse refactorization, all probe levels solved in one
+    blocked triangular sweep on the sparse backend.  Each fault still
+    charges one evaluation.  [None] sends the caller to the sequential
+    per-fault path: legacy mode, an empty or mixed-site group, or a
+    plan outside the batchable (linear, DC-levels) family; results are
+    then taken fault by fault via {!sensitivity_and_deviation}, which
+    this path matches to solver tolerance.
+    @raise Execute.Execution_failure if the nominal simulation fails. *)
 
 val sensitivity_of_target : t -> Execute.target -> Numerics.Vec.t -> float
 (** Score an arbitrary target (e.g. a fault-free circuit at a Monte-Carlo

@@ -85,9 +85,9 @@ type compiled = {
   c_ac : Ac.workspace option;
 }
 
-let compile config target =
+let compile ?backend config target =
   let nl = normalize_stimulus target.netlist ~source:target.stimulus_source in
-  let plan = Mna.build nl in
+  let plan = Mna.build ?backend nl in
   let c_ac =
     match config.Test_config.analysis with
     | Test_config.Noise_psd _ | Test_config.Ac_gain _ ->
@@ -332,6 +332,110 @@ let compiled_observables ?(profile = default_profile) ?impact ?continuation c
   observables_of
     (Restamp { c; impact; cont = continuation })
     ~profile c.c_config values
+
+(* ------------------------------------------------------------------ *)
+(* Batched multi-fault solves: one pattern, many impacts, blocked RHS   *)
+(* ------------------------------------------------------------------ *)
+
+(* Faults at one site share the compiled plan's stamp pattern and differ
+   only in the impact resistance, so a sweep over them is the ideal
+   batching shape: per impact the system matrix is restamped and
+   refactored once — a numeric-only pattern replay on the sparse
+   backend — and, because a linear plan's matrix does not depend on the
+   stimulus level, all of a DC-levels analysis' probe levels then solve
+   against that single factorization in one blocked triangular sweep.
+   Valid for linear plans only (no MOSFETs): there the assembled system
+   is exact, one solve IS the operating point, and each blocked column's
+   floats are identical to a sequential [solve_into] of that column. *)
+let compiled_dc_levels_batch ?(profile = default_profile) c ~impacts values =
+  check_values c.c_config values;
+  match c.c_config.Test_config.analysis with
+  | Test_config.Tran_thd _ | Test_config.Tran_samples _ | Test_config.Tran_imd _
+  | Test_config.Noise_psd _ | Test_config.Ac_gain _ ->
+      None
+  | Test_config.Dc_levels waves ->
+      let nonlinear =
+        List.exists
+          (function Device.Mosfet _ -> true | _ -> false)
+          (Netlist.devices (Mna.netlist c.c_plan))
+      in
+      if nonlinear then None
+      else begin
+        let target = c.c_target in
+        let source = target.stimulus_source in
+        let ws = c.c_ws in
+        let waves = Array.of_list (waves values) in
+        let m = Array.length waves in
+        let n = Mna.size c.c_plan in
+        let gmin = profile.dc_options.Dc.gmin in
+        let x0 = Numerics.Vec.create n 0. in
+        let obs_row = Mna.node_index c.c_plan target.observe_node in
+        Array.iter
+          (fun w ->
+            match Waveform.validate w with
+            | Ok () -> ()
+            | Error e ->
+                invalid_arg (Printf.sprintf "Netlist.add: %s: %s" source e))
+          waves;
+        let n_impacts = Array.length impacts in
+        let out = Array.make_matrix n_impacts m 0. in
+        let factor_or_fail () =
+          match Mna.ws_factor ws with
+          | (_ : bool) -> ()
+          | exception Numerics.Mat.Singular _ ->
+              raise (Execution_failure "batched DC levels: singular system")
+        in
+        (match Mna.ws_sparse_lu ws with
+        | Some slu ->
+            let b =
+              Bigarray.Array2.create Bigarray.float64 Bigarray.c_layout n m
+            in
+            let xb =
+              Bigarray.Array2.create Bigarray.float64 Bigarray.c_layout n m
+            in
+            Array.iteri
+              (fun fi impact ->
+                for r = 0 to m - 1 do
+                  Mna.assemble_into c.c_plan ws ~x:x0 ~time:`Dc
+                    ~restamp:{ Mna.stimulus = Some (source, waves.(r)); impact }
+                    ~gmin ();
+                  for i = 0 to n - 1 do
+                    b.{i, r} <- ws.Mna.w_z.(i)
+                  done
+                done;
+                factor_or_fail ();
+                Numerics.Smat.solve_block slu ~b ~x:xb;
+                (match obs_row with
+                | Some row ->
+                    for r = 0 to m - 1 do
+                      out.(fi).(r) <- xb.{row, r}
+                    done
+                | None -> ()))
+              impacts
+        | None ->
+            (* dense fallback: still one factorization per impact, levels
+               solved sequentially against it *)
+            let zs = Array.init m (fun _ -> Numerics.Vec.create n 0.) in
+            let x = Numerics.Vec.create n 0. in
+            Array.iteri
+              (fun fi impact ->
+                for r = 0 to m - 1 do
+                  Mna.assemble_into c.c_plan ws ~x:x0 ~time:`Dc
+                    ~restamp:{ Mna.stimulus = Some (source, waves.(r)); impact }
+                    ~gmin ();
+                  Array.blit ws.Mna.w_z 0 zs.(r) 0 n
+                done;
+                factor_or_fail ();
+                (match obs_row with
+                | Some row ->
+                    for r = 0 to m - 1 do
+                      Mna.ws_solve_into ws zs.(r) x;
+                      out.(fi).(r) <- x.(row)
+                    done
+                | None -> ()))
+              impacts);
+        Some out
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Adjoint gradients: one extra triangular solve per operating point    *)

@@ -63,13 +63,15 @@ type compiled
     A plan owns mutable buffers: share it freely across sequential
     probes, never across domains. *)
 
-val compile : Test_config.t -> target -> compiled
+val compile : ?backend:Circuit.Mna.backend -> Test_config.t -> target -> compiled
 (** Compile the target's topology for the configuration's analysis.
     The plan is built from the stimulus-normalized netlist (the stimulus
     source moved to the end of device order, exactly where every
     per-probe {!with_stimulus} rewrite puts it), so unknown numbering —
     and therefore pivoting and arithmetic — matches the legacy path
-    bit for bit.
+    bit for bit.  [backend] (default [Dense]) selects the plan's
+    linear-algebra engine; both produce bit-identical results
+    (see {!Circuit.Mna.backend}).
     @raise Invalid_argument if the stimulus source is missing or not an
     independent source. *)
 
@@ -111,6 +113,34 @@ val compiled_observables :
     @raise Execution_failure on simulator failure.
     @raise Invalid_argument on value-count mismatch or an invalid probe
     waveform (same rejection as netlist insertion on the legacy path). *)
+
+val compiled_dc_levels_batch :
+  ?profile:profile ->
+  compiled ->
+  impacts:(string * float) option array ->
+  Numerics.Vec.t ->
+  float array array option
+(** Batched multi-fault DC-levels sweep over one compiled plan: faults
+    at one site share the plan's stamp pattern and differ only in the
+    impact resistance, so per impact the system is restamped and
+    refactored once (a numeric-only pattern replay on the sparse
+    backend) and all probe levels solve against that single
+    factorization — one blocked triangular sweep
+    ({!Numerics.Smat.solve_block}) on sparse, sequential solves on
+    dense.  Returns one observable row per entry of [impacts] (an entry
+    of [None] is the nominal-value stamp).
+
+    [None] when the plan is outside the batchable family: a non-DC-levels
+    analysis, or a nonlinear (MOSFET-bearing) topology — there the
+    system matrix depends on the stimulus level through the iterate and
+    the caller must walk {!compiled_observables} fault by fault.  For
+    linear plans the assembled system is exact, so each row equals the
+    operating points the sequential path converges to (to solver
+    tolerance; the sequential path's damped Newton trajectory may differ
+    in low-order bits).
+    @raise Execution_failure on a singular system.
+    @raise Invalid_argument on value-count mismatch or an invalid probe
+    waveform. *)
 
 type gradient = {
   g_obs : float array;

@@ -15,8 +15,8 @@ let target_of_macro (macro : Macros.Macro.t) point =
     observe_node = macro.Macros.Macro.observe_node;
   }
 
-let create ?(profile = Execute.default_profile) ?mode ?continuation ?grid
-    ?guardband ?corners ~macro ~configs () =
+let create ?(profile = Execute.default_profile) ?mode ?continuation ?backend
+    ?grid ?guardband ?corners ~macro ~configs () =
   let corner_points =
     match corners with Some c -> c | None -> Macros.Process.corners ()
   in
@@ -29,7 +29,7 @@ let create ?(profile = Execute.default_profile) ?mode ?continuation ?grid
           Tolerance.calibrate ~profile ?grid ?guardband config ~nominal
             ~corners:corner_targets ()
         in
-        Evaluator.create ~profile ?mode ?continuation config ~nominal
+        Evaluator.create ~profile ?mode ?continuation ?backend config ~nominal
           ~box_model)
       configs
   in
@@ -41,9 +41,9 @@ let create ?(profile = Execute.default_profile) ?mode ?continuation ?grid
     profile;
   }
 
-let iv ?profile ?mode ?continuation ?grid () =
-  create ?profile ?mode ?continuation ?grid ~macro:Macros.Iv_converter.macro
-    ~configs:Iv_configs.all ()
+let iv ?profile ?mode ?continuation ?backend ?grid () =
+  create ?profile ?mode ?continuation ?backend ?grid
+    ~macro:Macros.Iv_converter.macro ~configs:Iv_configs.all ()
 
 let evaluator t id =
   match

@@ -18,6 +18,7 @@ val create :
   ?profile:Testgen.Execute.profile ->
   ?mode:Testgen.Evaluator.mode ->
   ?continuation:bool ->
+  ?backend:Circuit.Mna.backend ->
   ?grid:int ->
   ?guardband:float ->
   ?corners:Macros.Process.point list ->
@@ -31,12 +32,15 @@ val create :
     execution path (default [`Compiled]; [`Legacy] rebuilds the netlist
     per probe — the benchmark baseline).  [continuation] (default
     [false]) enables warm-start continuation along each fault's impact
-    ladder — tolerance-identical, faster; see {!Testgen.Evaluator.create}. *)
+    ladder — tolerance-identical, faster; see {!Testgen.Evaluator.create}.
+    [backend] (default [Dense]) selects the evaluators' linear-algebra
+    engine; results are bit-identical across backends. *)
 
 val iv :
   ?profile:Testgen.Execute.profile ->
   ?mode:Testgen.Evaluator.mode ->
   ?continuation:bool ->
+  ?backend:Circuit.Mna.backend ->
   ?grid:int ->
   unit ->
   t

@@ -48,6 +48,8 @@ type tally = { t_name : string; t_pass : int; t_skip : int; t_fail : int }
 type report = {
   r_options : options;
   r_scenarios : int;
+  r_dense_scenarios : int;  (** scenarios drawn on the dense backend *)
+  r_sparse_scenarios : int;  (** scenarios drawn on the sparse backend *)
   r_build_failures : int;  (** scenarios whose build or base run raised *)
   r_checks_run : int;
   r_checks_passed : int;

@@ -1,9 +1,15 @@
 open Testgen
 
-type topology = Rc_ladder of int | Ota | Sallen_key
+type topology =
+  | Rc_ladder of int
+  | Ota
+  | Sallen_key
+  | Sk_chain of int
+  | Ota_cascade of int
 
 type spec = {
   topology : topology;
+  backend : Circuit.Mna.backend;
   fault_count : int;
   bridge_weight : int;
   config_count : int;
@@ -15,6 +21,7 @@ type spec = {
 let minimal =
   {
     topology = Rc_ladder 1;
+    backend = Circuit.Mna.Dense;
     fault_count = 1;
     bridge_weight = 100;
     config_count = 1;
@@ -27,12 +34,21 @@ let topology_to_string = function
   | Rc_ladder n -> Printf.sprintf "rc%d" n
   | Ota -> "ota"
   | Sallen_key -> "sk"
+  | Sk_chain n -> Printf.sprintf "skc%d" n
+  | Ota_cascade n -> Printf.sprintf "otac%d" n
+
+(* The dense suffix is empty so pre-backend spec strings (and the pinned
+   shrink fixed points) render unchanged. *)
+let backend_to_string = function
+  | Circuit.Mna.Dense -> ""
+  | Circuit.Mna.Sparse -> "/sp"
 
 let to_string s =
-  Printf.sprintf "%s/f%d/bw%d/c%d/l%d/e%d/v%d"
+  Printf.sprintf "%s/f%d/bw%d/c%d/l%d/e%d/v%d%s"
     (topology_to_string s.topology)
     s.fault_count s.bridge_weight s.config_count s.levels s.floor_exp
     s.value_seed
+    (backend_to_string s.backend)
 
 let pp ppf s = Format.pp_print_string ppf (to_string s)
 
@@ -41,9 +57,15 @@ let pp ppf s = Format.pp_print_string ppf (to_string s)
    strictly smaller). *)
 let size s =
   let topo =
-    match s.topology with Rc_ladder n -> n | Ota -> 10 | Sallen_key -> 14
+    match s.topology with
+    | Rc_ladder n -> n
+    | Ota -> 10
+    | Sallen_key -> 14
+    | Sk_chain n -> 16 + (4 * n)
+    | Ota_cascade n -> 16 + (2 * n)
   in
   topo + (4 * s.fault_count) + s.config_count + s.levels + s.floor_exp
+  + (if s.backend = Circuit.Mna.Sparse then 1 else 0)
   + (if s.bridge_weight < 100 then 2 else 0)
   + if s.value_seed <> 0 then 1 else 0
 
@@ -51,11 +73,14 @@ let macro_of_topology = function
   | Rc_ladder n -> Macros.Rc_ladder.macro ~sections:n
   | Ota -> Macros.Ota.macro
   | Sallen_key -> Macros.Sallen_key.macro
+  | Sk_chain n -> Macros.Filter_chain.sk_chain ~stages:n
+  | Ota_cascade n -> Macros.Filter_chain.ota_cascade ~stages:n
 
 (* Stimulus range the macro accepts at its control node (input
-   common-mode range for the active macros). *)
+   common-mode range for the active macros; the linear chains pass DC
+   straight through, so any range works). *)
 let stimulus_range = function
-  | Rc_ladder _ -> (1.0, 4.0)
+  | Rc_ladder _ | Sk_chain _ | Ota_cascade _ -> (1.0, 4.0)
   | Ota -> (1.2, 3.8)
   | Sallen_key -> (1.5, 3.5)
 
@@ -69,9 +94,7 @@ let value_rng s key = Numerics.Rng.of_key ~seed:(Int64.of_int s.value_seed) ~key
 
 let configs_of_spec s macro =
   let lo, hi = stimulus_range s.topology in
-  let control_node =
-    match s.topology with Rc_ladder _ -> "in" | Ota -> "inp" | Sallen_key -> "in"
-  in
+  let control_node = match s.topology with Ota -> "inp" | _ -> "in" in
   List.init s.config_count (fun j ->
       let rng = value_rng s (Printf.sprintf "config.%d" j) in
       (* a sub-range of the stimulus window, wide enough for Brent *)
@@ -156,14 +179,14 @@ type built = {
   evaluators : Evaluator.t list;
 }
 
-let evaluators_of ?(continuation = false) macro configs =
+let evaluators_of ?(continuation = false) ?backend macro configs =
   let nominal =
     Experiments.Setup.target_of_macro macro Macros.Process.nominal
   in
   List.map
     (fun config ->
-      Evaluator.create ~profile:Execute.fast_profile ~continuation config
-        ~nominal
+      Evaluator.create ~profile:Execute.fast_profile ~continuation ?backend
+        config ~nominal
         ~box_model:(Tolerance.floor_only config))
     configs
 
@@ -171,7 +194,9 @@ let build ?continuation s =
   let macro = macro_of_topology s.topology in
   let configs = configs_of_spec s macro in
   let dictionary = dictionary_of_spec s macro in
-  let evaluators = evaluators_of ?continuation macro configs in
+  let evaluators =
+    evaluators_of ?continuation ~backend:s.backend macro configs
+  in
   { spec = s; macro; configs; dictionary; evaluators }
 
 (* Reduced optimizer budgets: fuzz campaigns trade optimality for
@@ -191,14 +216,29 @@ let generate_options =
 let gen rng =
   let topology =
     (* RC ladders dominate: they solve fast, so campaigns spend most of
-       their budget on scenario diversity rather than Newton iterations *)
-    let d = Numerics.Rng.int rng ~bound:10 in
+       their budget on scenario diversity rather than Newton iterations.
+       The filter chains reach 64+ node netlists (Sk_chain 16 is a
+       49-node/66-unknown system, Ota_cascade 32 a 65-node one). *)
+    let d = Numerics.Rng.int rng ~bound:12 in
     if d < 7 then Rc_ladder (1 + Numerics.Rng.int rng ~bound:4)
-    else if d < 9 then Ota
+    else if d < 8 then Sk_chain (1 + Numerics.Rng.int rng ~bound:16)
+    else if d < 9 then Ota_cascade (1 + Numerics.Rng.int rng ~bound:32)
+    else if d < 11 then Ota
     else Sallen_key
+  in
+  let backend =
+    (* large linear chains mostly exercise the sparse engine; the small
+       topologies mostly stay on the dense baseline *)
+    let d = Numerics.Rng.int rng ~bound:4 in
+    match topology with
+    | Sk_chain _ | Ota_cascade _ ->
+        if d < 3 then Circuit.Mna.Sparse else Circuit.Mna.Dense
+    | Rc_ladder _ | Ota | Sallen_key ->
+        if d < 1 then Circuit.Mna.Sparse else Circuit.Mna.Dense
   in
   {
     topology;
+    backend;
     fault_count = 1 + Numerics.Rng.int rng ~bound:4;
     bridge_weight = 25 * Numerics.Rng.int rng ~bound:5;
     config_count = 1 + Numerics.Rng.int rng ~bound:2;
@@ -214,9 +254,27 @@ let shrink s =
     (match s.topology with
     | Sallen_key -> [ { s with topology = Ota }; { s with topology = Rc_ladder 1 } ]
     | Ota -> [ { s with topology = Rc_ladder 1 } ]
+    | Sk_chain n | Ota_cascade n ->
+        { s with topology = Rc_ladder 1 }
+        ::
+        (if n > 1 then
+           let smaller k =
+             match s.topology with
+             | Sk_chain _ -> Sk_chain k
+             | _ -> Ota_cascade k
+           in
+           [
+             { s with topology = smaller 1 };
+             { s with topology = smaller (n / 2) };
+             { s with topology = smaller (n - 1) };
+           ]
+         else [])
     | Rc_ladder n when n > 1 ->
         [ { s with topology = Rc_ladder 1 }; { s with topology = Rc_ladder (n - 1) } ]
     | Rc_ladder _ -> [])
+    @ (if s.backend = Circuit.Mna.Sparse then
+         [ { s with backend = Circuit.Mna.Dense } ]
+       else [])
     @ (if s.fault_count > 1 then
          [
            { s with fault_count = 1 };

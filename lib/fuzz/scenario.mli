@@ -13,9 +13,18 @@ type topology =
   | Rc_ladder of int  (** passive ladder with the given section count *)
   | Ota
   | Sallen_key
+  | Sk_chain of int
+      (** buffered Sallen-Key chain ({!Macros.Filter_chain.sk_chain}) —
+          fuzzed up to 16 stages, a 49-node / 66-unknown system *)
+  | Ota_cascade of int
+      (** gm-RC cascade ({!Macros.Filter_chain.ota_cascade}) — fuzzed up
+          to 32 stages, a 65-node system *)
 
 type spec = {
   topology : topology;
+  backend : Circuit.Mna.backend;
+      (** linear-algebra engine the evaluators compile with; results are
+          backend-independent, so every invariant must hold on either *)
   fault_count : int;  (** faults drawn from the macro's universe, >= 1 *)
   bridge_weight : int;  (** percent chance each draw prefers a bridge *)
   config_count : int;  (** fuzzed DC configurations, >= 1 *)
@@ -29,7 +38,8 @@ val minimal : spec
     single-level configuration — the fixed point of {!shrink}. *)
 
 val to_string : spec -> string
-(** Compact one-line form, e.g. ["rc2/f3/bw75/c2/l1/e3/v417"]. *)
+(** Compact one-line form, e.g. ["rc2/f3/bw75/c2/l1/e3/v417"]; sparse
+    specs carry a trailing ["/sp"] (dense renders as before). *)
 
 val pp : Format.formatter -> spec -> unit
 
@@ -54,11 +64,13 @@ val build : ?continuation:bool -> spec -> built
 
 val evaluators_of :
   ?continuation:bool ->
+  ?backend:Circuit.Mna.backend ->
   Macros.Macro.t ->
   Testgen.Test_config.t list ->
   Testgen.Evaluator.t list
 (** The evaluator construction used by {!build}, exposed so invariants
-    can rebuild fresh evaluators for the same scenario. *)
+    can rebuild fresh evaluators for the same scenario.  [backend]
+    defaults to dense; {!build} passes the spec's own. *)
 
 val generate_options : Testgen.Generate.options
 (** Reduced optimizer budgets used for all fuzz engine runs. *)

@@ -1,0 +1,163 @@
+(** Sparse real matrices with a fixed stamp pattern and sparse LU.
+
+    The sparse counterpart of {!Mat} for modified-nodal-analysis systems
+    beyond a few tens of unknowns.  A matrix is created once from the
+    union of every index pair its stamps can touch (the compile phase of
+    the compile-once/restamp-many hot path); {!add_to} then hits a
+    precompiled CSR slot by binary search, and {!clear} resets the values
+    without touching the pattern.
+
+    The factorization is a right-looking row-major LU with partial
+    pivoting that performs the {e same pivot choices and the same
+    per-entry update sequence} as {!Mat.factor_in_place}, merely skipping
+    the structurally-zero work — so factors, solves and transpose solves
+    are bit-identical to the dense path on any pattern.  That is the
+    contract that lets the dense and sparse backends produce identical
+    detect verdicts and session bytes; it is pinned by the QCheck parity
+    suite.
+
+    Two further layers ride on the factorization:
+    {ul
+    {- {!refactor} — numeric-only refactorization reusing the row
+       pattern, fill and pivot order held from a previous
+       {!factor_in_place} on the same matrix.  A max-pivot guard verifies
+       the held pivot sequence is still what a fresh factorization would
+       choose, so a successful refactor is bit-identical to a fresh
+       factor (and therefore history-independent); a guard miss returns
+       [false] and the caller pays the full symbolic+numeric pass.}
+    {- {!min_degree} / {!permute_sym} — fill-reducing minimum-degree
+       ordering on the symmetrized pattern.  The default solve path keeps
+       the natural MNA ordering (chain-structured macros are already
+       near-banded, and reordering would break cross-backend
+       bit-identity); the ordering layer serves patterns whose natural
+       order fills in catastrophically, and the bench reports its fill
+       savings.}} *)
+
+type t
+(** A square sparse matrix: fixed CSR pattern, mutable values. *)
+
+val create : int -> (int * int) list -> t
+(** [create n entries] is the [n*n] zero matrix whose pattern is the
+    given index pairs (duplicates ignored).
+    @raise Invalid_argument on a negative size or out-of-range pair. *)
+
+val of_dense : Mat.t -> t
+(** Pattern = nonzero entries plus the full diagonal; values copied.
+    @raise Invalid_argument if the matrix is not square. *)
+
+val size : t -> int
+
+val nnz : t -> int
+(** Number of pattern slots (stored entries, zero or not). *)
+
+val clear : t -> unit
+(** Zero all values; the pattern is untouched. *)
+
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j x] increments slot [(i,j)] — the MNA stamp primitive.
+    @raise Invalid_argument if [(i,j)] is outside the pattern. *)
+
+val set : t -> int -> int -> float -> unit
+(** @raise Invalid_argument if [(i,j)] is outside the pattern. *)
+
+val get : t -> int -> int -> float
+(** [0.] for an in-range index pair outside the pattern. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+
+val to_dense : t -> Mat.t
+
+val min_degree : t -> int array
+(** A fill-reducing elimination order of the symmetrized pattern
+    (pattern of [A + A^T]) by the classic greedy minimum-degree rule,
+    smallest index winning ties — deterministic.  [perm.(k)] is the
+    unknown eliminated at step [k]; feed it to {!permute_sym} to factor
+    in that order. *)
+
+val permute_sym : t -> perm:int array -> t
+(** [permute_sym a ~perm] is the symmetrically permuted matrix [b] with
+    [b(i,j) = a(perm.(i), perm.(j))] — pattern and values.  Factoring
+    [b] in natural order factors [a] in the order [perm].
+    @raise Invalid_argument if [perm] is not a permutation of the size. *)
+
+type lu
+(** A sparse LU workspace: packed row-major L\U factor with its pivot
+    permutation, plus the held pattern, fill and column views that
+    {!refactor} and {!solve_transpose_into} replay. *)
+
+val lu_workspace : int -> lu
+(** Preallocates an (unfactored, pattern-less) workspace.  Row storage
+    grows on first factorization and is reused afterwards, so the
+    restamp-many loop settles into zero allocation. *)
+
+val lu_size : lu -> int
+
+val lu_pivots : lu -> int array
+(** The pivot permutation (copied) — same convention as
+    {!Mat.lu_pivots}.  @raise Invalid_argument if unfactored. *)
+
+val factor_in_place : t -> lu -> unit
+(** Full symbolic + numeric factorization: discovers fill, chooses
+    pivots by the dense partial-pivoting rule, and leaves the pattern
+    held for {!refactor}.  Pivot choices, [Singular] payloads and every
+    float of the factor are bit-identical to {!Mat.factor_in_place} on
+    the dense expansion of the matrix.  After a raise the workspace is
+    left unfactored and pattern-less.
+    @raise Mat.Singular if the matrix is numerically singular.
+    @raise Invalid_argument on a size mismatch. *)
+
+val refactor : t -> lu -> bool
+(** [refactor a ws] redoes the numeric factorization on the pattern,
+    fill and pivot order held from a previous {!factor_in_place} —
+    the restamp-many fast path, skipping symbolic analysis and all fill
+    bookkeeping.  The guard re-runs the pivot scan at every step: if the
+    held pivot row is still the one fresh partial pivoting would select,
+    the replay is bit-identical to {!factor_in_place}; otherwise (or on
+    a numerically singular column, or when no pattern is held) it
+    returns [false] without raising, and the caller must fall back to
+    {!factor_in_place}.  Either way the result observable through the
+    solve API is exactly the fresh factorization's — refactorization is
+    a pure optimization, invisible to results. *)
+
+val solve_into : lu -> Vec.t -> Vec.t -> unit
+(** Bit-identical to {!Mat.solve_into} against the dense factorization
+    of the same matrix.
+    @raise Invalid_argument on dimension mismatch, aliasing, or an
+    unfactored workspace. *)
+
+val solve_transpose_into : lu -> Vec.t -> Vec.t -> unit
+(** Bit-identical to {!Mat.solve_transpose_into} — the adjoint
+    primitive, solved through the held column views of L and U.
+    @raise Invalid_argument on dimension mismatch, aliasing, or an
+    unfactored workspace. *)
+
+val lu_blit : src:lu -> dst:lu -> unit
+(** Copy a factorization (values, pattern, pivots, column views) into
+    another workspace of the same size — the continuation hot path's
+    held-factor retention.  Destination storage is grown as needed.
+    @raise Invalid_argument on size mismatch or an unfactored source. *)
+
+type block = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array2.t
+(** A dense block of right-hand sides / solutions: dimensions
+    [n * m] where column [r] is one system.  C layout keeps each
+    unknown's row contiguous across the [m] systems, which is the axis
+    the blocked solve streams over. *)
+
+val solve_block : lu -> b:block -> x:block -> unit
+(** [solve_block ws ~b ~x] solves [A x.(:,r) = b.(:,r)] for every
+    column — one triangular-sweep pass over the factor amortized across
+    all right-hand sides (the batched multi-fault primitive).  Each
+    column's float sequence is identical to {!solve_into} on that
+    column, so blocking is invisible to results.  [b] is untouched.
+    @raise Invalid_argument on dimension mismatch, aliasing, or an
+    unfactored workspace. *)
+
+type stats = {
+  full_factorizations : int;  (** symbolic+numeric passes *)
+  pattern_reuses : int;  (** successful {!refactor} replays *)
+  factor_nnz : int;  (** stored entries of the held L\U factor *)
+}
+
+val stats : lu -> stats
+(** Lifetime counters and current fill of a workspace — the bench and
+    the observability layer read these. *)

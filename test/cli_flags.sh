@@ -27,6 +27,28 @@ reject() {
   fi
 }
 
+# A good invocation must exit zero; stderr is grepped for (or required
+# to be free of) a marker — used for the dense-backend guard note.
+expect_note() {
+  local label="$1" want="$2" pattern="$3"
+  shift 3
+  local err
+  err=$("$atpg" "$@" 2>&1 >/dev/null)
+  local got=$?
+  if [ "$got" -ne 0 ]; then
+    echo "FAIL $label: exited $got: $err" >&2
+    fails=$((fails + 1))
+  elif [ "$want" = yes ] && ! grep -q "$pattern" <<<"$err"; then
+    echo "FAIL $label: expected note matching '$pattern', got: $err" >&2
+    fails=$((fails + 1))
+  elif [ "$want" = no ] && grep -q "$pattern" <<<"$err"; then
+    echo "FAIL $label: unexpected note: $err" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok   $label"
+  fi
+}
+
 reject "--jobs -1"           generate --fast --take 1 --jobs -1
 reject "--jobs garbage"      generate --fast --take 1 --jobs banana
 reject "--max-retries -1"    generate --fast --take 1 --max-retries -1
@@ -38,5 +60,16 @@ reject "--seed garbage"      fuzz --campaigns 1 --seed pi
 reject "--inject-seed junk"  generate --fast --take 1 --inject execute.observables --inject-seed x
 reject "bad --inject spec"   generate --fast --take 1 --inject "no.such.point=2"
 reject "unknown fuzz check"  fuzz --campaigns 1 --check no-such-invariant
+reject "--backend garbage"   op --macro iv --backend banana
+reject "parametric macro 0"  op --macro skc0
+reject "parametric macro big" op --macro rc9999
+reject "sparse on legacy"    generate --fast --take 1 --legacy --backend sparse
+
+# The dense-path guard: a 100+-node macro on the dense backend prints a
+# note suggesting --backend sparse; the sparse backend stays quiet, and
+# small macros never trigger it.
+expect_note "dense guard fires on skc32"  yes "consider --backend sparse" op --macro skc32 --backend dense
+expect_note "no guard on sparse backend"  no  "consider --backend sparse" op --macro skc32 --backend sparse
+expect_note "no guard on small macros"    no  "consider --backend sparse" op --macro iv --backend dense
 
 exit "$fails"

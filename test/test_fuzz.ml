@@ -10,7 +10,10 @@ module Campaign = Fuzz.Campaign
 let spec_in_bounds (s : Scenario.spec) =
   (match s.Scenario.topology with
   | Scenario.Rc_ladder n -> n >= 1 && n <= Macros.Rc_ladder.max_sections
-  | Scenario.Ota | Scenario.Sallen_key -> true)
+  | Scenario.Ota | Scenario.Sallen_key -> true
+  | Scenario.Sk_chain n -> n >= 1 && n <= Macros.Filter_chain.max_stages
+  | Scenario.Ota_cascade n ->
+      n >= 1 && n <= Macros.Filter_chain.max_ota_stages)
   && s.Scenario.fault_count >= 1
   && s.Scenario.bridge_weight >= 0
   && s.Scenario.bridge_weight <= 100
