@@ -972,6 +972,308 @@ let run_adjoint_bench ~fast ~smoke =
    3. The end-to-end generation run on the paper's 55-fault dictionary
       on both backends: detect verdicts and session bytes must be
       identical — gated even in smoke mode. *)
+(* ---------------------------------------------------------------------- *)
+(* serve bench: daemon throughput/latency plus the correctness gates      *)
+(* that make concurrency trustworthy — verdict compatibility with the    *)
+(* one-shot path, injected-session isolation and trace integrity.        *)
+(* ---------------------------------------------------------------------- *)
+
+let run_serve_bench ~smoke =
+  let pid = Unix.getpid () in
+  let socket = Printf.sprintf "/tmp/atpg-sb-%d.sock" pid in
+  let spool = Printf.sprintf "/tmp/atpg-sb-%d.spool" pid in
+  let trace = Printf.sprintf "/tmp/atpg-sb-%d.trace" pid in
+  let budget = 3 in
+  Obs.enable ~trace ();
+  let server =
+    match Serve.Server.start { Serve.Server.socket; budget; spool } with
+    | Ok s -> s
+    | Error m ->
+        Printf.eprintf "serve bench: %s\n%!" m;
+        exit 1
+  in
+  (* the workload: generate requests over several macros and both
+     backends, every one at the fast profile with jobs=1 so the
+     reference runs below pose bit-identical problems *)
+  let base_specs =
+    if smoke then
+      [ ("iv", "dense", 4); ("rc10", "dense", 4); ("rc10", "sparse", 4) ]
+    else
+      [
+        ("iv", "dense", 8);
+        ("iv", "sparse", 8);
+        ("rc10", "dense", 6);
+        ("rc10", "sparse", 6);
+        ("skc8", "dense", 6);
+        ("skc8", "sparse", 6);
+      ]
+  in
+  let repeats = if smoke then 2 else 2 in
+  let specs =
+    List.concat_map (fun s -> List.init repeats (fun _ -> s)) base_specs
+  in
+  let request_json ?(inject = []) ?(seed = 0L) (macro, backend, take) =
+    Serve.Jsonl.Obj
+      ([
+         ("op", Serve.Jsonl.Str "generate");
+         ("macro", Serve.Jsonl.Str macro);
+         ("backend", Serve.Jsonl.Str backend);
+         ("fast", Serve.Jsonl.Bool true);
+         ("take", Serve.Jsonl.Num (float_of_int take));
+         ("jobs", Serve.Jsonl.Num 1.);
+       ]
+      @
+      match inject with
+      | [] -> []
+      | sp ->
+          [
+            ("inject",
+             Serve.Jsonl.List (List.map (fun s -> Serve.Jsonl.Str s) sp));
+            ("inject_seed", Serve.Jsonl.Num (Int64.to_float seed));
+          ])
+  in
+  let queue = Queue.create () in
+  List.iteri (fun i s -> Queue.add (i, s) queue) specs;
+  let qmutex = Mutex.create () in
+  let results =
+    Array.make (List.length specs) (("", "", 0), None, 0.0, "w?")
+  in
+  let worker () =
+    let rec go () =
+      Mutex.lock qmutex;
+      let job = Queue.take_opt queue in
+      Mutex.unlock qmutex;
+      match job with
+      | None -> ()
+      | Some (i, spec) ->
+          let req = Printf.sprintf "w%d" i in
+          let t0 = Unix.gettimeofday () in
+          let reply =
+            match Serve.Client.roundtrip ~socket ~req (request_json spec) with
+            | Ok r -> Some r
+            | Error m ->
+                Printf.eprintf "serve bench: w%d: %s\n%!" i m;
+                None
+          in
+          results.(i) <- (spec, reply, Unix.gettimeofday () -. t0, req);
+          go ()
+    in
+    go ()
+  in
+  prerr_endline "serve bench: workload...";
+  let wall0 = Unix.gettimeofday () in
+  let threads = List.init budget (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. wall0 in
+  (* isolation pair: one injected and one clean request running
+     concurrently on the same problem — the clean verdicts must be
+     unperturbed (this is the de-globalized failpoint seam under real
+     concurrency) *)
+  prerr_endline "serve bench: injected-isolation pair...";
+  let iso_spec = ("rc10", "dense", 4) in
+  let iso_clean = ref None and iso_inj = ref None in
+  let iso_threads =
+    [
+      Thread.create
+        (fun () ->
+          iso_inj :=
+            Result.to_option
+              (Serve.Client.roundtrip ~socket ~req:"iso-inj"
+                 (request_json
+                    ~inject:[ "dc.no_convergence=0.5@3" ]
+                    ~seed:7L iso_spec)))
+        ();
+      Thread.create
+        (fun () ->
+          iso_clean :=
+            Result.to_option
+              (Serve.Client.roundtrip ~socket ~req:"iso-cln"
+                 (request_json iso_spec)))
+        ();
+    ]
+  in
+  List.iter Thread.join iso_threads;
+  Serve.Server.stop server;
+  Obs.shutdown ();
+  (* reference verdicts: the same construction the CLI one-shot path
+     uses, run in-process *)
+  prerr_endline "serve bench: one-shot reference runs...";
+  let reference = Hashtbl.create 8 in
+  let reference_verdicts ((macro_name, backend_str, take) as key) =
+    match Hashtbl.find_opt reference key with
+    | Some v -> v
+    | None ->
+        let backend =
+          if String.equal backend_str "sparse" then Circuit.Mna.Sparse
+          else Circuit.Mna.Dense
+        in
+        let ctx, options =
+          if String.equal macro_name "iv" then
+            (Experiments.Setup.iv ~profile:Execute.fast_profile ~backend (), None)
+          else
+            let macro =
+              match Macros.Registry.find macro_name with
+              | Ok m -> m
+              | Error e ->
+                  Printf.eprintf "serve bench: %s\n%!" e;
+                  exit 1
+            in
+            ( Experiments.Setup.probe ~profile:Execute.fast_profile ~backend
+                ~macro (),
+              Some Experiments.Setup.probe_options )
+        in
+        let ctx = Experiments.Setup.reduced ctx ~n_faults:take in
+        let run =
+          Experiments.Runs.engine_run ?options ~executor:Engine.sequential ctx
+        in
+        let v = Serve.Jsonl.to_string (Serve.Protocol.verdicts_of_run run) in
+        Hashtbl.replace reference key v;
+        v
+  in
+  let verdicts_of_reply reply =
+    Option.bind (Serve.Client.result_event reply) (fun r ->
+        Option.map Serve.Jsonl.to_string (Serve.Jsonl.member "verdicts" r))
+  in
+  let total = Array.length results in
+  let completed = ref 0 and matched = ref 0 and dropped = ref 0 in
+  let latencies = ref [] in
+  Array.iter
+    (fun (spec, reply, dt, req) ->
+      match reply with
+      | None -> incr dropped
+      | Some reply -> (
+          let accepted =
+            List.exists
+              (fun e -> Serve.Jsonl.str_member "ev" e = Some "accepted")
+              reply.Serve.Client.events
+          in
+          let has_done =
+            List.exists
+              (fun e -> Serve.Jsonl.str_member "ev" e = Some "done")
+              reply.Serve.Client.events
+          in
+          if accepted && not has_done then incr dropped
+          else begin
+            incr completed;
+            latencies := dt :: !latencies;
+            match verdicts_of_reply reply with
+            | None ->
+                Printf.eprintf "serve bench: %s: no verdicts in result\n%!" req
+            | Some v ->
+                if String.equal v (reference_verdicts spec) then incr matched
+                else
+                  Printf.eprintf "serve bench: %s: verdicts diverge\n%!" req
+          end))
+    results;
+  let verdict_compat =
+    if !completed = 0 then 0.0
+    else float_of_int !matched /. float_of_int !completed
+  in
+  let iso_ok =
+    match (!iso_clean, !iso_inj) with
+    | Some clean, Some inj ->
+        (match verdicts_of_reply clean with
+        | Some v -> String.equal v (reference_verdicts iso_spec)
+        | None -> false)
+        && (inj.Serve.Client.status = 0 || inj.Serve.Client.status = 3)
+    | _ -> false
+  in
+  (* trace integrity: every request-tagged span in the daemon's trace
+     names a request we actually sent, and the concurrent phases left
+     spans from more than one request *)
+  let expected_reqs =
+    "iso-inj" :: "iso-cln"
+    :: List.init total (fun i -> Printf.sprintf "w%d" i)
+  in
+  let tagged = Hashtbl.create 16 in
+  let foreign = ref 0 in
+  (try
+     let ic = open_in trace in
+     (try
+        while true do
+          let line = input_line ic in
+          match Serve.Jsonl.of_string line with
+          | Ok json -> (
+              match Serve.Jsonl.str_member "req" json with
+              | Some r ->
+                  if List.mem r expected_reqs then
+                    Hashtbl.replace tagged r ()
+                  else incr foreign
+              | None -> ())
+          | Error _ -> ()
+        done
+      with End_of_file -> ());
+     close_in ic
+   with Sys_error _ -> ());
+  let trace_integrity = !foreign = 0 && Hashtbl.length tagged >= 2 in
+  let percentile q =
+    match List.sort Float.compare !latencies with
+    | [] -> Float.nan
+    | sorted ->
+        let arr = Array.of_list sorted in
+        let n = Array.length arr in
+        arr.(Int.min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+  in
+  let p50 = percentile 0.50 *. 1000. in
+  let p95 = percentile 0.95 *. 1000. in
+  let p99 = percentile 0.99 *. 1000. in
+  let throughput = float_of_int !completed /. Float.max 1e-9 wall in
+  let stats = Serve.Server.stats server in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"provenance\": %s,\n" (provenance_json ()));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"config\": {\"smoke\": %b, \"budget\": %d, \"requests\": %d, \
+        \"schema\": \"%s\"},\n"
+       smoke budget total Serve.Protocol.schema);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"requests\": %d,\n  \"completed\": %d,\n  \
+        \"dropped_but_accepted\": %d,\n  \"accepted\": %d,\n  \
+        \"rejected\": %d,\n"
+       total !completed !dropped stats.Serve.Server.st_accepted
+       stats.Serve.Server.st_rejected);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"wall_seconds\": %.3f,\n  \"throughput_rps\": %.3f,\n"
+       wall throughput);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f},\n"
+       p50 p95 p99);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"verdict_compat\": %.4f,\n  \"verdict_pairs\": %d,\n"
+       verdict_compat !completed);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"injected_isolation\": %b,\n  \"trace_integrity\": %b\n}\n"
+       iso_ok trace_integrity);
+  let path = "BENCH_serve.json" in
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ trace ];
+  Printf.eprintf
+    "serve bench: %d/%d completed, p50 %.1f ms, p99 %.1f ms, %.2f req/s, \
+     verdict compat %.4f; wrote %s\n%!"
+    !completed total p50 p99 throughput verdict_compat path;
+  let fail msg =
+    Printf.eprintf "serve bench: FAIL %s\n%!" msg;
+    exit 1
+  in
+  if !dropped > 0 then
+    fail (Printf.sprintf "%d accepted request(s) dropped" !dropped);
+  if verdict_compat < 1.0 then
+    fail (Printf.sprintf "verdict compat %.4f below 1.0" verdict_compat);
+  if not iso_ok then fail "injected session perturbed a concurrent clean one";
+  if not trace_integrity then fail "trace integrity violated";
+  if not (Float.is_finite p99) then fail "p99 latency missing"
+
 let run_sparse_bench ~fast ~smoke =
   let profile =
     if fast then Execute.fast_profile else Execute.default_profile
@@ -1207,7 +1509,9 @@ let () =
   let fuzz = Array.exists (String.equal "--fuzz") Sys.argv in
   let adjoint = Array.exists (String.equal "--adjoint") Sys.argv in
   let sparse = Array.exists (String.equal "--sparse") Sys.argv in
-  if sparse then run_sparse_bench ~fast ~smoke
+  let serve = Array.exists (String.equal "--serve") Sys.argv in
+  if serve then run_serve_bench ~smoke
+  else if sparse then run_sparse_bench ~fast ~smoke
   else if adjoint then run_adjoint_bench ~fast ~smoke
   else if fuzz then run_fuzz_bench ~smoke
   else if impact then run_impact_bench ~fast ~smoke

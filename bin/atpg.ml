@@ -3,37 +3,7 @@
 open Cmdliner
 open Testgen
 
-let parametric_macro name ~prefix ~make =
-  let n = String.length prefix in
-  if String.length name > n && String.sub name 0 n = prefix then
-    match int_of_string_opt (String.sub name n (String.length name - n)) with
-    | Some k -> ( try Some (Ok (make k)) with Invalid_argument e -> Some (Error e))
-    | None -> None
-  else None
-
-let macro_of_name name =
-  match name with
-  | "iv" -> Ok Macros.Iv_converter.macro
-  | "ota" -> Ok Macros.Ota.macro
-  | "sk" -> Ok Macros.Sallen_key.macro
-  | other -> (
-      let families =
-        [
-          parametric_macro other ~prefix:"rc" ~make:(fun n ->
-              Macros.Rc_ladder.macro ~sections:n);
-          parametric_macro other ~prefix:"skc" ~make:(fun n ->
-              Macros.Filter_chain.sk_chain ~stages:n);
-          parametric_macro other ~prefix:"otac" ~make:(fun n ->
-              Macros.Filter_chain.ota_cascade ~stages:n);
-        ]
-      in
-      match List.find_map Fun.id families with
-      | Some r -> r
-      | None ->
-          Error
-            (Printf.sprintf
-               "unknown macro %S (try iv, ota, sk, rc<N>, skc<N> or otac<N>)"
-               other))
+let macro_of_name = Macros.Registry.find
 
 let macro_arg =
   let doc =
@@ -57,21 +27,10 @@ let backend_arg =
         Circuit.Mna.Dense
     & info [ "backend" ] ~docv:"BACKEND" ~doc)
 
-(* Above this node count a dense factorization is paying O(n^3) per
-   Newton step for a matrix that is almost all structural zeros. *)
-let dense_guard_nodes = 48
-
 let warn_dense_backend ~backend nl =
-  if backend = Circuit.Mna.Dense then begin
-    let nodes = List.length (Circuit.Netlist.nodes nl) in
-    if nodes > dense_guard_nodes then
-      Printf.eprintf
-        "atpg: note: netlist has %d nodes (> %d) on the dense backend; \
-         dense LU is O(n^3) per factorization — consider --backend sparse \
-         (bit-identical results)\n\
-         %!"
-        nodes dense_guard_nodes
-  end
+  match Circuit.Mna.dense_guard_note ~backend nl with
+  | Some note -> Printf.eprintf "atpg: note: %s\n%!" note
+  | None -> ()
 
 let fast_arg =
   let doc = "Use the fast execution profile (coarser THD windows)." in
@@ -363,6 +322,26 @@ let iv_context ?(legacy = false) ?(continuation = false)
   Experiments.Setup.iv ~profile:(profile_of fast)
     ~mode:(if legacy then `Legacy else `Compiled)
     ~continuation ~backend ()
+
+(* Generation context for any --macro: the IV-converter gets the paper's
+   calibrated setup, every other macro the deterministic probe context.
+   Identical construction to Serve.Server's context cache, so the serve
+   and one-shot paths pose bit-identical problems (the basis of the
+   bench's verdict-compatibility gate). *)
+let generation_context ?(legacy = false) ?(continuation = false)
+    ?(backend = Circuit.Mna.Dense) ~macro_name ~fast () =
+  match macro_of_name macro_name with
+  | Error e -> Error e
+  | Ok macro ->
+      warn_dense_backend ~backend (Macros.Macro.nominal_netlist macro);
+      if String.equal macro_name "iv" then
+        Ok (iv_context ~legacy ~continuation ~backend ~fast (), None)
+      else
+        Ok
+          ( Experiments.Setup.probe ~profile:(profile_of fast)
+              ~mode:(if legacy then `Legacy else `Compiled)
+              ~continuation ~backend ~macro (),
+            Some Experiments.Setup.probe_options )
 
 let progress ~done_ ~total ~fault_id =
   Printf.eprintf "  [%2d/%2d] %s\n%!" done_ total fault_id
@@ -686,7 +665,7 @@ let grad_arg =
   Arg.(value & flag & info [ "grad" ] ~doc)
 
 let generate_cmd =
-  let run fast fault_id take save max_retries fail_fast resume inject
+  let run fast macro fault_id take save max_retries fail_fast resume inject
       inject_seed jobs legacy continuation grad backend trace =
     if legacy && continuation then begin
       prerr_endline "atpg: --continuation requires the compiled path";
@@ -706,35 +685,50 @@ let generate_cmd =
         1
     | Ok specs ->
         with_trace trace (fun () ->
-            (* calibrate the context first: injection targets the resilient
+            (* build the context first: injection targets the resilient
                generation run, not the tolerance-box setup *)
-            let ctx = iv_context ~legacy ~continuation ~backend ~fast () in
-            Numerics.Failpoint.configure ~seed:inject_seed specs;
-            Fun.protect ~finally:Numerics.Failpoint.disable (fun () ->
-                let policy = policy_of ~max_retries ~fail_fast in
-                match fault_id with
-                | Some fid ->
-                    print_string (Experiments.Runs.fig6 ~fault_id:fid ctx);
-                    0
-                | None -> begin
-                    let options =
-                      if grad then
-                        Some { Generate.default_options with use_gradient = true }
-                      else None
-                    in
-                    match
-                      run_or_load ?options ~policy ?resume
-                        ~executor:(executor_of jobs) ctx ~load:None ~take
-                    with
-                    | Error code -> code
-                    | Ok run_result ->
-                        print_string (Experiments.Runs.tab2 ctx run_result);
-                        finish_run ?save run_result
-                    | exception Engine.Fault_failure d ->
-                        Format.eprintf "fail-fast: %a@."
-                          Resilience.pp_diagnosis d;
-                        Engine.exit_fail_fast
-                  end))
+            match
+              generation_context ~legacy ~continuation ~backend
+                ~macro_name:macro ~fast ()
+            with
+            | Error e ->
+                prerr_endline e;
+                1
+            | Ok (ctx, ctx_options) ->
+                Numerics.Failpoint.configure ~seed:inject_seed specs;
+                Fun.protect ~finally:Numerics.Failpoint.disable (fun () ->
+                    let policy = policy_of ~max_retries ~fail_fast in
+                    match fault_id with
+                    | Some fid ->
+                        print_string (Experiments.Runs.fig6 ~fault_id:fid ctx);
+                        0
+                    | None -> begin
+                        let options =
+                          match (ctx_options, grad) with
+                          | None, false -> None
+                          | Some o, false -> Some o
+                          | None, true ->
+                              Some
+                                {
+                                  Generate.default_options with
+                                  use_gradient = true;
+                                }
+                          | Some o, true ->
+                              Some { o with Generate.use_gradient = true }
+                        in
+                        match
+                          run_or_load ?options ~policy ?resume
+                            ~executor:(executor_of jobs) ctx ~load:None ~take
+                        with
+                        | Error code -> code
+                        | Ok run_result ->
+                            print_string (Experiments.Runs.tab2 ctx run_result);
+                            finish_run ?save run_result
+                        | exception Engine.Fault_failure d ->
+                            Format.eprintf "fail-fast: %a@."
+                              Resilience.pp_diagnosis d;
+                            Engine.exit_fail_fast
+                      end))
   in
   let fault_arg =
     Arg.(
@@ -747,29 +741,34 @@ let generate_cmd =
     (Cmd.info "generate"
        ~doc:"Run fault-specific test generation (paper sec. 3).")
     Term.(
-      const run $ fast_arg $ fault_arg $ take_arg $ save_arg $ max_retries_arg
-      $ fail_fast_arg $ resume_arg $ inject_arg $ inject_seed_arg $ jobs_arg
-      $ legacy_eval_arg $ continuation_arg $ grad_arg $ backend_arg
-      $ trace_arg)
+      const run $ fast_arg $ macro_arg $ fault_arg $ take_arg $ save_arg
+      $ max_retries_arg $ fail_fast_arg $ resume_arg $ inject_arg
+      $ inject_seed_arg $ jobs_arg $ legacy_eval_arg $ continuation_arg
+      $ grad_arg $ backend_arg $ trace_arg)
 
 let compact_cmd =
-  let run fast take delta load save max_retries fail_fast resume jobs trace =
+  let run fast macro backend take delta load save max_retries fail_fast resume
+      jobs trace =
     with_trace trace (fun () ->
-        let ctx = iv_context ~fast () in
-        let policy = policy_of ~max_retries ~fail_fast in
-        match
-          run_or_load ~policy ?resume ~executor:(executor_of jobs) ctx ~load
-            ~take
-        with
-        | Error code -> code
-        | Ok run_result ->
-            print_string (Experiments.Runs.tab2 ctx run_result);
-            print_newline ();
-            print_string (Experiments.Runs.tab4 ~delta ctx run_result);
-            finish_run ?save run_result
-        | exception Engine.Fault_failure d ->
-            Format.eprintf "fail-fast: %a@." Resilience.pp_diagnosis d;
-            Engine.exit_fail_fast)
+        match generation_context ~backend ~macro_name:macro ~fast () with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok (ctx, options) -> (
+            let policy = policy_of ~max_retries ~fail_fast in
+            match
+              run_or_load ?options ~policy ?resume
+                ~executor:(executor_of jobs) ctx ~load ~take
+            with
+            | Error code -> code
+            | Ok run_result ->
+                print_string (Experiments.Runs.tab2 ctx run_result);
+                print_newline ();
+                print_string (Experiments.Runs.tab4 ~delta ctx run_result);
+                finish_run ?save run_result
+            | exception Engine.Fault_failure d ->
+                Format.eprintf "fail-fast: %a@." Resilience.pp_diagnosis d;
+                Engine.exit_fail_fast))
   in
   let delta_arg =
     Arg.(
@@ -782,29 +781,36 @@ let compact_cmd =
        ~doc:"Generate (or --load) and collapse the compact test set \
              (paper sec. 4).")
     Term.(
-      const run $ fast_arg $ take_arg $ delta_arg $ load_arg $ save_arg
-      $ max_retries_arg $ fail_fast_arg $ resume_arg $ jobs_arg $ trace_arg)
+      const run $ fast_arg $ macro_arg $ backend_arg $ take_arg $ delta_arg
+      $ load_arg $ save_arg $ max_retries_arg $ fail_fast_arg $ resume_arg
+      $ jobs_arg $ trace_arg)
 
 let baseline_cmd =
-  let run fast take jobs trace =
+  let run fast macro backend take jobs trace =
     with_trace trace (fun () ->
-        let ctx = iv_context ~fast () in
-        let ctx =
-          match take with
-          | Some n -> Experiments.Setup.reduced ctx ~n_faults:n
-          | None -> ctx
-        in
-        let run_result =
-          Experiments.Runs.engine_run ~progress ~executor:(executor_of jobs)
-            ctx
-        in
-        print_string (Experiments.Runs.xbase ctx run_result);
-        Engine.exit_status run_result)
+        match generation_context ~backend ~macro_name:macro ~fast () with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok (ctx, options) ->
+            let ctx =
+              match take with
+              | Some n -> Experiments.Setup.reduced ctx ~n_faults:n
+              | None -> ctx
+            in
+            let run_result =
+              Experiments.Runs.engine_run ~progress ?options
+                ~executor:(executor_of jobs) ctx
+            in
+            print_string (Experiments.Runs.xbase ctx run_result);
+            Engine.exit_status run_result)
   in
   Cmd.v
     (Cmd.info "baseline"
        ~doc:"Compare optimized generation against fixed-seed selection.")
-    Term.(const run $ fast_arg $ take_arg $ jobs_arg $ trace_arg)
+    Term.(
+      const run $ fast_arg $ macro_arg $ backend_arg $ take_arg $ jobs_arg
+      $ trace_arg)
 
 (* -- profile ------------------------------------------------------------ *)
 
@@ -1031,7 +1037,8 @@ let fuzz_cmd =
         let progress ~campaign ~total =
           Printf.eprintf "\rcampaign %d/%d%!" (campaign + 1) total
         in
-        let result = Fuzz.Campaign.run ~progress options in
+        let note n = Printf.eprintf "\ratpg: note: %s\n%!" n in
+        let result = Fuzz.Campaign.run ~progress ~note options in
         prerr_newline ();
         (match result with
         | Error m ->
@@ -1124,6 +1131,148 @@ let fuzz_cmd =
       const run $ campaigns_arg $ seed_arg $ jobs_arg $ inject_arg $ checks_arg
       $ self_test_arg $ json_arg)
 
+(* -- serve / client ----------------------------------------------------- *)
+
+let socket_arg =
+  let doc = "Unix domain socket path of the daemon." in
+  Arg.(
+    value
+    & opt string Serve.Server.default_options.Serve.Server.socket
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let run socket budget spool trace =
+    with_trace trace (fun () ->
+        match Serve.Server.start { Serve.Server.socket; budget; spool } with
+        | Error m ->
+            prerr_endline m;
+            1
+        | Ok server ->
+            Serve.Server.install_sigterm server;
+            Printf.eprintf
+              "atpg: serving %s on %s (budget %d, spool %s); SIGTERM drains\n%!"
+              Serve.Protocol.schema socket budget spool;
+            Serve.Server.wait server;
+            let s = Serve.Server.stats server in
+            Printf.eprintf
+              "atpg: drained after %d accepted / %d rejected request(s)\n%!"
+              s.Serve.Server.st_accepted s.Serve.Server.st_rejected;
+            0)
+  in
+  let budget_arg =
+    let doc =
+      "Admission budget: work requests admitted concurrently; requests \
+       beyond it are rejected immediately (HTTP-style 429 on the wire, \
+       client exit code 6)."
+    in
+    Arg.(
+      value
+      & opt
+          (bounded_int ~what:"--budget" ~min:1 ())
+          Serve.Server.default_options.Serve.Server.budget
+      & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let spool_arg =
+    let doc = "Directory for named session checkpoint files." in
+    Arg.(
+      value
+      & opt string Serve.Server.default_options.Serve.Server.spool
+      & info [ "spool" ] ~docv:"DIR" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the ATPG daemon: concurrent generation sessions over a Unix \
+          domain socket (JSONL protocol atpg-serve/1).")
+    Term.(const run $ socket_arg $ budget_arg $ spool_arg $ trace_arg)
+
+let client_cmd =
+  let run socket op req_id macro backend fast take jobs delta inject
+      inject_seed session linger_ms =
+    let maybe name v f = match v with Some x -> [ (name, f x) ] | None -> [] in
+    let request =
+      Serve.Jsonl.Obj
+        ([
+           ("op", Serve.Jsonl.Str op);
+           ("macro", Serve.Jsonl.Str macro);
+           ("backend",
+            Serve.Jsonl.Str (Serve.Protocol.backend_to_string backend));
+           ("fast", Serve.Jsonl.Bool fast);
+           ("jobs", Serve.Jsonl.Num (float_of_int jobs));
+           ("delta", Serve.Jsonl.Num delta);
+           ("inject_seed", Serve.Jsonl.Num (Int64.to_float inject_seed));
+         ]
+        @ maybe "take" take (fun n -> Serve.Jsonl.Num (float_of_int n))
+        @ maybe "session" session (fun s -> Serve.Jsonl.Str s)
+        @ (if linger_ms > 0 then
+             [ ("linger_ms", Serve.Jsonl.Num (float_of_int linger_ms)) ]
+           else [])
+        @
+        match inject with
+        | [] -> []
+        | specs ->
+            [
+              ("inject",
+               Serve.Jsonl.List
+                 (List.map (fun s -> Serve.Jsonl.Str s) specs));
+            ])
+    in
+    match
+      Serve.Client.roundtrip
+        ~on_event:(fun e -> print_endline (Serve.Jsonl.to_string e))
+        ~socket ~req:req_id request
+    with
+    | Error m ->
+        prerr_endline m;
+        1
+    | Ok reply -> reply.Serve.Client.status
+  in
+  let op_arg =
+    let doc =
+      "Operation: $(b,ping), $(b,stats), $(b,profile), $(b,op), \
+       $(b,generate), $(b,compact) or $(b,baseline)."
+    in
+    Arg.(value & pos 0 string "ping" & info [] ~docv:"OP" ~doc)
+  in
+  let req_arg =
+    let doc = "Correlation id stamped on every response line." in
+    Arg.(value & opt string "cli" & info [ "req" ] ~docv:"ID" ~doc)
+  in
+  let session_arg =
+    let doc =
+      "Named server-side session: the run checkpoints into the daemon's \
+       spool under this name, a drain interrupts it cleanly (client exit \
+       code 7) and resending the same name resumes it."
+    in
+    Arg.(value & opt (some string) None & info [ "session" ] ~docv:"NAME" ~doc)
+  in
+  let delta_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "delta" ] ~docv:"D"
+          ~doc:"Compaction sensitivity-loss budget (compact op).")
+  in
+  let linger_arg =
+    let doc =
+      "Hold an admission slot for $(docv) milliseconds on a ping \
+       (deterministic budget filling for tests)."
+    in
+    Arg.(
+      value
+      & opt (bounded_int ~what:"--linger-ms" ~min:0 ()) 0
+      & info [ "linger-ms" ] ~docv:"MS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running atpg daemon and stream its \
+          response events (exit code mirrors the daemon's verdict: 6 \
+          rejected, 7 drained).")
+    Term.(
+      const run $ socket_arg $ op_arg $ req_arg $ macro_arg $ backend_arg
+      $ fast_arg $ take_arg $ jobs_arg $ delta_arg $ inject_arg
+      $ inject_seed_arg $ session_arg $ linger_arg)
+
 let main_cmd =
   let doc =
     "structural test generation for analog macros (Kaal & Kerkhoff, 1997)"
@@ -1144,6 +1293,8 @@ let main_cmd =
       profile_cmd;
       experiment_cmd;
       fuzz_cmd;
+      serve_cmd;
+      client_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -97,6 +97,24 @@ let plan_pattern ~size ~stamp_plan =
     stamp_plan;
   !acc
 
+(* Above this node count a dense factorization is paying O(n^3) per
+   Newton step for a matrix that is almost all structural zeros. *)
+let dense_guard_nodes = 48
+
+let dense_guard_note ?(backend = Dense) nl =
+  match backend with
+  | Sparse -> None
+  | Dense ->
+      let nodes = List.length (Netlist.nodes nl) in
+      if nodes > dense_guard_nodes then
+        Some
+          (Printf.sprintf
+             "netlist has %d nodes (> %d) on the dense backend; dense LU is \
+              O(n^3) per factorization — consider --backend sparse \
+              (bit-identical results)"
+             nodes dense_guard_nodes)
+      else None
+
 let build ?(backend = Dense) nl =
   (match Netlist.connectivity_check nl with
   | Ok () -> ()

@@ -22,6 +22,17 @@ val build : ?backend:backend -> Netlist.t -> t
     @raise Invalid_argument if the netlist fails
     {!Netlist.connectivity_check}. *)
 
+val dense_guard_nodes : int
+(** Node count above which dense LU is a measurably poor fit (48). *)
+
+val dense_guard_note : ?backend:backend -> Netlist.t -> string option
+(** [Some note] when [backend] is [Dense] and the netlist exceeds
+    {!dense_guard_nodes} nodes — the advisory every entry path accepting
+    a backend choice (CLI subcommands, fuzz campaigns, the serve
+    daemon) must surface, so no route silently runs a 100+-node macro
+    on dense LU.  [None] on [Sparse] or small netlists.  Advisory only:
+    results are bit-identical across backends either way. *)
+
 val backend : t -> backend
 val netlist : t -> Netlist.t
 val n_nodes : t -> int

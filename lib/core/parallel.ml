@@ -35,7 +35,21 @@ let fan_out ~jobs ~make_ctx ~f ~emit n =
     let mutex = Mutex.create () in
     let filled = Condition.create () in
     let slots = Array.make n None in
+    (* Session context crosses the spawn: worker domains obey the
+       spawning domain's injection override (a served session's private
+       --inject config) and stamp their spans with its request id.  With
+       no override and no request both wrappers are identity, so the
+       one-shot CLI path is untouched. *)
+    let fp_snapshot = Numerics.Failpoint.snapshot () in
+    let req = Obs.current_request () in
+    let in_session body =
+      Numerics.Failpoint.with_snapshot fp_snapshot (fun () ->
+          match req with
+          | None -> body ()
+          | Some id -> Obs.with_request id body)
+    in
     let worker () =
+      in_session @@ fun () ->
       let ctx = make_ctx () in
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in

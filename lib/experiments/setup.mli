@@ -47,6 +47,31 @@ val iv :
 (** The paper's experiment: IV-converter macro with configurations
     #1..#5 and the 55-fault dictionary. *)
 
+val probe :
+  ?profile:Testgen.Execute.profile ->
+  ?mode:Testgen.Evaluator.mode ->
+  ?continuation:bool ->
+  ?backend:Circuit.Mna.backend ->
+  ?configs:int ->
+  ?levels:int ->
+  ?floor:float ->
+  macro:Macros.Macro.t ->
+  unit ->
+  t
+(** A deterministic generic context for {e any} macro: [configs]
+    (default 3) DC-level test configurations in half-span windows slid
+    across the macro family's stimulus range, [levels] (default 2) DC
+    levels per configuration, floor-only tolerance boxes at [floor]
+    volts (default 1e-3) and the fast execution profile.  No corner
+    calibration and no random draws — the context is a pure function of
+    [(macro, configs, levels, floor, backend)], so the CLI one-shot path
+    and the serve daemon construct bit-identical problems from a macro
+    name.  Use {!probe_options} for engine runs over probe contexts. *)
+
+val probe_options : Testgen.Generate.options
+(** Reduced optimizer budgets (coarse brackets, 1e-2 tolerance, short
+    impact walks) matched to {!probe}'s floor-only boxes. *)
+
 val evaluator : t -> int -> Testgen.Evaluator.t
 (** By configuration id.  @raise Not_found if absent. *)
 

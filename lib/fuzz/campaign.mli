@@ -6,13 +6,16 @@
     greedily shrunk ({!Scenario.shrink}) to the smallest spec that still
     trips it before being reported.
 
-    Campaigns are sequential by construction: the failure-injection
-    configuration is process-global, so only one scenario is in flight
-    at a time.  [jobs] instead selects the engine executor width used
-    {e inside} the parallel invariants — and because engine runs are
-    bit-identical across job counts, the whole report is a pure function
-    of [(options)], byte-deterministic for a fixed seed at any [jobs]
-    value. *)
+    Campaigns run sequentially for reproducible shrink order, but they
+    no longer {e have} to be the only injected work in the process: the
+    failure-injection configuration is scoped to the running domain
+    ({!Numerics.Failpoint.with_config}), so concurrent sessions with
+    different [--inject] specs — e.g. several requests inside the serve
+    daemon — cannot corrupt each other's failure schedules.  [jobs]
+    selects the engine executor width used {e inside} the parallel
+    invariants — and because engine runs are bit-identical across job
+    counts, the whole report is a pure function of [(options)],
+    byte-deterministic for a fixed seed at any [jobs] value. *)
 
 type options = {
   campaigns : int;  (** scenarios to draw, >= 1 *)
@@ -50,6 +53,9 @@ type report = {
   r_scenarios : int;
   r_dense_scenarios : int;  (** scenarios drawn on the dense backend *)
   r_sparse_scenarios : int;  (** scenarios drawn on the sparse backend *)
+  r_dense_guard_notes : int;
+      (** dense scenarios large enough to trip
+          {!Circuit.Mna.dense_guard_note} *)
   r_build_failures : int;  (** scenarios whose build or base run raised *)
   r_checks_run : int;
   r_checks_passed : int;
@@ -60,11 +66,15 @@ type report = {
 
 val run :
   ?progress:(campaign:int -> total:int -> unit) ->
+  ?note:(string -> unit) ->
   options ->
   (report, string) result
 (** Run the campaigns.  [Error] only on invalid options (an unknown
     invariant name in [checks]); invariant violations are reported in
-    the result, not as an error. *)
+    the result, not as an error.  [note] receives advisory messages
+    (currently the {!Circuit.Mna.dense_guard_note} for oversized dense
+    scenarios); it defaults to dropping them — the CLI forwards them to
+    stderr. *)
 
 val clean : report -> bool
 (** No violations and no build failures. *)

@@ -239,7 +239,7 @@ let crash_safety ctx =
                   let count = ref 0 in
                   let checkpoint r =
                     if !count = tear_at then
-                      Numerics.Failpoint.configure ~seed:ctx.inject_seed
+                      Numerics.Failpoint.configure_local ~seed:ctx.inject_seed
                         [ Numerics.Failpoint.fail_always "session.torn_write" ];
                     incr count;
                     Session.checkpoint_append ck r
@@ -249,7 +249,7 @@ let crash_safety ctx =
                     | (_ : Engine.run) -> false
                     | exception Session.Torn_write -> true
                   in
-                  Numerics.Failpoint.disable ();
+                  Numerics.Failpoint.disable_local ();
                   if torn then Session.checkpoint_abort ck
                   else Session.checkpoint_close ck;
                   if (not torn) && tear_at < size then

@@ -1,6 +1,9 @@
 open Circuit
 
-let max_sections = 8
+(* Ladders beyond ~46 sections cross the dense-backend size guard
+   (Mna.dense_guard_nodes); the sparse backend handles them well, so the
+   cap only bounds the quadratic fault-dictionary growth. *)
+let max_sections = 64
 
 let node i = if i = 0 then "in" else Printf.sprintf "n%d" i
 

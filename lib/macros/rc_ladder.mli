@@ -9,7 +9,9 @@
     [sections]. *)
 
 val max_sections : int
-(** Upper bound on [sections] (8), keeping fuzzed universes tractable. *)
+(** Upper bound on [sections] (64), keeping fault universes tractable —
+    the quadratic bridge dictionary, not the linear solve, is the cost
+    that grows. *)
 
 val cutoff_hz : sections:int -> float
 (** Per-section pole frequency, [1 / (2 pi R C)]. *)

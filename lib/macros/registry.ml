@@ -1,0 +1,36 @@
+(* Name-to-macro resolution shared by every front end (CLI subcommands,
+   the serve daemon, tests), so "rc10" means the same circuit on every
+   route. *)
+
+let parametric name ~prefix ~make =
+  let n = String.length prefix in
+  if String.length name > n && String.sub name 0 n = prefix then
+    match int_of_string_opt (String.sub name n (String.length name - n)) with
+    | Some k -> (
+        try Some (Ok (make k)) with Invalid_argument e -> Some (Error e))
+    | None -> None
+  else None
+
+let find name =
+  match name with
+  | "iv" -> Ok Iv_converter.macro
+  | "ota" -> Ok Ota.macro
+  | "sk" -> Ok Sallen_key.macro
+  | other -> (
+      let families =
+        [
+          parametric other ~prefix:"rc" ~make:(fun n ->
+              Rc_ladder.macro ~sections:n);
+          parametric other ~prefix:"skc" ~make:(fun n ->
+              Filter_chain.sk_chain ~stages:n);
+          parametric other ~prefix:"otac" ~make:(fun n ->
+              Filter_chain.ota_cascade ~stages:n);
+        ]
+      in
+      match List.find_map Fun.id families with
+      | Some r -> r
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown macro %S (try iv, ota, sk, rc<N>, skc<N> or otac<N>)"
+               other))

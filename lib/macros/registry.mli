@@ -1,0 +1,11 @@
+(** Macro lookup by CLI name.
+
+    One registry resolves the macro vocabulary everywhere a name crosses
+    a process boundary — CLI flags, serve-protocol requests, test
+    scripts — so ["rc10"] denotes the same circuit on every route. *)
+
+val find : string -> (Macro.t, string) result
+(** Fixed names [iv] / [ota] / [sk], plus the parametric families
+    [rc<N>] (RC ladder), [skc<N>] (Sallen-Key filter chain) and
+    [otac<N>] (OTA cascade).  [Error] carries a user-facing diagnostic
+    for unknown names or out-of-range family sizes. *)

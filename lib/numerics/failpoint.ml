@@ -58,6 +58,12 @@ type config = { seed : int64; specs : spec list; generation : int }
 let root_config = { seed = 0L; specs = []; generation = 0 }
 let current : config Atomic.t = Atomic.make root_config
 let enabled = Atomic.make false
+
+(* Number of domains currently carrying a local (session-scoped) config
+   override.  The production fast path checks [enabled] and this counter
+   — two atomic loads — before touching any domain-local state, so a
+   process that never injects pays nothing for session scoping. *)
+let local_overrides = Atomic.make 0
 let generations = Atomic.make 1
 
 type site = {
@@ -71,11 +77,19 @@ type state = {
   mutable st_generation : int;
   mutable st_scope : string option;
   mutable st_sites : (string, site) Hashtbl.t;
+  mutable st_local : config option;
+      (* session-scoped override: when set, this domain ignores the
+         process-global configuration entirely *)
 }
 
 let dls : state Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { st_generation = -1; st_scope = None; st_sites = Hashtbl.create 8 })
+      {
+        st_generation = -1;
+        st_scope = None;
+        st_sites = Hashtbl.create 8;
+        st_local = None;
+      })
 
 (* Distinct points get distinct Rng streams for any seed; inside a scope
    the stream additionally depends on the scope key, so the failure
@@ -94,30 +108,130 @@ let build_sites cfg scope =
     cfg.specs;
   tbl
 
+(* The configuration this domain obeys: its local override when one is
+   installed, the process-global value otherwise. *)
+let effective_config st =
+  match st.st_local with Some cfg -> cfg | None -> Atomic.get current
+
 let refresh () =
   let st = Domain.DLS.get dls in
-  let cfg = Atomic.get current in
+  let cfg = effective_config st in
   if st.st_generation <> cfg.generation then begin
     st.st_generation <- cfg.generation;
     st.st_sites <- build_sites cfg st.st_scope
   end;
   st
 
-let configure ?(seed = 0L) specs =
+let validate_specs who specs =
   List.iter
     (fun spec ->
       if spec.probability < 0. || spec.probability > 1. then
         invalid_arg
-          (Printf.sprintf "Failpoint.configure: %s: probability %g outside [0, 1]"
-             spec.point spec.probability))
-    specs;
+          (Printf.sprintf "Failpoint.%s: %s: probability %g outside [0, 1]"
+             who spec.point spec.probability))
+    specs
+
+let configure ?(seed = 0L) specs =
+  validate_specs "configure" specs;
   let generation = Atomic.fetch_and_add generations 1 in
   Atomic.set current { seed; specs; generation };
   Atomic.set enabled (specs <> [])
 
 let disable () = configure []
 
-let active () = Atomic.get enabled
+(* Install / remove this domain's local override.  The bracket
+   [with_config] below saves and restores the whole override slot, so an
+   inner [configure_local] is undone at bracket exit. *)
+let install_local st cfg =
+  (match st.st_local with
+  | None -> ignore (Atomic.fetch_and_add local_overrides 1)
+  | Some _ -> ());
+  st.st_local <- Some cfg;
+  st.st_generation <- cfg.generation;
+  st.st_scope <- None;
+  st.st_sites <- build_sites cfg None
+
+let remove_local st =
+  match st.st_local with
+  | None -> ()
+  | Some _ ->
+      ignore (Atomic.fetch_and_add local_overrides (-1));
+      st.st_local <- None;
+      (* force a rebuild from the global configuration on next use *)
+      st.st_generation <- -1;
+      st.st_scope <- None;
+      st.st_sites <- Hashtbl.create 8
+
+let configure_local ?(seed = 0L) specs =
+  validate_specs "configure_local" specs;
+  let generation = Atomic.fetch_and_add generations 1 in
+  install_local (Domain.DLS.get dls) { seed; specs; generation }
+
+let disable_local () = remove_local (Domain.DLS.get dls)
+
+(* Save/restore of the full override slot, not just push/pop: an inner
+   [configure_local]/[disable_local] pair inside the bracket cannot leak
+   past it. *)
+let with_config ?(seed = 0L) specs f =
+  validate_specs "with_config" specs;
+  let st = Domain.DLS.get dls in
+  let saved_local = st.st_local
+  and saved_gen = st.st_generation
+  and saved_scope = st.st_scope
+  and saved_sites = st.st_sites in
+  let generation = Atomic.fetch_and_add generations 1 in
+  install_local st { seed; specs; generation };
+  Fun.protect
+    ~finally:(fun () ->
+      (match (st.st_local, saved_local) with
+      | Some _, None -> ignore (Atomic.fetch_and_add local_overrides (-1))
+      | None, Some _ -> ignore (Atomic.fetch_and_add local_overrides 1)
+      | Some _, Some _ | None, None -> ());
+      st.st_local <- saved_local;
+      st.st_generation <- saved_gen;
+      st.st_scope <- saved_scope;
+      st.st_sites <- saved_sites)
+    f
+
+type snapshot = Inherit_global | Local of config
+
+let snapshot () =
+  if Atomic.get local_overrides = 0 then Inherit_global
+  else
+    match (Domain.DLS.get dls).st_local with
+    | None -> Inherit_global
+    | Some cfg -> Local cfg
+
+let with_snapshot snap f =
+  match snap with
+  | Inherit_global -> f ()
+  | Local cfg ->
+      let st = Domain.DLS.get dls in
+      let saved_local = st.st_local
+      and saved_gen = st.st_generation
+      and saved_scope = st.st_scope
+      and saved_sites = st.st_sites in
+      install_local st cfg;
+      Fun.protect
+        ~finally:(fun () ->
+          (match saved_local with
+          | None -> ignore (Atomic.fetch_and_add local_overrides (-1))
+          | Some _ -> ());
+          st.st_local <- saved_local;
+          st.st_generation <- saved_gen;
+          st.st_scope <- saved_scope;
+          st.st_sites <- saved_sites)
+        f
+
+(* Any injection might be configured anywhere in the process: the guard
+   every query checks before touching domain-local state. *)
+let maybe_active () = Atomic.get enabled || Atomic.get local_overrides > 0
+
+let active () =
+  maybe_active ()
+  &&
+  let st = Domain.DLS.get dls in
+  (effective_config st).specs <> []
 
 (* Per-domain injection mask: queries inside [without] never fail and
    never consume draws, so the draw sequence seen by surrounding scopes
@@ -144,7 +258,7 @@ let epoch_cell : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 let epoch () = !(Domain.DLS.get epoch_cell)
 
 let should_fail point =
-  Atomic.get enabled
+  maybe_active ()
   && (not !(Domain.DLS.get masked))
   &&
   let st = refresh () in
@@ -168,12 +282,12 @@ let should_fail point =
       else false
 
 let with_scope ~key f =
-  if not (Atomic.get enabled) then f ()
+  if not (maybe_active ()) then f ()
   else begin
     let st = refresh () in
     let saved_scope = st.st_scope and saved_sites = st.st_sites in
     st.st_scope <- Some key;
-    st.st_sites <- build_sites (Atomic.get current) (Some key);
+    st.st_sites <- build_sites (effective_config st) (Some key);
     Fun.protect
       ~finally:(fun () ->
         st.st_scope <- saved_scope;
@@ -191,6 +305,4 @@ let query_count point =
 let trigger_count point =
   match find_site point with Some s -> s.triggers | None -> 0
 
-let with_failpoints ?seed specs f =
-  configure ?seed specs;
-  Fun.protect ~finally:disable f
+let with_failpoints ?seed specs f = with_config ?seed specs f

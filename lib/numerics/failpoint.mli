@@ -4,17 +4,27 @@
     queries registered failure points by name; a test configures a set of
     points with trigger probabilities and a seed, then drives the code
     under test and asserts that the recovery layer absorbs the injected
-    failures.  In production nothing is configured and every query is a
-    single branch on a false flag.
+    failures.  In production nothing is configured and every query is two
+    atomic loads of false/zero values.
 
-    {b Domain safety.}  The installed configuration is an immutable value
-    published through an [Atomic]; every domain materializes its own site
-    table (per-point {!Rng} stream plus query/trigger counters) from it on
-    first use.  There is no shared mutable state, so concurrent queries
-    from different domains are safe, and the draw sequence one domain sees
-    is never perturbed by another domain's query traffic.  Counters
-    reported by {!query_count} / {!trigger_count} are those of the calling
-    domain (and, inside {!with_scope}, of the active scope).
+    {b Domain safety.}  An installed configuration is an immutable value;
+    the process-global one is published through an [Atomic], and a domain
+    may additionally carry a {e local} override ({!with_config},
+    {!configure_local}) that shadows the global value for that domain
+    only.  Every domain materializes its own site table (per-point {!Rng}
+    stream plus query/trigger counters) from its effective configuration
+    on first use.  There is no shared mutable state, so concurrent
+    queries from different domains are safe, and the draw sequence one
+    domain sees is never perturbed by another domain's query traffic.
+    Counters reported by {!query_count} / {!trigger_count} are those of
+    the calling domain (and, inside {!with_scope}, of the active scope).
+
+    {b Sessions.}  A server running several injected sessions in one
+    process gives each session its own domain and brackets its work in
+    {!with_config}: the sessions' failure schedules are then fully
+    independent, with no cross-talk through the global slot.  Worker
+    domains spawned on behalf of a session inherit its override by
+    carrying a {!snapshot} across the spawn ({!with_snapshot}).
 
     {b Determinism.}  Trigger decisions are drawn from per-point {!Rng}
     streams derived from the configuration seed and the point name —
@@ -56,8 +66,42 @@ val configure : ?seed:int64 -> spec list -> unit
 val disable : unit -> unit
 (** Remove all failure points (the initial state). *)
 
+val configure_local : ?seed:int64 -> spec list -> unit
+(** Like {!configure}, but installs the configuration as the calling
+    domain's local override: other domains keep seeing the global
+    configuration.  Imperative form for call sites that arm injection
+    mid-flight (the crash-safety invariant arms [session.torn_write]
+    from inside a checkpoint callback); prefer {!with_config} where a
+    bracket fits. *)
+
+val disable_local : unit -> unit
+(** Remove the calling domain's local override, if any, reverting it to
+    the process-global configuration. *)
+
+val with_config : ?seed:int64 -> spec list -> (unit -> 'a) -> 'a
+(** [with_config specs f] runs [f] with [specs] installed as the calling
+    domain's local override, restoring the previous override state
+    (including any inner {!configure_local}) on exit.  The bracket other
+    sessions cannot observe. *)
+
+type snapshot
+(** The calling domain's effective injection configuration, as a value
+    that can cross a [Domain.spawn]. *)
+
+val snapshot : unit -> snapshot
+
+val with_snapshot : snapshot -> (unit -> 'a) -> 'a
+(** [with_snapshot snap f] runs [f] under the configuration captured by
+    [snapshot].  When the captured domain had no local override this is
+    exactly [f ()] (workers read the global slot themselves); otherwise
+    the override is installed locally for the duration.  Used by the
+    parallel executor so worker domains obey the session that spawned
+    them. *)
+
 val active : unit -> bool
-(** [true] iff at least one failure point is configured. *)
+(** [true] iff at least one failure point is configured for the calling
+    domain (its local override when present, the global configuration
+    otherwise). *)
 
 val should_fail : string -> bool
 (** Called by instrumented code.  [true] when the named point is
@@ -102,5 +146,7 @@ val trigger_count : string -> int
     calling domain and in the active scope. *)
 
 val with_failpoints : ?seed:int64 -> spec list -> (unit -> 'a) -> 'a
-(** [with_failpoints specs f] configures, runs [f], and always restores
-    the disabled state — the exception-safe shape for tests. *)
+(** [with_failpoints specs f] runs [f] under [specs] and always restores
+    the previous state — the exception-safe shape for tests.  Alias of
+    {!with_config}: the installation is domain-local, so concurrent
+    brackets on different domains do not interact. *)

@@ -114,6 +114,7 @@ type event = {
   ev_depth : int;
   ev_elapsed : float; (* seconds *)
   ev_err : bool;
+  ev_req : string option; (* owning request, stamped at record time *)
   ev_attrs : (string * value) list;
 }
 
@@ -153,6 +154,9 @@ let event_line ev =
     (Printf.sprintf "{\"ev\":\"span\",\"name\":\"%s\"" (json_escape ev.ev_name));
   (match ev.ev_key with
   | Some k -> Buffer.add_string buf (Printf.sprintf ",\"key\":\"%s\"" (json_escape k))
+  | None -> ());
+  (match ev.ev_req with
+  | Some r -> Buffer.add_string buf (Printf.sprintf ",\"req\":\"%s\"" (json_escape r))
   | None -> ());
   Buffer.add_string buf
     (Printf.sprintf ",\"depth\":%d,\"elapsed_ms\":%.3f,\"err\":%b" ev.ev_depth
@@ -216,13 +220,30 @@ type domain_state = {
   mutable depth : int;
   mutable buffering : bool;
   mutable buf : event list; (* reversed *)
+  mutable req : string option; (* request this domain is working for *)
 }
 
 let dls : domain_state Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { depth = 0; buffering = false; buf = [] })
+  Domain.DLS.new_key (fun () ->
+      { depth = 0; buffering = false; buf = []; req = None })
 
 let record st ev =
   if st.buffering then st.buf <- ev :: st.buf else sink_events [ ev ]
+
+(* Request correlation: a server handling concurrent requests brackets
+   each one in [with_request], and every span its domain (and, via the
+   parallel executor's propagation, its worker domains) records carries
+   the request id.  Spans are attributed at record time from the
+   recording domain's slot, so interleaved requests cannot steal each
+   other's events; the trace file stays one JSONL stream, with the [req]
+   field as the demultiplexer. *)
+let current_request () = (Domain.DLS.get dls).req
+
+let with_request req f =
+  let st = Domain.DLS.get dls in
+  let saved = st.req in
+  st.req <- Some req;
+  Fun.protect ~finally:(fun () -> st.req <- saved) f
 
 module Span = struct
   let timed ?key ?attrs name f =
@@ -246,6 +267,7 @@ module Span = struct
               ev_depth = d;
               ev_elapsed = dt;
               ev_err = false;
+              ev_req = st.req;
               ev_attrs;
             };
           v
@@ -259,6 +281,7 @@ module Span = struct
               ev_depth = d;
               ev_elapsed = dt;
               ev_err = true;
+              ev_req = st.req;
               ev_attrs = [];
             };
           raise e

@@ -9,6 +9,11 @@
 
     With tracing on, spans and counters record into a process-global
     sink: an in-memory aggregator, plus (optionally) a JSONL trace file.
+    The sink is shared by every request a long-lived server handles;
+    span events are attributed to their owning request at record time
+    (see {!with_request}) so concurrent sessions interleave in the trace
+    without cross-attribution, while counter/histogram aggregates remain
+    server-wide totals.
     Aggregate {e counter} and {e histogram} values are deterministic
     under any `--jobs N`: every increment is tied to one unit of
     per-fault work, the engine isolates each fault on fresh evaluator
@@ -41,6 +46,18 @@ val reset : unit -> unit
 
 val active : unit -> bool
 (** One atomic load: the guard every instrumentation site checks first. *)
+
+val with_request : string -> (unit -> 'a) -> 'a
+(** [with_request id f] runs [f] with every span event recorded by the
+    calling domain stamped with request id [id] (a ["req"] field on the
+    JSONL span lines).  The stamp is taken at record time from the
+    recording domain, so two requests running concurrently on different
+    domains each tag exactly their own spans.  Nestable (innermost id
+    wins); restored on exit.  Worker domains spawned inside the bracket
+    inherit the id through {!Testgen.Parallel}'s fan-out propagation. *)
+
+val current_request : unit -> string option
+(** The calling domain's active request id, if inside {!with_request}. *)
 
 module Counter : sig
   type t

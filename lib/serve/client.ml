@@ -1,0 +1,117 @@
+(* Client side of the serve protocol: connect, send one request line,
+   collect the event stream until the terminal line.  Shared by the
+   [atpg client] subcommand, the bench load generator and the tests. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  hello : Jsonl.t;
+}
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" socket
+           (Unix.error_message e))
+  | () -> (
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      match input_line ic with
+      | exception End_of_file ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error "server closed the connection before hello"
+      | line -> (
+          match Jsonl.of_string line with
+          | Error m ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Error ("bad hello: " ^ m)
+          | Ok hello ->
+              if Jsonl.str_member "schema" hello = Some Protocol.schema then
+                Ok { fd; ic; oc; hello }
+              else
+                let schema =
+                  Option.value ~default:"?"
+                    (Jsonl.str_member "schema" hello)
+                in
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                Error (Printf.sprintf "unexpected schema %S" schema)))
+
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let send_line conn json =
+  output_string conn.oc (Jsonl.to_string json);
+  output_char conn.oc '\n';
+  flush conn.oc
+
+type reply = {
+  events : Jsonl.t list;  (** every event line, in arrival order *)
+  status : int;  (** done status, {!Protocol.exit_rejected} on a
+                     rejection, or 1 on a dropped connection *)
+}
+
+let rejected reply =
+  List.exists (fun e -> Jsonl.str_member "ev" e = Some "rejected") reply.events
+
+let drained_event reply =
+  List.find_opt
+    (fun e -> Jsonl.str_member "ev" e = Some "drained")
+    reply.events
+
+let result_event reply =
+  List.find_opt
+    (fun e -> Jsonl.str_member "ev" e = Some "result")
+    reply.events
+
+(* Collect events for [req] until its terminal line.  [on_event] sees
+   every line as it arrives (streaming display in the CLI client). *)
+let read_reply ?(on_event = fun (_ : Jsonl.t) -> ()) conn ~req =
+  let rec go acc =
+    match input_line conn.ic with
+    | exception End_of_file ->
+        { events = List.rev acc; status = 1 }
+    | line -> (
+        match Jsonl.of_string line with
+        | Error _ -> go acc
+        | Ok json ->
+            if Jsonl.str_member "req" json <> Some req then go acc
+            else begin
+              on_event json;
+              match Jsonl.str_member "ev" json with
+              | Some "done" ->
+                  {
+                    events = List.rev (json :: acc);
+                    status =
+                      Option.value ~default:1 (Jsonl.int_member "status" json);
+                  }
+              | Some "rejected" ->
+                  {
+                    events = List.rev (json :: acc);
+                    status = Protocol.exit_rejected;
+                  }
+              | _ -> go (json :: acc)
+            end)
+  in
+  go []
+
+let request ?on_event conn ~req json =
+  send_line conn
+    (match json with
+    | Jsonl.Obj fields when not (List.mem_assoc "req" fields) ->
+        Jsonl.Obj (("req", Jsonl.Str req) :: fields)
+    | other -> other);
+  read_reply ?on_event conn ~req
+
+(* One-shot convenience: connect, ask, close. *)
+let roundtrip ?on_event ~socket ~req json =
+  match connect ~socket with
+  | Error m -> Error m
+  | Ok conn ->
+      let reply =
+        Fun.protect ~finally:(fun () -> close conn) (fun () ->
+            request ?on_event conn ~req json)
+      in
+      Ok reply

@@ -1,0 +1,37 @@
+(** Client side of the serve protocol ([atpg-serve/1]): connect to the
+    daemon's socket, send request lines, collect each request's event
+    stream until its terminal ["done"]/["rejected"] line.  Used by the
+    [atpg client] subcommand, the bench load generator and the tests. *)
+
+type conn
+
+val connect : socket:string -> (conn, string) result
+(** Connect and validate the server's hello (schema check). *)
+
+val close : conn -> unit
+
+type reply = {
+  events : Jsonl.t list;  (** every event line, in arrival order *)
+  status : int;
+      (** the ["done"] status; {!Protocol.exit_rejected} when the
+          request was rejected; [1] when the connection dropped before a
+          terminal line *)
+}
+
+val rejected : reply -> bool
+val drained_event : reply -> Jsonl.t option
+val result_event : reply -> Jsonl.t option
+
+val request :
+  ?on_event:(Jsonl.t -> unit) -> conn -> req:string -> Jsonl.t -> reply
+(** Send one request object (a missing ["req"] field is filled in from
+    [req]) and block until its terminal line.  [on_event] streams each
+    event line as it arrives. *)
+
+val roundtrip :
+  ?on_event:(Jsonl.t -> unit) ->
+  socket:string ->
+  req:string ->
+  Jsonl.t ->
+  (reply, string) result
+(** Connect, {!request}, close. *)

@@ -1,0 +1,37 @@
+(** Minimal single-line JSON for the serve protocol.
+
+    The daemon frames its wire protocol as JSONL: one JSON value per
+    line.  No JSON library is baked into the image, so this module is
+    the shared implementation for the server, the client and the bench
+    load generator.  {!to_string} never emits a newline; {!of_string}
+    accepts what {!to_string} produces plus ordinary whitespace. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Single-line rendering; integers within 2^53 print without a decimal
+    point, non-finite floats as [null]. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (the whole string).  [Error] carries a
+    position-annotated diagnostic. *)
+
+(** {2 Accessors} — shallow, [None] on type or key mismatch. *)
+
+val member : string -> t -> t option
+val to_str : t -> string option
+val to_num : t -> float option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+val str_member : string -> t -> string option
+val num_member : string -> t -> float option
+val int_member : string -> t -> int option
+val bool_member : string -> t -> bool option
+val list_member : string -> t -> t list option

@@ -1,0 +1,67 @@
+(** The ATPG daemon: concurrent test-generation sessions over a Unix
+    domain socket.
+
+    One {!start}ed server owns a listener thread plus one thread per
+    connection; every admitted work request executes in its own domain,
+    so per-request failpoint injection ({!Numerics.Failpoint.with_config})
+    and Obs request attribution ({!Obs.with_request}) are scoped to that
+    request and the worker domains its engine spawns — never shared
+    process-globally.  Compiled-plan and nominal caches are shared
+    across requests through the evaluator fork/absorb seam.
+
+    Admission is a bounded in-flight budget: requests beyond it are
+    rejected immediately (429), requests during drain with 503;
+    ping/stats/profile answer inline and are never rejected.
+
+    {!drain} (also installed as the SIGTERM/SIGINT handler by
+    {!install_sigterm}) stops accepting and interrupts checkpointed
+    sessions at their next checkpoint append; the checkpoint is closed
+    cleanly, the client told how many faults completed, and a resend
+    with the same session name resumes — the finished session file is
+    byte-identical to an uninterrupted run's. *)
+
+type options = {
+  socket : string;  (** Unix domain socket path (sun_path-limited) *)
+  budget : int;  (** max concurrently admitted work requests *)
+  spool : string;  (** directory for session checkpoint files *)
+}
+
+val default_options : options
+
+type t
+
+val start : options -> (t, string) result
+(** Bind the socket (unlinking any stale file), start the accept loop,
+    ignore SIGPIPE.  The server is serving when this returns. *)
+
+val socket : t -> string
+
+type stats = {
+  st_in_flight : int;
+  st_budget : int;
+  st_draining : bool;
+  st_accepted : int;
+  st_rejected : int;
+  st_completed : int;
+}
+
+val stats : t -> stats
+
+val drain : t -> unit
+(** Stop accepting connections and interrupt checkpointed sessions at
+    their next completed fault.  Non-session runs finish normally.
+    Idempotent; safe from a signal handler. *)
+
+val wait : t -> unit
+(** Join the accept loop and every connection thread, then unlink the
+    socket.  Returns once every in-flight request has been answered. *)
+
+val stop : t -> unit
+(** [drain] then [wait]. *)
+
+val install_sigterm : t -> unit
+(** Route SIGTERM and SIGINT to {!drain} (the daemon then exits when
+    {!wait} returns). *)
+
+val session_path : t -> string -> string
+(** Spool path of a named session's checkpoint file. *)

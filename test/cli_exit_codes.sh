@@ -96,4 +96,35 @@ else
 fi
 rm -f "$s1" "$s4" "$s1.err" "$s4.err"
 
+# Daemon exit contract: a client that cannot reach the socket fails with
+# a plain IO error (1); a served request mirrors the run's exit code
+# through the wire (0 here); a SIGTERMed daemon drains and exits 0; a
+# rejected request is its own class (6, checked in-process by
+# test_serve.ml along with drained = 7).
+sock="/tmp/atpg-cec-$$.sock"
+spool="/tmp/atpg-cec-$$.spool"
+expect 1 "client without a daemon" \
+  client --socket "$sock" ping
+"$atpg" serve --socket "$sock" --spool "$spool" --budget 1 \
+  >/dev/null 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  sleep 0.05
+done
+expect 0 "client ping" \
+  client --socket "$sock" ping
+expect 0 "client generate via daemon" \
+  client --socket "$sock" generate --macro rc4 --take 1 --fast
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+serve_code=$?
+if [ "$serve_code" -ne 0 ]; then
+  echo "FAIL daemon drain: expected exit 0, got $serve_code" >&2
+  fails=$((fails + 1))
+else
+  echo "ok   daemon drained on SIGTERM (exit 0)"
+fi
+rm -rf "$spool" "$sock"
+
 exit "$fails"

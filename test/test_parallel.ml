@@ -329,7 +329,9 @@ let test_rng_streams_never_interleave () =
 let test_failpoint_domains_never_interleave () =
   (* concurrent scoped querying from two domains reproduces each scope's
      single-threaded failure pattern — per-domain site tables, no shared
-     counters or streams *)
+     counters or streams.  [with_failpoints] is domain-local, so a raw
+     spawn carries the configuration across as a snapshot, exactly as
+     Parallel.fan_out does for its workers. *)
   Fp.with_failpoints ~seed:5L
     [ { Fp.point = "p"; probability = 0.5; max_triggers = Some 100 } ]
     (fun () ->
@@ -340,8 +342,15 @@ let test_failpoint_domains_never_interleave () =
       in
       let n = 512 in
       let expect_a = pattern "fault-a" n and expect_b = pattern "fault-b" n in
-      let da = Domain.spawn (fun () -> pattern "fault-a" n) in
-      let db = Domain.spawn (fun () -> pattern "fault-b" n) in
+      let snap = Fp.snapshot () in
+      let da =
+        Domain.spawn (fun () ->
+            Fp.with_snapshot snap (fun () -> pattern "fault-a" n))
+      in
+      let db =
+        Domain.spawn (fun () ->
+            Fp.with_snapshot snap (fun () -> pattern "fault-b" n))
+      in
       let got_a = Domain.join da and got_b = Domain.join db in
       let fired (f, _, _) = f in
       Alcotest.(check bool) "scopes are distinct" true
