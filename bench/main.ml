@@ -1498,6 +1498,253 @@ let run_sparse_bench ~fast ~smoke =
       (Printf.sprintf "factorization speedup %.2fx below the 5x bar"
          top_speedup)
 
+(* Config-major batched fault evaluation vs the sequential reference
+   path (ISSUE 10).  Same macro, same dictionary, same tests — the only
+   difference is [~batching] on the evaluators, so any divergence in
+   verdicts or session bytes is a batching bug, not a workload one. *)
+let run_batch_bench ~fast ~smoke =
+  let profile =
+    if fast then Execute.fast_profile else Execute.default_profile
+  in
+  let macro =
+    match Macros.Registry.find "skc8" with
+    | Ok m -> m
+    | Error e ->
+        Printf.eprintf "batch bench: FAIL %s\n%!" e;
+        exit 1
+  in
+  let context ~batching backend =
+    let ctx =
+      Experiments.Setup.probe ~profile ~batching ~backend ~levels:4 ~macro ()
+    in
+    if smoke then Experiments.Setup.reduced ctx ~n_faults:8 else ctx
+  in
+  (* A coverage workload denser than the seed set: [grid] points per
+     configuration spread across each parameter window, so every
+     config-major batch carries several right-hand-side columns. *)
+  let grid = if smoke then 2 else 4 in
+  let tests_of configs =
+    List.concat_map
+      (fun (c : Test_config.t) ->
+        List.init grid (fun g ->
+            let frac = float_of_int (g + 1) /. float_of_int (grid + 1) in
+            let params =
+              Array.of_list
+                (List.map
+                   (fun (p : Test_param.t) ->
+                     p.Test_param.lower
+                     +. (frac *. (p.Test_param.upper -. p.Test_param.lower)))
+                   c.Test_config.params)
+            in
+            {
+              Coverage.test_label =
+                Printf.sprintf "tc%d-g%d" c.Test_config.config_id g;
+              test_config_id = c.Test_config.config_id;
+              test_params = params;
+            }))
+      configs
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let reports_identical (a : Coverage.report) (b : Coverage.report) =
+    List.length a.Coverage.detections = List.length b.Coverage.detections
+    && List.for_all2
+         (fun (da : Coverage.detection) (db : Coverage.detection) ->
+           da.Coverage.det_fault_id = db.Coverage.det_fault_id
+           && da.Coverage.detected_by = db.Coverage.detected_by
+           && Int64.equal
+                (Int64.bits_of_float da.Coverage.best_sensitivity)
+                (Int64.bits_of_float db.Coverage.best_sensitivity))
+         a.Coverage.detections b.Coverage.detections
+  in
+  let flavour (r : Generate.result) =
+    match r.Generate.outcome with
+    | Generate.Unique _ -> "unique"
+    | Generate.Undetectable _ -> "undetectable"
+  in
+  let backend_row backend =
+    let backend_name =
+      match backend with
+      | Circuit.Mna.Dense -> "dense"
+      | Circuit.Mna.Sparse -> "sparse"
+    in
+    let seq = context ~batching:false backend in
+    let bat = context ~batching:true backend in
+    let tests = tests_of seq.Experiments.Setup.configs in
+    let n_tests = List.length tests in
+    let n_faults = Faults.Dictionary.size seq.Experiments.Setup.dictionary in
+    let coverage ctx =
+      Coverage.evaluate ~evaluators:ctx.Experiments.Setup.evaluators
+        ctx.Experiments.Setup.dictionary tests
+    in
+    (* warm both contexts once so plan compilation is off the clock *)
+    Printf.eprintf
+      "batch bench: %s coverage sweep (%d faults x %d tests)...\n%!"
+      backend_name n_faults n_tests;
+    ignore (coverage seq : Coverage.report);
+    ignore (coverage bat : Coverage.report);
+    let stats0 = Evaluator.batch_stats () in
+    let seq_cov_dt, seq_report = time (fun () -> coverage seq) in
+    let bat_cov_dt, bat_report = time (fun () -> coverage bat) in
+    let cov_identical = reports_identical seq_report bat_report in
+    let cov_speedup = seq_cov_dt /. Float.max 1e-9 bat_cov_dt in
+    Printf.eprintf
+      "batch bench: %s coverage %.3fs sequential vs %.3fs batched (%.2fx), \
+       identical %b\n\
+       %!"
+      backend_name seq_cov_dt bat_cov_dt cov_speedup cov_identical;
+    Printf.eprintf "batch bench: %s end-to-end generation...\n%!" backend_name;
+    let engine ctx =
+      Experiments.Runs.engine_run ~options:Experiments.Setup.probe_options ctx
+    in
+    let seq_run_dt, seq_run = time (fun () -> engine seq) in
+    let bat_run_dt, bat_run = time (fun () -> engine bat) in
+    let n_results = List.length seq_run.Engine.results in
+    let verdict_matches =
+      List.fold_left2
+        (fun acc (a : Generate.result) (b : Generate.result) ->
+          if a.Generate.fault_id = b.Generate.fault_id && flavour a = flavour b
+          then acc + 1
+          else acc)
+        0 seq_run.Engine.results bat_run.Engine.results
+    in
+    let verdict_compat =
+      float_of_int verdict_matches /. float_of_int (max 1 n_results)
+    in
+    let bytes_identical =
+      Session.to_string seq_run.Engine.results
+      = Session.to_string bat_run.Engine.results
+    in
+    Printf.eprintf "batch bench: %s compaction...\n%!" backend_name;
+    let compact ctx run =
+      Compactor.compact ~evaluators:ctx.Experiments.Setup.evaluators
+        ctx.Experiments.Setup.dictionary run
+    in
+    let seq_cmp_dt, seq_cmp = time (fun () -> compact seq seq_run) in
+    let bat_cmp_dt, bat_cmp = time (fun () -> compact bat bat_run) in
+    let compact_identical =
+      List.length seq_cmp.Compactor.compact_tests
+      = List.length bat_cmp.Compactor.compact_tests
+      && List.for_all2
+           (fun (a : Compactor.compact_test) (b : Compactor.compact_test) ->
+             a.Compactor.ct_label = b.Compactor.ct_label
+             && a.Compactor.ct_fault_ids = b.Compactor.ct_fault_ids
+             && bitwise_equal a.Compactor.ct_params b.Compactor.ct_params)
+           seq_cmp.Compactor.compact_tests bat_cmp.Compactor.compact_tests
+      && seq_cmp.Compactor.coverage.Coverage.covered
+         = bat_cmp.Compactor.coverage.Coverage.covered
+    in
+    let stats1 = Evaluator.batch_stats () in
+    Printf.eprintf
+      "batch bench: %s generation %.3fs vs %.3fs, compaction %.3fs vs \
+       %.3fs, verdicts %.4f, bytes %b\n\
+       %!"
+      backend_name seq_run_dt bat_run_dt seq_cmp_dt bat_cmp_dt verdict_compat
+      bytes_identical;
+    ( backend_name,
+      n_faults,
+      n_tests,
+      (seq_cov_dt, bat_cov_dt, cov_speedup, cov_identical),
+      (seq_run_dt, bat_run_dt, verdict_compat, bytes_identical),
+      (seq_cmp_dt, bat_cmp_dt, compact_identical),
+      ( stats1.Evaluator.faults_batched - stats0.Evaluator.faults_batched,
+        stats1.Evaluator.fallback_seq - stats0.Evaluator.fallback_seq,
+        stats1.Evaluator.panels - stats0.Evaluator.panels ) )
+  in
+  let rows = List.map backend_row [ Circuit.Mna.Dense; Circuit.Mna.Sparse ] in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"provenance\": %s,\n" (provenance_json ()));
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"profile\": \"%s\",\n"
+       (if fast then "fast" else "default"));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"macro\": \"%s\",\n" macro.Macros.Macro.macro_name);
+  Buffer.add_string buf "  \"backends\": [\n";
+  List.iteri
+    (fun i
+         ( name,
+           n_faults,
+           n_tests,
+           (seq_cov, bat_cov, cov_speedup, cov_identical),
+           (seq_run, bat_run, verdict_compat, bytes_identical),
+           (seq_cmp, bat_cmp, compact_identical),
+           (faults_batched, fallback_seq, panels) ) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"backend\": \"%s\", \"faults\": %d, \"tests\": %d,\n\
+           \     \"coverage\": {\"sequential_seconds\": %.4f, \
+            \"batched_seconds\": %.4f, \"speedup\": %.3f, \
+            \"identical_reports\": %b},\n\
+           \     \"generation\": {\"sequential_seconds\": %.4f, \
+            \"batched_seconds\": %.4f, \"speedup\": %.3f, \
+            \"verdict_compat\": %.4f, \"identical_session_bytes\": %b},\n\
+           \     \"compaction\": {\"sequential_seconds\": %.4f, \
+            \"batched_seconds\": %.4f, \"speedup\": %.3f, \
+            \"identical_compact_sets\": %b},\n\
+           \     \"batch_counters\": {\"faults_batched\": %d, \
+            \"fallback_seq\": %d, \"panels\": %d}}%s\n"
+           name n_faults n_tests seq_cov bat_cov cov_speedup cov_identical
+           seq_run bat_run
+           (seq_run /. Float.max 1e-9 bat_run)
+           verdict_compat bytes_identical seq_cmp bat_cmp
+           (seq_cmp /. Float.max 1e-9 bat_cmp)
+           compact_identical faults_batched fallback_seq panels
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  let cov_speedup_min =
+    List.fold_left
+      (fun acc (_, _, _, (_, _, s, _), _, _, _) -> Float.min acc s)
+      infinity rows
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  \"coverage_speedup_min\": %.3f\n" cov_speedup_min);
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_batch.json" in
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.eprintf
+    "batch bench: coverage speedup min %.2fx across backends; wrote %s\n%!"
+    cov_speedup_min path;
+  let fail msg =
+    Printf.eprintf "batch bench: FAIL %s\n%!" msg;
+    exit 1
+  in
+  List.iter
+    (fun ( name,
+           _,
+           _,
+           (_, _, _, cov_identical),
+           (_, _, verdict_compat, bytes_identical),
+           (_, _, compact_identical),
+           (faults_batched, _, panels) ) ->
+      if not cov_identical then
+        fail (Printf.sprintf "%s: coverage reports differ" name);
+      if verdict_compat < 1.0 then
+        fail
+          (Printf.sprintf "%s: verdict compat %.4f below 1.0" name
+             verdict_compat);
+      if not bytes_identical then
+        fail (Printf.sprintf "%s: session bytes differ" name);
+      if not compact_identical then
+        fail (Printf.sprintf "%s: compact test sets differ" name);
+      if faults_batched = 0 then
+        fail (Printf.sprintf "%s: batched path never engaged" name);
+      if panels = 0 then
+        fail (Printf.sprintf "%s: no factorization panels recorded" name))
+    rows;
+  if (not smoke) && cov_speedup_min < 3. then
+    fail
+      (Printf.sprintf "coverage speedup %.2fx below the 3x bar"
+         cov_speedup_min)
+
 let () =
   let fast = Array.exists (String.equal "--fast") Sys.argv in
   let reports_only = Array.exists (String.equal "--reports-only") Sys.argv in
@@ -1510,7 +1757,9 @@ let () =
   let adjoint = Array.exists (String.equal "--adjoint") Sys.argv in
   let sparse = Array.exists (String.equal "--sparse") Sys.argv in
   let serve = Array.exists (String.equal "--serve") Sys.argv in
+  let batch = Array.exists (String.equal "--batch") Sys.argv in
   if serve then run_serve_bench ~smoke
+  else if batch then run_batch_bench ~fast ~smoke
   else if sparse then run_sparse_bench ~fast ~smoke
   else if adjoint then run_adjoint_bench ~fast ~smoke
   else if fuzz then run_fuzz_bench ~smoke

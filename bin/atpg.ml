@@ -316,12 +316,12 @@ let noise_cmd =
 
 (* -- context-backed commands ------------------------------------------ *)
 
-let iv_context ?(legacy = false) ?(continuation = false)
+let iv_context ?(legacy = false) ?(continuation = false) ?(batching = true)
     ?(backend = Circuit.Mna.Dense) ~fast () =
   prerr_endline "calibrating tolerance boxes...";
   Experiments.Setup.iv ~profile:(profile_of fast)
     ~mode:(if legacy then `Legacy else `Compiled)
-    ~continuation ~backend ()
+    ~continuation ~batching ~backend ()
 
 (* Generation context for any --macro: the IV-converter gets the paper's
    calibrated setup, every other macro the deterministic probe context.
@@ -329,18 +329,18 @@ let iv_context ?(legacy = false) ?(continuation = false)
    and one-shot paths pose bit-identical problems (the basis of the
    bench's verdict-compatibility gate). *)
 let generation_context ?(legacy = false) ?(continuation = false)
-    ?(backend = Circuit.Mna.Dense) ~macro_name ~fast () =
+    ?(batching = true) ?(backend = Circuit.Mna.Dense) ~macro_name ~fast () =
   match macro_of_name macro_name with
   | Error e -> Error e
   | Ok macro ->
       warn_dense_backend ~backend (Macros.Macro.nominal_netlist macro);
       if String.equal macro_name "iv" then
-        Ok (iv_context ~legacy ~continuation ~backend ~fast (), None)
+        Ok (iv_context ~legacy ~continuation ~batching ~backend ~fast (), None)
       else
         Ok
           ( Experiments.Setup.probe ~profile:(profile_of fast)
               ~mode:(if legacy then `Legacy else `Compiled)
-              ~continuation ~backend ~macro (),
+              ~continuation ~batching ~backend ~macro (),
             Some Experiments.Setup.probe_options )
 
 let progress ~done_ ~total ~fault_id =
@@ -651,6 +651,17 @@ let continuation_arg =
   in
   Arg.(value & flag & info [ "continuation" ] ~doc)
 
+let no_batch_arg =
+  let doc =
+    "Disable config-major batched fault evaluation (one held \
+     factorization per fault, the whole probe cross-product solved \
+     against it) and force the sequential per-(fault, test) reference \
+     path. Results, reports and checkpoint files are bit-for-bit \
+     identical either way; this flag keeps the reference implementation \
+     reachable for verifying that claim."
+  in
+  Arg.(value & flag & info [ "no-batch" ] ~doc)
+
 let grad_arg =
   let doc =
     "Optimize candidate tests by projected gradient descent on the \
@@ -666,7 +677,7 @@ let grad_arg =
 
 let generate_cmd =
   let run fast macro fault_id take save max_retries fail_fast resume inject
-      inject_seed jobs legacy continuation grad backend trace =
+      inject_seed jobs legacy continuation no_batch grad backend trace =
     if legacy && continuation then begin
       prerr_endline "atpg: --continuation requires the compiled path";
       exit 2
@@ -688,8 +699,8 @@ let generate_cmd =
             (* build the context first: injection targets the resilient
                generation run, not the tolerance-box setup *)
             match
-              generation_context ~legacy ~continuation ~backend
-                ~macro_name:macro ~fast ()
+              generation_context ~legacy ~continuation
+                ~batching:(not no_batch) ~backend ~macro_name:macro ~fast ()
             with
             | Error e ->
                 prerr_endline e;
@@ -744,13 +755,16 @@ let generate_cmd =
       const run $ fast_arg $ macro_arg $ fault_arg $ take_arg $ save_arg
       $ max_retries_arg $ fail_fast_arg $ resume_arg $ inject_arg
       $ inject_seed_arg $ jobs_arg $ legacy_eval_arg $ continuation_arg
-      $ grad_arg $ backend_arg $ trace_arg)
+      $ no_batch_arg $ grad_arg $ backend_arg $ trace_arg)
 
 let compact_cmd =
-  let run fast macro backend take delta load save max_retries fail_fast resume
-      jobs trace =
+  let run fast macro backend no_batch take delta load save max_retries
+      fail_fast resume jobs trace =
     with_trace trace (fun () ->
-        match generation_context ~backend ~macro_name:macro ~fast () with
+        match
+          generation_context ~batching:(not no_batch) ~backend
+            ~macro_name:macro ~fast ()
+        with
         | Error e ->
             prerr_endline e;
             1
@@ -781,14 +795,17 @@ let compact_cmd =
        ~doc:"Generate (or --load) and collapse the compact test set \
              (paper sec. 4).")
     Term.(
-      const run $ fast_arg $ macro_arg $ backend_arg $ take_arg $ delta_arg
-      $ load_arg $ save_arg $ max_retries_arg $ fail_fast_arg $ resume_arg
-      $ jobs_arg $ trace_arg)
+      const run $ fast_arg $ macro_arg $ backend_arg $ no_batch_arg $ take_arg
+      $ delta_arg $ load_arg $ save_arg $ max_retries_arg $ fail_fast_arg
+      $ resume_arg $ jobs_arg $ trace_arg)
 
 let baseline_cmd =
-  let run fast macro backend take jobs trace =
+  let run fast macro backend no_batch take jobs trace =
     with_trace trace (fun () ->
-        match generation_context ~backend ~macro_name:macro ~fast () with
+        match
+          generation_context ~batching:(not no_batch) ~backend
+            ~macro_name:macro ~fast ()
+        with
         | Error e ->
             prerr_endline e;
             1
@@ -809,8 +826,8 @@ let baseline_cmd =
     (Cmd.info "baseline"
        ~doc:"Compare optimized generation against fixed-seed selection.")
     Term.(
-      const run $ fast_arg $ macro_arg $ backend_arg $ take_arg $ jobs_arg
-      $ trace_arg)
+      const run $ fast_arg $ macro_arg $ backend_arg $ no_batch_arg $ take_arg
+      $ jobs_arg $ trace_arg)
 
 (* -- profile ------------------------------------------------------------ *)
 
@@ -903,6 +920,24 @@ let render_profile (run_result : Engine.run) =
              (value "evaluator.plan_cache.misses");
          ];
        ]);
+  (* config-major batched evaluation: settled vs fallback pairs, and the
+     held-factorization panels the settled pairs shared *)
+  let batched = value "evaluator.batch.faults_batched" in
+  let fallback = value "evaluator.batch.fallback_seq" in
+  if batched + fallback > 0 then
+    section "Batched evaluation"
+      (Report.Table.of_rows
+         ~headers:
+           [ ("metric", Report.Table.Left); ("value", Report.Table.Right) ]
+         [
+           [ "pairs batched"; string_of_int batched ];
+           [ "pairs fallen back"; string_of_int fallback ];
+           [ "factorization panels"; string_of_int (value "evaluator.batch.panels") ];
+           [
+             "batched share";
+             hit_rate batched fallback;
+           ];
+         ]);
   section "Counters"
     (Report.Table.of_rows
        ~headers:[ ("counter", Report.Table.Left); ("value", Report.Table.Right) ]

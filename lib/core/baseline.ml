@@ -30,20 +30,30 @@ let evaluator_for evaluators cid =
   | None ->
       invalid_arg (Printf.sprintf "Baseline: no evaluator for config #%d" cid)
 
-let set_detects ~evaluators ~tests fault =
-  List.exists
+(* The fault's sensitivity under every seed test, in test order — one
+   config-major batch per test (seed tests are one point per
+   configuration), each value bitwise identical to the sequential
+   [Evaluator.sensitivity] call.  [set_detects]' List.exists early exit
+   becomes a full sweep, which only shifts evaluation counts: the
+   detect verdict and the best sensitivity are order-free reductions. *)
+let test_sensitivities ~evaluators ~tests fault =
+  Array.map
     (fun (t : Coverage.test) ->
       let ev = evaluator_for evaluators t.Coverage.test_config_id in
-      Sensitivity.detects
-        (Evaluator.sensitivity ev fault t.Coverage.test_params))
-    tests
+      match
+        Evaluator.batched_fault_sensitivities ev ~faults:[| fault |]
+          ~points:[| t.Coverage.test_params |]
+      with
+      | Some cells -> fst cells.(0).(0)
+      | None -> Evaluator.sensitivity ev fault t.Coverage.test_params)
+    (Array.of_list tests)
+
+let set_detects ~evaluators ~tests fault =
+  Array.exists Sensitivity.detects (test_sensitivities ~evaluators ~tests fault)
 
 let best_sensitivity ~evaluators ~tests fault =
-  List.fold_left
-    (fun best (t : Coverage.test) ->
-      let ev = evaluator_for evaluators t.Coverage.test_config_id in
-      Float.min best (Evaluator.sensitivity ev fault t.Coverage.test_params))
-    infinity tests
+  Array.fold_left Float.min infinity
+    (test_sensitivities ~evaluators ~tests fault)
 
 let critical_impact_of_tests ~evaluators ~tests fault ?(span = 1e3)
     ?(steps = 40) () =

@@ -19,15 +19,35 @@ type stats = { proposals : int; accepted : int; splits : int }
 let acceptance_bound ~delta s_opt = s_opt +. (delta *. (1. -. s_opt))
 
 let screen evaluator ~delta members candidate =
-  let rec walk acc = function
+  (* All member sensitivities at the candidate come from one config-major
+     batch (one held factorization per fault site, every member solved
+     against it); the walk below then reads them in member order with the
+     original early-exit verdict semantics.  Each batched value is
+     bitwise identical to the sequential [Evaluator.sensitivity] call it
+     replaces — a rejected candidate merely evaluated members past the
+     first violation that the sequential walk would have skipped. *)
+  let batched =
+    match members with
+    | [] -> None
+    | _ :: _ ->
+        Evaluator.batched_fault_sensitivities evaluator
+          ~faults:(Array.of_list (List.map (fun m -> m.member_fault) members))
+          ~points:[| candidate |]
+  in
+  let sensitivity_of i m =
+    match batched with
+    | Some cells -> fst cells.(i).(0)
+    | None -> Evaluator.sensitivity evaluator m.member_fault candidate
+  in
+  let rec walk i acc = function
     | [] -> Some (List.rev acc)
     | m :: rest ->
-        let s = Evaluator.sensitivity evaluator m.member_fault candidate in
+        let s = sensitivity_of i m in
         if s <= acceptance_bound ~delta m.member_opt_sensitivity then
-          walk ((m.member_fault_id, s) :: acc) rest
+          walk (i + 1) ((m.member_fault_id, s) :: acc) rest
         else None
   in
-  walk [] members
+  walk 0 [] members
 
 let collapse_config evaluator ~delta ?threshold members =
   if delta < 0. || delta > 1. then

@@ -14,23 +14,31 @@ type result = {
 }
 
 let members_of_run run ~config_id =
+  (* one evaluator lookup per call, not one List.find per result row —
+     same first-match semantics (and Not_found on a foreign config) *)
+  let ev =
+    lazy
+      (List.find
+         (fun ev -> Evaluator.config_id ev = config_id)
+         run.Engine.evaluators)
+  in
   Engine.results_for_config run ~config_id
   |> List.map (fun r ->
          match r.Generate.outcome with
          | Generate.Unique
              { params; critical_impact; dictionary_sensitivity = _; _ } ->
-             let ev =
-               List.find
-                 (fun ev -> Evaluator.config_id ev = config_id)
-                 run.Engine.evaluators
-             in
+             let ev = Lazy.force ev in
              let fault_at_critical =
                Faults.Fault.with_impact r.Generate.dictionary_fault
                  critical_impact
              in
              (* the optimal sensitivity at the critical impact: evaluated
-                once here so the collapse screen compares like for like *)
-             let s_opt = Evaluator.sensitivity ev fault_at_critical params in
+                once here so the collapse screen compares like for like —
+                through the batch engine (one held factorization) when
+                the plan admits it, bit-identical either way *)
+             let s_opt =
+               Evaluator.batched_sensitivity ev fault_at_critical params
+             in
              {
                Collapse.member_fault_id = r.Generate.fault_id;
                member_fault = fault_at_critical;

@@ -27,36 +27,82 @@ let missed r =
     r.detections
 
 let evaluate ~evaluators dictionary tests =
+  (* index evaluators by configuration once — first binding wins, like
+     the List.find_opt walk this replaces *)
+  let index = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      let cid = Evaluator.config_id ev in
+      if not (Hashtbl.mem index cid) then Hashtbl.add index cid ev)
+    evaluators;
   let evaluator_for cid =
-    match
-      List.find_opt (fun ev -> Evaluator.config_id ev = cid) evaluators
-    with
+    match Hashtbl.find_opt index cid with
     | Some ev -> ev
     | None ->
         invalid_arg
           (Printf.sprintf "Coverage.evaluate: no evaluator for config #%d" cid)
   in
-  let detections =
-    List.map
-      (fun entry ->
-        let fault = entry.Faults.Dictionary.fault in
-        let hits, best =
-          List.fold_left
-            (fun (hits, best) test ->
-              let ev = evaluator_for test.test_config_id in
-              let s = Evaluator.sensitivity ev fault test.test_params in
-              let hits =
-                if Sensitivity.detects s then test.test_label :: hits else hits
-              in
-              (hits, Float.min best s))
-            ([], infinity) tests
+  let entries = Array.of_list (Faults.Dictionary.entries dictionary) in
+  let faults = Array.map (fun e -> e.Faults.Dictionary.fault) entries in
+  let test_arr = Array.of_list tests in
+  let nf = Array.length faults and nt = Array.length test_arr in
+  (* Config-major prefill: one batched cross-product call per distinct
+     configuration covers every (fault, test) pair of that
+     configuration, each bitwise identical to the sequential
+     [Evaluator.sensitivity] call the fold below would have made.  A
+     configuration whose evaluator declines leaves its cells [None] and
+     the fold computes them sequentially, unchanged. *)
+  let cell = Array.make_matrix nf nt None in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun test ->
+      let cid = test.test_config_id in
+      if not (Hashtbl.mem seen cid) then begin
+        Hashtbl.add seen cid ();
+        let cols = ref [] in
+        Array.iteri
+          (fun ti t -> if t.test_config_id = cid then cols := ti :: !cols)
+          test_arr;
+        let cols = Array.of_list (List.rev !cols) in
+        let ev = evaluator_for cid in
+        let points =
+          Array.map (fun ti -> test_arr.(ti).test_params) cols
         in
-        {
-          det_fault_id = entry.Faults.Dictionary.fault_id;
-          detected_by = List.rev hits;
-          best_sensitivity = best;
-        })
-      (Faults.Dictionary.entries dictionary)
+        match Evaluator.batched_fault_sensitivities ev ~faults ~points with
+        | None -> ()
+        | Some cells ->
+            Array.iteri
+              (fun pi ti ->
+                for fi = 0 to nf - 1 do
+                  cell.(fi).(ti) <- Some (fst cells.(fi).(pi))
+                done)
+              cols
+      end)
+    test_arr;
+  let detections =
+    Array.to_list
+      (Array.mapi
+         (fun fi entry ->
+           let fault = entry.Faults.Dictionary.fault in
+           let hits = ref [] and best = ref infinity in
+           Array.iteri
+             (fun ti test ->
+               let s =
+                 match cell.(fi).(ti) with
+                 | Some s -> s
+                 | None ->
+                     let ev = evaluator_for test.test_config_id in
+                     Evaluator.sensitivity ev fault test.test_params
+               in
+               if Sensitivity.detects s then hits := test.test_label :: !hits;
+               best := Float.min !best s)
+             test_arr;
+           {
+             det_fault_id = entry.Faults.Dictionary.fault_id;
+             detected_by = List.rev !hits;
+             best_sensitivity = !best;
+           })
+         entries)
   in
   let covered =
     List.length (List.filter (fun d -> d.detected_by <> []) detections)

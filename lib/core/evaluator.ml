@@ -13,6 +13,7 @@ type t = {
   box_model : Tolerance.t;
   mode : mode;
   continuation : bool;
+  batching : bool;
   backend : Circuit.Mna.backend;
   nominal_cache : (string, float array) Hashtbl.t;
   (* Memoized nominal observables *and* their parameter gradients, keyed
@@ -37,11 +38,18 @@ let g_cache_misses = Obs.Counter.create "evaluator.nominal_cache.misses"
 let g_plan_hits = Obs.Counter.create "evaluator.plan_cache.hits"
 let g_plan_misses = Obs.Counter.create "evaluator.plan_cache.misses"
 
+(* Batch accounting is unconditional ([Counter.add], not the
+   active-guarded [bump]): the serve daemon's [stats] request and the
+   bench gates read these without tracing enabled. *)
+let g_batch_faults = Obs.Counter.create "evaluator.batch.faults_batched"
+let g_batch_fallback = Obs.Counter.create "evaluator.batch.fallback_seq"
+let g_batch_panels = Obs.Counter.create "evaluator.batch.panels"
+
 exception Budget_exhausted of { config_id : int; budget : int }
 
 let create ?(profile = Execute.default_profile) ?(mode = `Compiled)
-    ?(continuation = false) ?(backend = Circuit.Mna.Dense) config ~nominal
-    ~box_model =
+    ?(continuation = false) ?(batching = true) ?(backend = Circuit.Mna.Dense)
+    config ~nominal ~box_model =
   {
     config;
     profile;
@@ -49,6 +57,7 @@ let create ?(profile = Execute.default_profile) ?(mode = `Compiled)
     box_model;
     mode;
     continuation;
+    batching;
     backend;
     nominal_cache = Hashtbl.create 64;
     ngrad_cache = Hashtbl.create 64;
@@ -123,6 +132,7 @@ let config t = t.config
 let config_id t = t.config.Test_config.config_id
 let mode t = t.mode
 let continuation_enabled t = t.continuation
+let batching_enabled t = t.batching
 let nominal_target t = t.nominal
 let profile t = t.profile
 
@@ -353,6 +363,126 @@ let batched_sensitivities t ~faults values =
                  rows)
       end
 
+(* Config-major batched evaluation of an arbitrary fault set against an
+   arbitrary set of parameter points — the engine behind the coverage,
+   compaction, collapse and lattice-seeding cross-products.  Faults are
+   grouped by site ({!Faults.Fault.id} keys one compiled topology); each
+   group pays one factorization per fault through
+   {!Execute.compiled_batch_over_faults} and the whole point set solves
+   against it.
+
+   Bitwise contract: a returned [(s, dev)] is identical to what
+   [sensitivity_and_deviation] computes for the same (fault, point) pair
+   — same nominal-cache behaviour (one hit-or-miss per pair), one
+   {!charge} per pair, same deviation and box arithmetic on operating
+   points the batch engine reproduced bit for bit.  Pairs the engine
+   could not settle (singular factorization, damping walk that did not
+   converge — where the sequential path escalates to its stepping
+   ladders) fall back to the verbatim sequential call, per pair.
+
+   [None] — caller runs its sequential loop unchanged — when batching is
+   disabled, the evaluator is in legacy or continuation mode (warm-start
+   trajectories are tolerance-, not bit-identical, so batching them would
+   change bits), the plan family is non-batchable, or failure injection
+   is active: batching reorders evaluations, so letting it run under an
+   active injection config would change which draw hits which fault and
+   break per-fault injection determinism. *)
+let batched_fault_sensitivities t ~faults ~points =
+  let nf = Array.length faults and np = Array.length points in
+  if
+    nf = 0 || np = 0
+    || (not t.batching)
+    || t.continuation
+    || t.mode = `Legacy
+  then None
+  else if Numerics.Failpoint.active () then begin
+    Obs.Counter.add g_batch_fallback (nf * np);
+    None
+  end
+  else begin
+    (* group fault indices by site, preserving first-occurrence order *)
+    let groups : (string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    Array.iteri
+      (fun i f ->
+        let key = Faults.Fault.id f in
+        match Hashtbl.find_opt groups key with
+        | Some is -> is := i :: !is
+        | None ->
+            Hashtbl.add groups key (ref [ i ]);
+            order := key :: !order)
+      faults;
+    let cells = Array.make_matrix nf np None in
+    let batchable = ref true in
+    List.iter
+      (fun key ->
+        if !batchable then begin
+          let is = Array.of_list (List.rev !(Hashtbl.find groups key)) in
+          let plan =
+            compiled_plan t ~key (fun () -> faulty_target t faults.(is.(0)))
+          in
+          let impacts =
+            Array.map
+              (fun i -> Some (Faults.Inject.impact_override faults.(i)))
+              is
+          in
+          match
+            Execute.compiled_batch_over_faults ~profile:t.profile plan
+              ~impacts ~points
+          with
+          | None -> batchable := false
+          | Some batch ->
+              Obs.Counter.add g_batch_panels batch.Execute.fb_panels;
+              Array.iteri
+                (fun gi i ->
+                  for p = 0 to np - 1 do
+                    cells.(i).(p) <- batch.Execute.fb_obs.(gi).(p)
+                  done)
+                is
+        end)
+      (List.rev !order);
+    if not !batchable then begin
+      Obs.Counter.add g_batch_fallback (nf * np);
+      None
+    end
+    else begin
+      (* The fill is explicit nested loops, not [Array.init]: each pair's
+         nominal-cache access and {!charge} must happen in a specified
+         order so budget exhaustion raises at the same counter state as
+         the sequential walk the caller replaced. *)
+      let out = Array.make_matrix nf np (0., [||]) in
+      for i = 0 to nf - 1 do
+        for p = 0 to np - 1 do
+          match cells.(i).(p) with
+          | Some faulty ->
+              let nominal = nominal_observables t points.(p) in
+              charge t;
+              Obs.Counter.add g_batch_faults 1;
+              let dev = Execute.deviations t.config ~nominal ~faulty in
+              let s =
+                Sensitivity.compute t.config ~box:(box t points.(p)) ~nominal
+                  ~faulty
+              in
+              out.(i).(p) <- (s, dev)
+          | None ->
+              Obs.Counter.add g_batch_fallback 1;
+              out.(i).(p) <- sensitivity_and_deviation t faults.(i) points.(p)
+        done
+      done;
+      Some out
+    end
+  end
+
+(* One (fault, point) pair through the batch engine: the single-cell
+   degenerate case, falling back to {!sensitivity} when the pair is not
+   batchable.  Used where a caller holds exactly one pair but wants the
+   batched factorization accounting (compaction's member re-checks). *)
+let batched_sensitivity t fault values =
+  match batched_fault_sensitivities t ~faults:[| fault |] ~points:[| values |]
+  with
+  | Some cells -> fst cells.(0).(0)
+  | None -> sensitivity t fault values
+
 let sensitivity_of_target t target values =
   let nominal = nominal_observables t values in
   charge t;
@@ -374,4 +504,13 @@ let cache_stats t =
     hits = Obs.Counter.value t.cache_hits;
     misses = Obs.Counter.value t.cache_misses;
     entries = Hashtbl.length t.nominal_cache;
+  }
+
+type batch_stats = { faults_batched : int; fallback_seq : int; panels : int }
+
+let batch_stats () =
+  {
+    faults_batched = Obs.Counter.value g_batch_faults;
+    fallback_seq = Obs.Counter.value g_batch_fallback;
+    panels = Obs.Counter.value g_batch_panels;
   }

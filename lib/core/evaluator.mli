@@ -29,6 +29,7 @@ val create :
   ?profile:Execute.profile ->
   ?mode:mode ->
   ?continuation:bool ->
+  ?batching:bool ->
   ?backend:Circuit.Mna.backend ->
   Test_config.t ->
   nominal:Execute.target ->
@@ -37,6 +38,12 @@ val create :
 (** [backend] (default [Dense]) selects the linear-algebra engine every
     compiled plan of this evaluator is built on; results are
     bit-identical across backends (see {!Circuit.Mna.backend}).
+
+    [batching] (default [true]) admits this evaluator's cross-product
+    sweeps into config-major batched evaluation
+    ({!batched_fault_sensitivities}); disabling it forces every consumer
+    onto the sequential per-(fault, point) path — the reference
+    implementation batched results are bit-compared against.
 
     [continuation] (default [false]) opts impact-ladder probes
     ({!sensitivity} with [~continue:true]) on the compiled path into
@@ -83,6 +90,9 @@ val mode : t -> mode
 
 val continuation_enabled : t -> bool
 (** Whether {!create} enabled warm-start continuation. *)
+
+val batching_enabled : t -> bool
+(** Whether {!create} admitted config-major batched evaluation. *)
 
 val set_budget : t -> int option -> unit
 (** Install (or clear, with [None]) an absolute evaluation-count budget:
@@ -165,6 +175,40 @@ val batched_sensitivities :
     this path matches to solver tolerance.
     @raise Execute.Execution_failure if the nominal simulation fails. *)
 
+val batched_fault_sensitivities :
+  t ->
+  faults:Faults.Fault.t array ->
+  points:Numerics.Vec.t array ->
+  (float * float array) array array option
+(** Config-major batched evaluation of the full (fault x parameter
+    point) cross-product: faults are grouped by site (one compiled
+    topology per {!Faults.Fault.id}), each fault pays one restamp and
+    one factorization — a numeric-only pattern replay on the sparse
+    backend — and every probe level of every point solves against that
+    held factorization in blocked panels
+    ({!Execute.compiled_batch_over_faults}).
+
+    [Some cells] has [cells.(f).(p)] {e bitwise identical} to
+    [sensitivity_and_deviation t faults.(f) points.(p)] on the
+    sequential path, with identical nominal-cache accounting and exactly
+    one evaluation charged per pair in (fault-major) deterministic
+    order; pairs the batch engine could not settle are recomputed by the
+    verbatim sequential call (counted under
+    [evaluator.batch.fallback_seq]).
+
+    [None] — caller keeps its sequential loop — when batching is
+    disabled, the evaluator is in legacy or continuation mode, the plan
+    family is non-batchable (nonlinear topology or a non-DC-levels
+    analysis), or failure injection is active (batching would reorder
+    the injection draws).
+    @raise Execute.Execution_failure if the nominal simulation fails.
+    @raise Budget_exhausted as the sequential walk would. *)
+
+val batched_sensitivity : t -> Faults.Fault.t -> Numerics.Vec.t -> float
+(** The single-pair degenerate case of {!batched_fault_sensitivities},
+    falling back to {!sensitivity} when not batchable — bit-identical to
+    {!sensitivity} either way. *)
+
 val sensitivity_of_target : t -> Execute.target -> Numerics.Vec.t -> float
 (** Score an arbitrary target (e.g. a fault-free circuit at a Monte-Carlo
     process point) against this evaluator's nominal response and box —
@@ -180,3 +224,12 @@ type cache_stats = { hits : int; misses : int; entries : int }
 val cache_stats : t -> cache_stats
 (** Nominal-observable cache statistics (memoization hits/misses and
     live entries) — summed across absorbed forks by {!absorb}. *)
+
+type batch_stats = { faults_batched : int; fallback_seq : int; panels : int }
+
+val batch_stats : unit -> batch_stats
+(** Process-wide config-major batching statistics: (fault, point) pairs
+    settled by the batch engine, pairs that fell back to the sequential
+    path (declined batches included), and held-factorization panels
+    actually built.  Backed by the registered [evaluator.batch.*]
+    counters, maintained whether or not tracing is active. *)

@@ -142,6 +142,47 @@ val compiled_dc_levels_batch :
     @raise Invalid_argument on value-count mismatch or an invalid probe
     waveform. *)
 
+type fault_batch = {
+  fb_obs : float array option array array;
+      (** impact-major: [fb_obs.(f).(p)] is the observable vector of
+          fault [f] at parameter point [p], or [None] when that pair
+          must be recomputed sequentially *)
+  fb_panels : int;
+      (** factorizations actually held — one per impact whose restamped
+          system factored successfully *)
+}
+(** Result of a config-major batched sweep: the full
+    (fault x parameter point) cross-product of one configuration. *)
+
+val compiled_batch_over_faults :
+  ?profile:profile ->
+  compiled ->
+  impacts:(string * float) option array ->
+  points:Numerics.Vec.t array ->
+  fault_batch option
+(** Config-major concurrent fault evaluation: for each entry of
+    [impacts] the compiled system is restamped and factored ONCE (a
+    numeric-only pattern replay on the sparse backend), and every probe
+    level of every parameter point in [points] solves against that held
+    factorization — one blocked triangular panel
+    ({!Numerics.Smat.solve_block}) on sparse, a sequential
+    [ws_solve_into] sweep on dense.  Each column's converged operating
+    point is then recovered by an exact replay of the sequential damped
+    Newton walk (the system of a linear plan does not depend on the
+    iterate, so the trajectory is a pure damping walk toward the single
+    solve), making every returned observable bitwise identical to
+    {!compiled_observables} on the same (impact, point) pair.
+
+    [None] when the plan is outside the batchable family (non-DC-levels
+    analysis, or a nonlinear MOSFET-bearing topology).  Within a batch,
+    a cell is [None] when its fault's factorization was singular or a
+    damping walk did not converge — the sequential path escalates to its
+    gmin/source stepping ladders there, which the caller must replay
+    verbatim, fault by fault.  Unlike the sequential path this function
+    never raises {!Execution_failure}.
+    @raise Invalid_argument on value-count mismatch or an invalid probe
+    waveform (same rejection as the sequential path). *)
+
 type gradient = {
   g_obs : float array;
       (** the observables themselves — bit-identical to {!observables}

@@ -18,6 +18,7 @@ val create :
   ?profile:Testgen.Execute.profile ->
   ?mode:Testgen.Evaluator.mode ->
   ?continuation:bool ->
+  ?batching:bool ->
   ?backend:Circuit.Mna.backend ->
   ?grid:int ->
   ?guardband:float ->
@@ -33,13 +34,17 @@ val create :
     per probe — the benchmark baseline).  [continuation] (default
     [false]) enables warm-start continuation along each fault's impact
     ladder — tolerance-identical, faster; see {!Testgen.Evaluator.create}.
-    [backend] (default [Dense]) selects the evaluators' linear-algebra
-    engine; results are bit-identical across backends. *)
+    [batching] (default [true]) admits cross-product sweeps into
+    config-major batched evaluation — bit-identical, faster; see
+    {!Testgen.Evaluator.create}.  [backend] (default [Dense]) selects
+    the evaluators' linear-algebra engine; results are bit-identical
+    across backends. *)
 
 val iv :
   ?profile:Testgen.Execute.profile ->
   ?mode:Testgen.Evaluator.mode ->
   ?continuation:bool ->
+  ?batching:bool ->
   ?backend:Circuit.Mna.backend ->
   ?grid:int ->
   unit ->
@@ -51,6 +56,7 @@ val probe :
   ?profile:Testgen.Execute.profile ->
   ?mode:Testgen.Evaluator.mode ->
   ?continuation:bool ->
+  ?batching:bool ->
   ?backend:Circuit.Mna.backend ->
   ?configs:int ->
   ?levels:int ->

@@ -744,7 +744,10 @@ let lu_blit ~src ~dst =
 
 type block = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array2.t
 
-let solve_block ws ~b ~x =
+(* The [block] annotations matter: they monomorphize the element kind
+   and layout so every access below compiles to a direct unboxed float
+   load/store instead of the polymorphic bigarray primitive. *)
+let solve_block ws ~(b : block) ~(x : block) =
   if not ws.factored then
     invalid_arg "Smat.solve_block: workspace not factored";
   let n = ws.ln in
@@ -754,35 +757,52 @@ let solve_block ws ~b ~x =
   if Bigarray.Array2.dim2 x <> m then
     invalid_arg "Smat.solve_block: right-hand-side count mismatch";
   if b == x then invalid_arg "Smat.solve_block: aliased input and output";
+  (* Flat views over the c_layout panels: row [i] is the contiguous
+     slice [i*m .. i*m+m-1].  All indices below are derived from [n], [m]
+     and the factor's own row structure, so the unchecked accesses stay
+     in bounds; the per-element arithmetic (and its order) is exactly
+     the checked 2-D version's, only the address computation changes. *)
+  let xf = Bigarray.reshape_1 (Bigarray.genarray_of_array2 x) (n * m) in
+  let bf = Bigarray.reshape_1 (Bigarray.genarray_of_array2 b) (n * m) in
   for i = 0 to n - 1 do
-    let pi = ws.piv.(i) in
+    let src = ws.piv.(i) * m and dst = i * m in
     for r = 0 to m - 1 do
-      x.{i, r} <- b.{pi, r}
+      Bigarray.Array1.unsafe_set xf (dst + r)
+        (Bigarray.Array1.unsafe_get bf (src + r))
     done
   done;
   (* same per-column op order as [solve_into], streamed across the
      right-hand sides along the contiguous axis *)
   for i = 1 to n - 1 do
     let ci_ = ws.r_ci.(i) and vx_ = ws.r_vx.(i) in
+    let xi = i * m in
     for t = 0 to ws.r_diag.(i) - 1 do
-      let v = vx_.(t) and c = ci_.(t) in
+      let v = vx_.(t) in
+      let xc = ci_.(t) * m in
       for r = 0 to m - 1 do
-        x.{i, r} <- x.{i, r} -. (v *. x.{c, r})
+        Bigarray.Array1.unsafe_set xf (xi + r)
+          (Bigarray.Array1.unsafe_get xf (xi + r)
+          -. (v *. Bigarray.Array1.unsafe_get xf (xc + r)))
       done
     done
   done;
   for i = n - 1 downto 0 do
     let ci_ = ws.r_ci.(i) and vx_ = ws.r_vx.(i) in
     let d = ws.r_diag.(i) in
+    let xi = i * m in
     for t = d + 1 to ws.r_len.(i) - 1 do
-      let v = vx_.(t) and c = ci_.(t) in
+      let v = vx_.(t) in
+      let xc = ci_.(t) * m in
       for r = 0 to m - 1 do
-        x.{i, r} <- x.{i, r} -. (v *. x.{c, r})
+        Bigarray.Array1.unsafe_set xf (xi + r)
+          (Bigarray.Array1.unsafe_get xf (xi + r)
+          -. (v *. Bigarray.Array1.unsafe_get xf (xc + r)))
       done
     done;
     let dv = vx_.(d) in
     for r = 0 to m - 1 do
-      x.{i, r} <- x.{i, r} /. dv
+      Bigarray.Array1.unsafe_set xf (xi + r)
+        (Bigarray.Array1.unsafe_get xf (xi + r) /. dv)
     done
   done
 
